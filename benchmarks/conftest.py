@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper and writes the
+rendered artifact to ``benchmarks/results/`` so `pytest benchmarks/
+--benchmark-only` leaves the full reproduction report on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(results_dir):
+    def _write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text)
+
+    return _write

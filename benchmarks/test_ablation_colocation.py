@@ -1,0 +1,97 @@
+"""Ablation: unified-memory co-location on the Jetson (Fig. 8c's cause).
+
+Sweeps the memory a co-resident preprocessing instance reserves and
+tracks the engine's feasible batch and throughput — the mechanism behind
+"combined memory consumption from preprocessing and inference constrains
+the model engine's available batch size", exposed as a curve instead of
+the paper's single operating point.
+"""
+
+import pytest
+
+from repro.engine.calibration import JETSON_E2E_ENGINE_BUDGET_BYTES
+from repro.engine.latency import LatencyModel
+from repro.engine.oom import max_batch_size
+from repro.hardware.memory import OutOfMemoryError, pool_for_platform
+from repro.hardware.platform import JETSON
+from repro.models.zoo import get_model, list_models
+
+
+def test_colocation_sweep(benchmark, write_artifact):
+    def sweep():
+        rows = []
+        total = JETSON.usable_gpu_memory_bytes
+        for reserve_gb in (0.0, 0.5, 1.0, 1.5, 2.15, 3.0):
+            budget = total - reserve_gb * 1e9
+            for entry in list_models():
+                graph = entry.graph
+                try:
+                    batch = max_batch_size(graph, JETSON,
+                                           budget_bytes=budget)
+                    thr = LatencyModel(graph, JETSON).throughput(batch)
+                except OutOfMemoryError:
+                    batch, thr = 0, 0.0
+                rows.append((reserve_gb, entry.name, batch, thr))
+        return rows
+
+    rows = benchmark(sweep)
+    write_artifact("ablation_colocation", "\n".join(
+        f"reserve {g:4.2f} GB  {m:10s} maxBS={b:4d} thr={t:7.1f} img/s"
+        for g, m, b, t in rows))
+
+    by_key = {(g, m): (b, t) for g, m, b, t in rows}
+    # No reservation reproduces the Fig. 5c limits...
+    assert by_key[(0.0, "vit_base")][0] == 8
+    assert by_key[(0.0, "vit_small")][0] == 64
+    # ...the paper's operating reservation reproduces Fig. 8c...
+    assert by_key[(2.15, "vit_base")][0] == 2
+    assert by_key[(2.15, "vit_small")][0] == 32
+    # ...and batch (hence throughput) degrades monotonically with
+    # reservation for every model.
+    for entry in list_models():
+        batches = [by_key[(g, entry.name)][0]
+                   for g in (0.0, 0.5, 1.0, 1.5, 2.15, 3.0)]
+        assert batches == sorted(batches, reverse=True), entry.name
+    # Even at a 3 GB reservation ViT Base limps along at BS 2 — its
+    # eviction point sits past the paper's operating regime.
+    assert by_key[(3.0, "vit_base")][0] == 2
+    assert by_key[(3.0, "vit_small")][0] < by_key[(0.0, "vit_small")][0]
+
+
+def test_colocation_pool_accounting(benchmark, write_artifact):
+    # Walk the same story through the actual allocator: reserve the
+    # preprocessing buffers in the unified pool, then grow the engine
+    # until OOM.
+    graph = get_model("vit_small").graph
+
+    def walk():
+        pool = pool_for_platform(JETSON)
+        preproc = pool.allocate(2.15e9, tag="preprocessing")
+        from repro.engine.oom import EngineMemoryModel
+
+        memory = EngineMemoryModel(graph, JETSON)
+        batch = 0
+        alloc = None
+        for candidate in (1, 2, 4, 8, 16, 32, 64):
+            nbytes = memory.engine_bytes(candidate)
+            # Rebuilding an engine frees the old one first (the TensorRT
+            # teardown/rebuild cycle), so check fit with it released.
+            if alloc is not None:
+                pool.free(alloc)
+                alloc = None
+            if not pool.can_fit(nbytes):
+                break
+            alloc = pool.allocate(nbytes, tag="engine")
+            batch = candidate
+        if batch and alloc is None:  # rebuild at the last fitting size
+            alloc = pool.allocate(memory.engine_bytes(batch),
+                                  tag="engine")
+        pool.free(preproc)
+        return batch, pool.breakdown()
+
+    batch, breakdown = benchmark(walk)
+    write_artifact("ablation_colocation_pool",
+                   f"engine grew to BS{batch} with 2.15 GB preprocessing "
+                   f"resident; live tags now: {breakdown}")
+    assert batch == 32  # the Fig. 8c ViT Small label
+    assert "engine" in breakdown and "preprocessing" not in breakdown

@@ -1,0 +1,60 @@
+"""Ablation: multi-instance vs single large-batch deployment.
+
+The Conclusion's recommendation: "Beyond this threshold, increasing batch
+size yields diminishing returns, making multi-instance strategies more
+effective for improving responsiveness."
+"""
+
+import pytest
+
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import A100
+from repro.models.zoo import get_model
+from repro.serving.batcher import BatcherConfig
+from repro.serving.client import OpenLoopClient
+from repro.serving.metrics import summarize_responses
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+
+def _run(instances: int, max_batch: int, rate: float = 15000,
+         n: int = 6000):
+    latency = LatencyModel(get_model("vit_tiny").graph, A100)
+    server = TritonLikeServer()
+    server.register(ModelConfig(
+        "m", lambda k: latency.latency(max(1, k)),
+        batcher=BatcherConfig(max_batch_size=max_batch,
+                              max_queue_delay=0.002),
+        instances=instances))
+    client = OpenLoopClient(server, "m", rate_per_second=rate,
+                           num_requests=n, seed=7)
+    client.start()
+    server.run()
+    return summarize_responses(server.responses, warmup_fraction=0.1)
+
+
+def test_ablation_multi_instance_responsiveness(benchmark,
+                                                write_artifact):
+    def compare():
+        return {
+            "1x256": _run(instances=1, max_batch=256),
+            "2x128": _run(instances=2, max_batch=128),
+            "4x64": _run(instances=4, max_batch=64),
+        }
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    write_artifact("ablation_multi_instance", "\n".join(
+        f"{cfg}: thr={s.throughput_ips:8.0f} img/s  "
+        f"p95={s.p95_latency * 1e3:6.2f}ms"
+        for cfg, s in results.items()))
+
+    # All configurations sustain the offered load; responsiveness
+    # improves with instance count at equal aggregate batch capacity.
+    for stats in results.values():
+        assert stats.throughput_ips == pytest.approx(15000, rel=0.2)
+    assert results["2x128"].p95_latency < results["1x256"].p95_latency
+
+    # Memory check: the multi-instance deployment still fits the A100.
+    from repro.engine.oom import EngineMemoryModel
+
+    model = EngineMemoryModel(get_model("vit_tiny").graph, A100)
+    assert 4 * model.engine_bytes(64) < A100.usable_gpu_memory_bytes

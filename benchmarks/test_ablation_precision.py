@@ -1,0 +1,62 @@
+"""Ablation: engine precision (FP32 vs FP16/BF16 vs INT8).
+
+Section 3.1: "Lower-precision formats like INT8 or FP16 offer faster
+inference but may reduce accuracy."  The ablation prices the same model
+at each format via the roofline compute ceiling and the memory model.
+"""
+
+import pytest
+
+from repro.hardware.platform import A100, V100
+from repro.hardware.precision import Precision
+from repro.hardware.roofline import RooflineModel
+from repro.models.trt import TRTEngineBuilder
+from repro.models.zoo import get_model
+
+
+def test_ablation_precision_compute_ceiling(benchmark, write_artifact):
+    def sweep():
+        out = {}
+        for precision in (Precision.FP32, Precision.TF32,
+                          Precision.BF16, Precision.INT8):
+            roofline = RooflineModel(A100, precision)
+            out[precision.value] = roofline.compute_ceiling_tflops
+        return out
+
+    ceilings = benchmark(sweep)
+    write_artifact("ablation_precision_ceilings", "\n".join(
+        f"{p:5s}: {c:7.1f} TFLOPS" for p, c in ceilings.items()))
+    assert ceilings["fp32"] < ceilings["tf32"] < ceilings["bf16"] \
+        < ceilings["int8"]
+    assert ceilings["int8"] == pytest.approx(2 * ceilings["bf16"])
+
+
+def test_ablation_precision_memory(benchmark, write_artifact):
+    graph = get_model("vit_base").graph
+
+    def build_all():
+        return {
+            p.value: TRTEngineBuilder(A100, p).build(graph)
+            for p in (Precision.FP32, Precision.BF16, Precision.INT8)
+        }
+
+    specs = benchmark(build_all)
+    write_artifact("ablation_precision_memory", "\n".join(
+        f"{p}: weights {s.weight_bytes / 1e6:7.1f} MB, "
+        f"act/img {s.activation_bytes_per_image / 1e6:5.2f} MB"
+        for p, s in specs.items()))
+    assert specs["fp32"].weight_bytes == pytest.approx(
+        2 * specs["bf16"].weight_bytes)
+    assert specs["bf16"].weight_bytes == pytest.approx(
+        2 * specs["int8"].weight_bytes)
+
+
+def test_ablation_unsupported_precision_fails_like_trtexec(benchmark):
+    def try_build():
+        try:
+            TRTEngineBuilder(V100, Precision.BF16)
+            return False
+        except ValueError:
+            return True
+
+    assert benchmark(try_build)

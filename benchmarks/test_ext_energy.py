@@ -1,0 +1,76 @@
+"""Extension: energy characterization across the continuum.
+
+The conclusion's "balancing latency requirements with energy efficiency":
+joules/image per (model, platform, batch), the continuum's energy
+trade-off, and battery planning for the field vehicle.
+"""
+
+import pytest
+
+from repro.engine.calibration import batch_grid
+from repro.engine.oom import max_batch_size
+from repro.hardware.platform import A100, JETSON, V100
+from repro.hardware.power import EnergyModel
+from repro.models.zoo import list_models
+
+
+def test_energy_matrix(benchmark, write_artifact):
+    def compute():
+        rows = []
+        for platform in (A100, V100, JETSON):
+            for entry in list_models():
+                graph = entry.graph
+                limit = max_batch_size(graph, platform)
+                model = EnergyModel(graph, platform)
+                point = model.point(limit)
+                rows.append(point)
+        return rows
+
+    rows = benchmark(compute)
+    write_artifact("ext_energy_matrix", "\n".join(
+        f"{p.platform:6s} {p.model:10s} @BS{p.batch_size:<4d} "
+        f"{p.watts:6.1f} W  {p.throughput:8.0f} img/s  "
+        f"{p.joules_per_image * 1e3:8.2f} mJ/img" for p in rows))
+
+    by_key = {(p.platform, p.model): p for p in rows}
+    # The continuum energy result: the 25 W Jetson beats the cloud on
+    # energy per image for every model despite losing on throughput.
+    for entry in list_models():
+        jetson = by_key[("Jetson", entry.name)]
+        a100 = by_key[("A100", entry.name)]
+        assert jetson.joules_per_image < a100.joules_per_image
+        assert jetson.throughput < a100.throughput
+
+
+def test_energy_improves_with_batch_then_plateaus(benchmark,
+                                                  write_artifact):
+    graph = next(e.graph for e in list_models() if e.name == "resnet50")
+
+    def sweep():
+        model = EnergyModel(graph, JETSON)
+        grid = tuple(b for b in batch_grid("jetson") if b <= 64)
+        return model.sweep(grid)
+
+    points = benchmark(sweep)
+    write_artifact("ext_energy_batch_sweep", "\n".join(
+        f"BS{p.batch_size:<4d} {p.joules_per_image * 1e3:7.2f} mJ/img"
+        for p in points))
+    energies = [p.joules_per_image for p in points]
+    assert energies == sorted(energies, reverse=True)
+    # Diminishing returns: the last doubling buys < 20% improvement.
+    assert energies[-2] / energies[-1] < 1.2
+
+
+def test_battery_planning(benchmark, write_artifact):
+    graph = next(e.graph for e in list_models() if e.name == "vit_tiny")
+
+    def plan():
+        model = EnergyModel(graph, JETSON)
+        return model.field_battery_images(battery_wh=500, batch_size=64)
+
+    images = benchmark(plan)
+    write_artifact("ext_energy_battery",
+                   f"500 Wh vehicle battery -> {images:,.0f} ViT-Tiny "
+                   "classifications")
+    # A day's field work is comfortably covered.
+    assert images > 1e6

@@ -1,0 +1,82 @@
+"""Extension: per-layer roofline analysis (Section 3.1) and the INT8
+speedup path.
+
+Two analyses the paper discusses but does not plot: where each layer
+type sits on the roofline (and how batching moves it), and what INT8
+buys — including the deployment it rescues.
+"""
+
+import pytest
+
+from repro.analysis.layer_roofline import (
+    model_layer_roofline,
+    roofline_summary,
+)
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import A100, JETSON
+from repro.hardware.precision import Precision
+from repro.models.zoo import get_model, list_models
+
+
+def test_layer_roofline_report(benchmark, write_artifact):
+    def compute():
+        out = {}
+        for entry in list_models():
+            for batch in (1, 64):
+                out[(entry.name, batch)] = roofline_summary(
+                    entry.graph, A100, batch_size=batch)
+        return out
+
+    summaries = benchmark(compute)
+    lines = []
+    for (model, batch), s in sorted(summaries.items()):
+        cats = ", ".join(f"{k}={v:.2f}" for k, v in sorted(
+            s["time_by_category"].items(), key=lambda kv: -kv[1])[:3])
+        lines.append(f"{model:10s} @BS{batch:<3d} compute-bound "
+                     f"{s['compute_bound_time_fraction']:.2f} | {cats}")
+    write_artifact("ext_layer_roofline", "\n".join(lines))
+
+    # Batching moves every model toward the compute roof.
+    for entry in list_models():
+        assert summaries[(entry.name, 64)][
+            "compute_bound_time_fraction"] >= summaries[
+            (entry.name, 1)]["compute_bound_time_fraction"]
+    # The §4.0.2 split shows up as *time*: convs dominate ResNet50,
+    # dense matmuls dominate the ViTs.
+    assert max(summaries[("resnet50", 64)]["time_by_category"],
+               key=summaries[("resnet50", 64)]["time_by_category"].get
+               ) == "conv"
+    assert max(summaries[("vit_base", 64)]["time_by_category"],
+               key=summaries[("vit_base", 64)]["time_by_category"].get
+               ) == "linear"
+
+
+def test_int8_rescues_vit_base_realtime_on_jetson(benchmark,
+                                                  write_artifact):
+    # Section 3.1: "Lower-precision formats like INT8 or FP16 offer
+    # faster inference but may reduce accuracy."  The payoff case: at
+    # the calibrated BF16 rates ViT Base misses the 16.7 ms line at
+    # every batch on the Jetson; INT8's 2x rate brings BS 1-2 inside it.
+    graph = get_model("vit_base").graph
+
+    def compute():
+        bf16 = LatencyModel(graph, JETSON)
+        int8 = LatencyModel(graph, JETSON, precision=Precision.INT8)
+        return {
+            "bf16_bs1_ms": bf16.latency(1) * 1e3,
+            "int8_bs1_ms": int8.latency(1) * 1e3,
+            "int8_bs2_ms": int8.latency(2) * 1e3,
+        }
+
+    out = benchmark(compute)
+    write_artifact("ext_int8_rescue", "\n".join(
+        f"{k}: {v:.2f}" for k, v in out.items()))
+    assert out["bf16_bs1_ms"] > 1000 / 60        # misses 60 QPS
+    assert out["int8_bs1_ms"] < 1000 / 60        # INT8 makes it
+    assert out["int8_bs1_ms"] == pytest.approx(out["bf16_bs1_ms"] / 2)
+
+    # The accuracy cost of that rescue, measured on real forwards:
+    from repro.models.quantization import evaluate_quantization
+
+    report = evaluate_quantization("vit_tiny", bits=8, batch=4)
+    assert report.top1_agreement >= 0.75

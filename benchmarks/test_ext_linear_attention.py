@@ -1,0 +1,91 @@
+"""Extension: the RWKV-class linear-attention alternative (Section 3.1).
+
+"attention layers scale quadratically with respect to input sequence
+length ... Recent work seeks to address this limitation through
+state-based architectures such as RWKV."  The bench quantifies the
+crossover and prices linear-attention ViTs on the paper's platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.mfu import MFUModel
+from repro.hardware.platform import A100, JETSON
+from repro.models.functional import init_vit_weights
+from repro.models.linear_attention import (
+    attention_cost_crossover,
+    build_linear_vit,
+    linear_vit_forward,
+)
+from repro.models.vit import VIT_CONFIGS, build_vit
+
+
+def test_crossover_table(benchmark, write_artifact):
+    rows = benchmark(attention_cost_crossover)
+    write_artifact("ext_linattn_crossover", "\n".join(
+        f"T={r['tokens']:6d}  softmax {r['softmax_gmacs']:10.4f} GMACs  "
+        f"linear {r['linear_gmacs']:10.4f} GMACs  "
+        f"{'linear wins' if r['linear_wins'] else 'softmax wins'}"
+        for r in rows))
+    # Crossover at T = head_dim (64 for the ViT family).
+    assert not rows[0]["linear_wins"]     # T = 33
+    assert all(r["linear_wins"] for r in rows[1:])
+    # Quadratic separation grows without bound.
+    last = rows[-1]
+    assert last["softmax_gmacs"] / last["linear_gmacs"] > 100
+
+
+def test_linear_vit_model_costs(benchmark, write_artifact):
+    def build_both():
+        return {name: (build_vit(name), build_linear_vit(name))
+                for name in ("vit_tiny", "vit_base")}
+
+    graphs = benchmark(build_both)
+    lines = []
+    for name, (softmax, linear) in graphs.items():
+        lines.append(
+            f"{name}: softmax {softmax.total_macs() / 1e9:.3f} GMACs, "
+            f"linear {linear.total_macs() / 1e9:.3f} GMACs, "
+            f"params equal: "
+            f"{softmax.total_params() == linear.total_params()}")
+    write_artifact("ext_linattn_models", "\n".join(lines))
+    for softmax, linear in graphs.values():
+        assert linear.total_macs() < softmax.total_macs()
+        assert linear.total_params() == softmax.total_params()
+
+
+def test_linear_vit_large_image_advantage(benchmark, write_artifact):
+    # The motivating case: the 3840x2160 CRSA frame processed at native
+    # patch resolution would need ~32k tokens; compare attention costs
+    # at ViT-Base dims.
+    import dataclasses
+
+    from repro.models.vit import ViTConfig
+
+    def compare():
+        # 1024x1024 crop at patch 16 -> 4096 tokens + cls.
+        cfg = ViTConfig("vit_base_1k", img_size=1024, patch_size=16,
+                        dim=768, depth=12, heads=12)
+        softmax = build_vit(cfg)
+        linear = build_linear_vit(cfg)
+        return softmax.total_macs(), linear.total_macs()
+
+    softmax_macs, linear_macs = benchmark(compare)
+    write_artifact("ext_linattn_large_image",
+                   f"1024px ViT-Base: softmax {softmax_macs / 1e9:.0f} "
+                   f"GMACs vs linear {linear_macs / 1e9:.0f} GMACs "
+                   f"({softmax_macs / linear_macs:.2f}x)")
+    assert softmax_macs > 1.15 * linear_macs
+
+
+def test_linear_vit_functional_forward(benchmark):
+    cfg = VIT_CONFIGS["vit_tiny"]
+    weights = init_vit_weights(cfg)
+    x = np.random.default_rng(0).standard_normal(
+        (1, 3, 32, 32)).astype(np.float32)
+
+    out = benchmark.pedantic(
+        lambda: linear_vit_forward(cfg, weights, x), rounds=2,
+        iterations=1)
+    assert out.shape == (1, 39)
+    assert np.isfinite(out).all()

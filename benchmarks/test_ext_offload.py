@@ -1,0 +1,73 @@
+"""Extension: edge-cloud offload — where does the continuum boundary sit?
+
+The paper's continuum premise priced out: per (model, link), the payload
+size below which uploading to the cluster beats classifying on the
+vehicle's Jetson.
+"""
+
+import pytest
+
+from repro.continuum.network import get_link
+from repro.continuum.offload import OffloadPolicy, Placement
+from repro.data.datasets import list_datasets
+from repro.hardware.platform import A100, JETSON
+from repro.models.zoo import list_models
+
+
+def test_offload_crossover_matrix(benchmark, write_artifact):
+    def compute():
+        rows = []
+        for entry in list_models():
+            for link_name in ("field_lte", "farm_wifi",
+                              "station_ethernet"):
+                policy = OffloadPolicy(entry.graph, JETSON, A100,
+                                       get_link(link_name))
+                rows.append((entry.name, link_name,
+                             policy.crossover_image_bytes()))
+        return rows
+
+    rows = benchmark(compute)
+    write_artifact("ext_offload_crossover", "\n".join(
+        f"{model:10s} over {link:16s}: "
+        + (f"cloud wins below {bytes_ / 1e3:9.1f} kB"
+           if bytes_ is not None else "edge always wins")
+        for model, link, bytes_ in rows))
+    by_key = {(m, l): b for m, l, b in rows}
+    # Heavier models push the boundary up (more to gain from the A100).
+    wifi_tiny = by_key[("vit_tiny", "farm_wifi")]
+    wifi_base = by_key[("vit_base", "farm_wifi")]
+    assert wifi_base is not None
+    assert wifi_tiny is None or wifi_tiny < wifi_base
+    # Better links push the boundary up for every model that has one.
+    for entry in list_models():
+        lte = by_key[(entry.name, "field_lte")]
+        ether = by_key[(entry.name, "station_ethernet")]
+        if lte is not None and ether is not None:
+            assert ether > lte
+
+
+def test_offload_decisions_per_dataset(benchmark, write_artifact):
+    # Place each evaluated dataset's modal image on the continuum for
+    # ViT Base over farm Wi-Fi.
+    from repro.models.zoo import get_model
+
+    policy = OffloadPolicy(get_model("vit_base").graph, JETSON, A100,
+                           get_link("farm_wifi"))
+
+    def decide_all():
+        out = []
+        for dataset in list_datasets():
+            payload = dataset.encoded_bytes_at_mode()
+            out.append((dataset.name, payload, policy.decide(payload)))
+        return out
+
+    rows = benchmark(decide_all)
+    write_artifact("ext_offload_datasets", "\n".join(
+        f"{name:14s} {payload / 1e3:9.1f} kB -> {d.placement.value:5s} "
+        f"(edge {d.edge_latency_seconds * 1e3:6.1f} ms, cloud "
+        f"{d.cloud_latency_seconds * 1e3:6.1f} ms)"
+        for name, payload, d in rows))
+    decisions = {name: d.placement for name, _, d in rows}
+    # Small compressed crops upload; the raw 4K CRSA frame stays local.
+    assert decisions["spittle_bug"] is Placement.CLOUD
+    assert decisions["crsa"] is Placement.EDGE

@@ -1,0 +1,76 @@
+"""Extension: the performance-prediction toolkit (the paper's future
+work) — backtesting, what-if previews, and capacity plans."""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.hardware.platform import A100, JETSON, V100
+from repro.models.zoo import get_model
+from repro.predict.capacity import CapacityPlanner, WorkloadSpec
+from repro.predict.validation import backtest_platform, backtest_summary
+from repro.predict.whatif import define_platform, preview_platform
+
+
+def test_backtest_all_pairings(benchmark, write_artifact):
+    summary = benchmark(backtest_summary)
+    write_artifact("ext_prediction_backtest", "\n".join(
+        f"{pair}: mean error {err:.1%}" for pair, err in summary.items()))
+    # The toolkit's honest error bar: cross-platform transfer of MFU
+    # structure predicts the paper's anchors within 25%.
+    for pair, error in summary.items():
+        assert error < 0.25, pair
+    # Edge<->cloud transfer in at least one direction is under 10%.
+    assert min(summary.values()) < 0.10
+
+
+def test_backtest_per_model_detail(benchmark, write_artifact):
+    results = benchmark.pedantic(
+        lambda: backtest_platform("jetson", "a100"), rounds=1,
+        iterations=1)
+    write_artifact("ext_prediction_jetson_detail", "\n".join(
+        f"{r.model:10s} @BS{r.batch:<5d} paper "
+        f"{r.paper_images_per_second:8.1f}  predicted "
+        f"{r.predicted_images_per_second:8.1f}  ({r.relative_error:.1%})"
+        for r in results))
+    assert all(r.relative_error < 0.3 for r in results)
+
+
+def test_whatif_orin_nx_preview(benchmark, write_artifact):
+    nx = define_platform(
+        "OrinNX16", "edge", peak_tflops=50.0, precision="fp16",
+        gpu_memory_gb=16, memory_bandwidth_gbps=102.4, cpu_cores=8,
+        unified_memory=True, power_watts=40)
+
+    rows = benchmark(lambda: preview_platform(nx))
+    write_artifact("ext_prediction_whatif", "\n".join(
+        f"{r['model']:10s} peak {r['peak_throughput']:7.0f} img/s "
+        f"(x{r['speedup_vs_jetson']:.2f} vs Jetson), "
+        f"recommend BS{r['recommended_batch']}" for r in rows))
+    # A ~3x-FLOPS Orin NX should land near 3x the Nano across the zoo.
+    for row in rows:
+        assert 2.0 < row["speedup_vs_jetson"] < 4.5
+
+
+def test_capacity_plan_comparison(benchmark, write_artifact):
+    workload = WorkloadSpec(images_per_second=3000,
+                            latency_slo_seconds=1 / 30,
+                            dataset=get_dataset("corn_growth"),
+                            duty_cycle=0.3)
+    graph = get_model("resnet50").graph
+
+    def plan():
+        return CapacityPlanner(workload).compare(
+            graph, [A100, V100, JETSON])
+
+    plans = benchmark(plan)
+    write_artifact("ext_prediction_capacity", "\n".join(
+        f"{p.platform:6s} devices={p.devices:3d} "
+        f"inst/dev={p.instances_per_device:2d} "
+        f"thr={p.total_throughput:9.0f} img/s "
+        f"Wh/day={p.watt_hours_per_day or 0:9.0f} "
+        f"{'ok' if p.meets_slo else 'infeasible'}"
+        for p in plans))
+    assert plans[0].meets_slo
+    assert plans[0].platform in ("A100", "V100")
+    jetson = next(p for p in plans if p.platform == "Jetson")
+    assert jetson.devices > plans[0].devices

@@ -1,0 +1,101 @@
+"""Extension: preprocessing/training-distribution mismatch (Section 3.2).
+
+"Models require preprocessing consistent with their training-time
+distribution; otherwise, input mismatch may lead to unexpected outputs."
+The bench quantifies it on real forward passes: run the same images
+through the correct pipeline and through common mis-configurations
+(wrong normalization statistics, skipped normalization, nearest-style
+double resize), and measure logit drift and top-1 decision flips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synth_labeled_images
+from repro.models.functional import build_functional
+from repro.preprocessing import ops
+from repro.preprocessing.pipelines import (
+    IMAGENET_MEAN,
+    IMAGENET_STD,
+    model_pipeline,
+)
+
+
+def _forward(model, images, preprocess):
+    batch = np.stack([preprocess(img) for img in images])
+    return model(batch)
+
+
+def test_preprocessing_mismatch_drift(benchmark, write_artifact):
+    rng = np.random.default_rng(17)
+    images, _ = synth_labeled_images(24, 3, 48, rng,
+                                     signal_strength=0.5)
+    images = list(images)
+    model = build_functional("vit_tiny")
+    correct = model_pipeline(32)
+
+    def wrong_stats(img):
+        resized = correct.steps[0].fn(img)
+        cropped = correct.steps[1].fn(resized)
+        # A classic bug: 0.5/0.5 stats instead of the ImageNet ones.
+        normalized = ops.normalize(cropped, np.full(3, 0.5, np.float32),
+                                   np.full(3, 0.5, np.float32))
+        return ops.to_chw(normalized)
+
+    def no_normalize(img):
+        resized = correct.steps[0].fn(img)
+        cropped = correct.steps[1].fn(resized)
+        return ops.to_chw(cropped.astype(np.float32) / 255.0)
+
+    def run_all():
+        reference = _forward(model, images, correct)
+        return {
+            "wrong_stats": _forward(model, images, wrong_stats),
+            "no_normalize": _forward(model, images, no_normalize),
+        }, reference
+
+    variants, reference = benchmark.pedantic(run_all, rounds=1,
+                                             iterations=1)
+    lines = []
+    flips = {}
+    for name, logits in variants.items():
+        drift = float(np.mean(np.abs(logits - reference)))
+        flip = float(np.mean(logits.argmax(1) != reference.argmax(1)))
+        flips[name] = flip
+        lines.append(f"{name:14s} mean|dlogit|={drift:8.4f} "
+                     f"top-1 flips={flip:.0%}")
+    write_artifact("ext_preprocessing_mismatch", "\n".join(lines))
+
+    # The Section 3.2 warning holds hard: either normalization bug
+    # flips a majority of top-1 decisions ("unexpected outputs").
+    assert flips["wrong_stats"] > 0.5
+    assert flips["no_normalize"] > 0.5
+
+
+def test_resize_convention_mismatch_is_milder(benchmark, write_artifact):
+    # Resize-convention drift (no 256/224-style overscan) perturbs
+    # outputs less than normalization bugs — geometry is nearly right.
+    rng = np.random.default_rng(18)
+    images, _ = synth_labeled_images(16, 3, 48, rng,
+                                     signal_strength=0.5)
+    images = list(images)
+    model = build_functional("vit_tiny")
+    correct = model_pipeline(32)
+
+    def direct_resize(img):
+        resized = ops.resize_bilinear(img, 32, 32)  # no overscan+crop
+        normalized = ops.normalize(resized, IMAGENET_MEAN, IMAGENET_STD)
+        return ops.to_chw(normalized)
+
+    def run():
+        reference = _forward(model, images, correct)
+        variant = _forward(model, images, direct_resize)
+        flip = float(np.mean(variant.argmax(1) != reference.argmax(1)))
+        drift = float(np.mean(np.abs(variant - reference)))
+        return flip, drift
+
+    flip, drift = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("ext_preprocessing_resize",
+                   f"direct-resize variant: mean|dlogit|={drift:.4f} "
+                   f"top-1 flips={flip:.0%}")
+    assert flip <= 0.5  # geometry-only drift stays moderate

@@ -1,0 +1,92 @@
+"""Extension: resilience under faults and overload.
+
+What a field-grade deployment needs beyond throughput plots: goodput and
+tail latency with instance failures injected, and bounded-queue
+backpressure versus unbounded queueing when offered load exceeds
+capacity.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import A100
+from repro.models.zoo import get_model
+from repro.serving.batcher import BatcherConfig
+from repro.serving.client import OpenLoopClient
+from repro.serving.faults import FaultModel
+from repro.serving.metrics import summarize_responses
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+
+def _run(fault_probability=0.0, max_queue_size=0, rate=5000, n=4000,
+         retries=2, instances=2):
+    latency = LatencyModel(get_model("vit_tiny").graph, A100)
+    server = TritonLikeServer()
+    server.register(ModelConfig(
+        "m", lambda k: latency.latency(max(1, k)),
+        batcher=BatcherConfig(max_batch_size=128, max_queue_delay=0.002,
+                              max_queue_size=max_queue_size),
+        fault_model=(FaultModel(fault_probability, detect_seconds=0.02,
+                                seed=9)
+                     if fault_probability else None),
+        max_retries=retries,
+        instances=instances))
+    client = OpenLoopClient(server, "m", rate_per_second=rate,
+                           num_requests=n, seed=13)
+    client.start()
+    server.run()
+    return server
+
+
+def test_fault_injection_costs_tail_latency_not_goodput(benchmark,
+                                                        write_artifact):
+    def compare():
+        clean = _run(fault_probability=0.0)
+        faulty = _run(fault_probability=0.05)
+        return clean, faulty
+
+    clean, faulty = benchmark.pedantic(compare, rounds=1, iterations=1)
+    clean_ok = [r for r in clean.responses if r.ok]
+    faulty_ok = [r for r in faulty.responses if r.ok]
+    clean_stats = summarize_responses(clean_ok, warmup_fraction=0.1)
+    faulty_stats = summarize_responses(faulty_ok, warmup_fraction=0.1)
+    statuses = Counter(r.status for r in faulty.responses)
+    write_artifact("ext_resilience_faults", (
+        f"clean : p95={clean_stats.p95_latency * 1e3:7.2f}ms "
+        f"goodput={clean_stats.throughput_ips:7.0f} img/s\n"
+        f"faulty: p95={faulty_stats.p95_latency * 1e3:7.2f}ms "
+        f"goodput={faulty_stats.throughput_ips:7.0f} img/s "
+        f"statuses={dict(statuses)}"))
+    # Retries recover nearly all requests at 5% per-batch fault rate...
+    assert statuses["ok"] >= 0.99 * len(faulty.responses)
+    # ...but the detection windows show up in the tail.
+    assert faulty_stats.p95_latency > clean_stats.p95_latency
+
+
+def test_backpressure_bounds_latency_under_overload(benchmark,
+                                                    write_artifact):
+    def compare():
+        # 30k rps against a single instance's ~22k img/s capacity:
+        # unbounded queues grow without limit; a bounded queue sheds
+        # load and keeps served latency sane.
+        unbounded = _run(rate=30000, n=9000, max_queue_size=0,
+                         instances=1)
+        bounded = _run(rate=30000, n=9000, max_queue_size=512,
+                       instances=1)
+        return unbounded, bounded
+
+    unbounded, bounded = benchmark.pedantic(compare, rounds=1,
+                                            iterations=1)
+    unbounded_stats = summarize_responses(
+        [r for r in unbounded.responses if r.ok], warmup_fraction=0.1)
+    bounded_ok = [r for r in bounded.responses if r.ok]
+    bounded_stats = summarize_responses(bounded_ok, warmup_fraction=0.1)
+    rejected = sum(1 for r in bounded.responses if r.status == "rejected")
+    write_artifact("ext_resilience_backpressure", (
+        f"unbounded: p95={unbounded_stats.p95_latency * 1e3:9.1f}ms\n"
+        f"bounded  : p95={bounded_stats.p95_latency * 1e3:9.1f}ms "
+        f"rejected={rejected}/{len(bounded.responses)}"))
+    assert rejected > 0
+    assert bounded_stats.p95_latency < unbounded_stats.p95_latency / 2

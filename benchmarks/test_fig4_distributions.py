@@ -1,0 +1,36 @@
+"""Fig. 4 bench: image-size density distributions per dataset."""
+
+import pytest
+
+from repro.analysis.figures import fig4
+
+
+def test_fig4_regeneration(benchmark, write_artifact):
+    series = benchmark(lambda: fig4(samples=20000))
+    lines = []
+    for s in series:
+        kind = "uniform" if s.meta["uniform"] else "variable"
+        lines.append(f"{s.name}: {kind}, mode {s.meta['mode_label']}")
+    write_artifact("fig4_distributions", "\n".join(lines))
+
+    by_panel = {s.panel: s for s in series}
+    # The figure's printed mode labels.
+    assert by_panel["plant_village"].meta["mode_label"] == "256x256"
+    assert by_panel["fruits_360"].meta["mode_label"] == "100x100"
+    assert by_panel["corn_growth"].meta["mode_label"] == "224x224"
+    assert by_panel["crsa"].meta["mode_label"] == "3840x2160"
+    w, _ = map(int, by_panel["weed_soybean"].meta["mode_label"].split("x"))
+    assert w == pytest.approx(233, rel=0.15)
+    w2, _ = map(int, by_panel["spittle_bug"].meta["mode_label"].split("x"))
+    assert w2 == pytest.approx(61, abs=12)
+
+
+def test_fig4_density_peaks_at_mode(benchmark):
+    series = benchmark.pedantic(lambda: fig4(samples=30000), rounds=1,
+                                iterations=1)
+    weed = next(s for s in series if s.panel == "weed_soybean")
+    density = weed.meta["density"]
+    # The densest cell carries normalized weight 1 and its neighbourhood
+    # holds most of the mass near the mode.
+    assert max(density) == pytest.approx(1.0)
+    assert sum(d > 0.2 for d in density) < len(density) * 0.2

@@ -1,0 +1,48 @@
+"""Fig. 5 bench: TFLOPS vs batch size on all three platforms.
+
+Checks the legend anchors (throughput at the largest batch), the OOM
+cutoffs on the Jetson, and the qualitative curve properties the paper
+describes (monotone MFU with diminishing returns, gap to the practical
+bound).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig5
+from repro.analysis.report import render_series
+from repro.engine.calibration import THROUGHPUT_ANCHORS
+
+
+def test_fig5_regeneration(benchmark, write_artifact):
+    series = benchmark(fig5)
+    write_artifact("fig5_engine_scaling", render_series(series))
+
+    display = {"vit_tiny": "ViT Tiny", "vit_small": "ViT Small",
+               "vit_base": "ViT Base", "resnet50": "ResNet50"}
+    for (plat, model), (batch, thr) in THROUGHPUT_ANCHORS.items():
+        panel = {"a100": "A100", "v100": "V100", "jetson": "Jetson"}[plat]
+        s = next(s for s in series
+                 if s.panel == panel and s.name == display[model])
+        assert s.meta["max_batch"] == batch, (plat, model)
+        assert s.meta["throughput_at_max"] == pytest.approx(thr,
+                                                            rel=0.001)
+
+
+def test_fig5_jetson_oom_cutoffs(benchmark):
+    series = benchmark.pedantic(lambda: fig5("jetson"), rounds=1,
+                                iterations=1)
+    cutoffs = {s.name: max(s.x) for s in series
+               if s.name not in ("theoretical", "practical_bound")}
+    assert cutoffs == {"ViT Tiny": 196, "ViT Small": 64, "ViT Base": 8,
+                       "ResNet50": 64}
+
+
+def test_fig5_curves_monotone_below_bound(benchmark):
+    series = benchmark.pedantic(lambda: fig5("a100"), rounds=1,
+                                iterations=1)
+    bound = next(s for s in series if s.name == "practical_bound").y[0]
+    for s in series:
+        if s.name in ("theoretical", "practical_bound"):
+            continue
+        assert list(s.y) == sorted(s.y), s.name
+        assert max(s.y) < bound, s.name

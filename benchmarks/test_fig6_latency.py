@@ -1,0 +1,58 @@
+"""Fig. 6 bench: request latency vs batch size with the 60-QPS line."""
+
+import pytest
+
+from repro.analysis.figures import fig6
+from repro.analysis.report import render_series
+from repro.engine.calibration import LATENCY_TARGET_SECONDS, batch_grid
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import A100, V100
+from repro.models.zoo import get_model
+
+
+def test_fig6_regeneration(benchmark, write_artifact):
+    series = benchmark(fig6)
+    write_artifact("fig6_latency", render_series(series))
+    panels = {s.panel for s in series}
+    assert panels == {"A100", "V100", "Jetson"}
+    # Every model series sits above its dashed theoretical line.
+    for s in series:
+        if s.name == "60qps_threshold":
+            continue
+        for actual, ideal in zip(s.y, s.meta["theoretical_ms"]):
+            assert actual > ideal
+
+
+def test_fig6_operating_points(benchmark, write_artifact):
+    # The Section 4.1 operating-region analysis: largest batch meeting
+    # 16.7 ms per (platform, model).
+    def compute():
+        out = {}
+        for platform in (A100, V100):
+            for name in ("vit_tiny", "vit_small", "vit_base", "resnet50"):
+                model = LatencyModel(get_model(name).graph, platform)
+                out[(platform.name, name)] = model.max_batch_within_latency(
+                    batch_grid(platform.name))
+        return out
+
+    points = benchmark(compute)
+    write_artifact("fig6_operating_points", "\n".join(
+        f"{p} {m}: max batch within 16.7ms = {b}"
+        for (p, m), b in sorted(points.items())))
+    # A100 sustains larger batches within the target than V100 for every
+    # model (more compute -> shorter batch latency).
+    for name in ("vit_tiny", "vit_small", "vit_base", "resnet50"):
+        assert points[("A100", name)] >= points[("V100", name)]
+    # ViT Base fits far fewer images in the deadline than ViT Tiny.
+    assert points[("A100", "vit_base")] < points[("A100", "vit_tiny")]
+
+
+def test_fig6_threshold_crossing_exists(benchmark):
+    series = benchmark.pedantic(lambda: fig6("a100"), rounds=1,
+                                iterations=1)
+    for s in series:
+        if s.name == "60qps_threshold":
+            continue
+        below = [y for y in s.y if y <= LATENCY_TARGET_SECONDS * 1e3]
+        above = [y for y in s.y if y > LATENCY_TARGET_SECONDS * 1e3]
+        assert below and above, s.name

@@ -1,0 +1,84 @@
+"""Fig. 7 bench: preprocessing latency/throughput across frameworks.
+
+Also exercises the *functional* preprocessing path: the modeled DALI/
+PyTorch pipelines really execute their NumPy ops on synthetic batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import fig7
+from repro.analysis.report import render_series
+from repro.core.sweeps import preprocessing_sweep
+from repro.data.datasets import get_dataset
+from repro.data.synthetic import SyntheticSampler
+from repro.hardware.platform import A100, JETSON, V100
+from repro.preprocessing.frameworks import DALI
+
+
+def test_fig7_regeneration(benchmark, write_artifact):
+    series = benchmark(fig7)
+    write_artifact("fig7_preprocessing", render_series(series))
+    # Per-platform panels with the five framework configurations.
+    for panel in ("A100", "V100", "Jetson"):
+        names = {s.name for s in series if s.panel == panel}
+        assert "DALI 224 latency" in names
+        assert "PyTorch throughput" in names
+
+
+def test_fig7_shape_claims(benchmark, write_artifact):
+    def sweep_all():
+        return {p.name: preprocessing_sweep(p)
+                for p in (A100, V100, JETSON)}
+
+    cells = benchmark(sweep_all)
+    lines = []
+    for platform, estimates in cells.items():
+        for e in estimates:
+            lines.append(
+                f"{platform:6s} {e.framework:9s} {e.dataset:14s} "
+                f"lat={e.batch_latency_seconds * 1e3:9.2f}ms "
+                f"thr={e.throughput:9.1f} img/s")
+    write_artifact("fig7_cells", "\n".join(lines))
+
+    # DALI ordering per dataset per platform.
+    for platform, estimates in cells.items():
+        datasets = {e.dataset for e in estimates
+                    if e.framework.startswith("DALI")}
+        for dataset in datasets:
+            t = {e.framework: e.per_image_seconds for e in estimates
+                 if e.dataset == dataset}
+            assert t["DALI 32"] < t["DALI 96"] < t["DALI 224"], \
+                (platform, dataset)
+
+    # Platform throughput magnitudes (axis scales: A100 ~12k, V100
+    # ~2.5k).  Compared on the representative 256x256 JPEG dataset —
+    # tiny-image datasets (Fruits-360, Spittle Bug) dodge the V100's
+    # decode weakness and the paper itself flags Fruits-360 as an
+    # anomalous outlier on the A100.
+    def dali32_pv(platform):
+        return next(e.throughput for e in cells[platform]
+                    if e.framework == "DALI 32"
+                    and e.dataset == "plant_village")
+
+    assert dali32_pv("A100") > 3 * dali32_pv("V100")
+    a100_best = max(e.throughput for e in cells["A100"])
+    assert a100_best == pytest.approx(12000, rel=0.5)
+
+    # CV2/CRSA latency magnitude (the ~500 ms A100 latency axis).
+    cv2 = next(e for e in cells["A100"] if e.framework == "CV2")
+    assert 0.2 < cv2.per_image_seconds < 1.0
+
+
+def test_fig7_functional_preprocessing_throughput(benchmark,
+                                                  write_artifact):
+    # Actually run the DALI-32 pipeline ops on a real synthetic batch.
+    dataset = get_dataset("spittle_bug")
+    sampler = SyntheticSampler(dataset, seed=0)
+    images = [img for img, _ in sampler.sample(16)]
+    fw = DALI(32)
+
+    out = benchmark(lambda: fw.run(images, dataset))
+    assert out.shape == (16, 3, 32, 32)
+    assert np.isfinite(out).all()
+    write_artifact("fig7_functional", f"processed {out.shape} batch")

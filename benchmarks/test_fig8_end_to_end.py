@@ -1,0 +1,96 @@
+"""Fig. 8 bench: end-to-end pipeline latency/throughput.
+
+Regenerates every (platform, model, dataset) cell at the paper's batch
+labels, checks the bottleneck structure the paper reports, and
+cross-checks the analytic overlap model against the serving simulator.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig8
+from repro.analysis.report import render_series
+from repro.continuum.pipeline import EndToEndPipeline
+from repro.core.sweeps import e2e_sweep
+from repro.data.datasets import get_dataset
+from repro.hardware.platform import A100, JETSON, V100
+from repro.models.zoo import get_model
+from repro.serving.batcher import BatcherConfig
+from repro.serving.client import ClosedLoopClient
+from repro.serving.metrics import summarize_responses
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+
+def test_fig8_regeneration(benchmark, write_artifact):
+    series = benchmark(fig8)
+    write_artifact("fig8_end_to_end", render_series(series))
+    names = {(s.panel, s.name) for s in series}
+    assert ("Jetson", "vit_base@BS2 throughput") in names
+    assert ("A100", "vit_base@BS64 throughput") in names
+    assert ("V100", "vit_small@BS32 latency") in names
+
+
+def test_fig8_bottleneck_structure(benchmark, write_artifact):
+    def sweep_all():
+        return {p.name: e2e_sweep(p) for p in (A100, V100, JETSON)}
+
+    cells = benchmark(sweep_all)
+    lines = []
+    for platform, results in cells.items():
+        for r in results:
+            lines.append(
+                f"{platform:6s} {r.model:10s}@BS{r.batch_size:<3d} "
+                f"{r.dataset:14s} lat={r.latency_seconds * 1e3:8.1f}ms "
+                f"thr={r.throughput:8.1f} ({r.bottleneck})")
+    write_artifact("fig8_cells", "\n".join(lines))
+
+    # A100: ViT Base/Small engine-bound, ViT Tiny preprocess-bound.
+    a100 = {(r.model, r.dataset): r for r in cells["A100"]}
+    assert a100[("vit_base", "plant_village")].bottleneck == "engine"
+    assert a100[("vit_small", "plant_village")].bottleneck == "engine"
+    assert a100[("vit_tiny", "plant_village")].bottleneck == "preprocess"
+    # V100: everything preprocess-bound on the large datasets.
+    v100 = {(r.model, r.dataset): r for r in cells["V100"]}
+    assert v100[("vit_tiny", "plant_village")].bottleneck == "preprocess"
+    assert v100[("resnet50", "plant_village")].bottleneck == "preprocess"
+    # Jetson: ViT Base throughput collapses relative to engine-only.
+    jetson = {(r.model, r.dataset): r for r in cells["Jetson"]}
+    assert jetson[("vit_base", "plant_village")].throughput < 250
+
+
+def test_fig8_simulator_cross_check(benchmark, write_artifact):
+    # The analytic overlap model's steady-state throughput must agree
+    # with the discrete-event Triton simulation of the same two-stage
+    # pipeline (within scheduling slack).
+    graph = get_model("vit_small").graph
+    platform = A100
+    dataset = get_dataset("plant_village")
+    pipeline = EndToEndPipeline(graph, platform)
+    analytic = pipeline.evaluate(dataset)
+    batch = analytic.batch_size
+    pre_time = analytic.preprocess_latency_seconds
+    eng_time = analytic.engine_latency_seconds
+
+    def simulate():
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "pre", lambda n: pre_time * n / batch,
+            batcher=BatcherConfig(max_batch_size=batch,
+                                  max_queue_delay=0.001)))
+        server.register(ModelConfig(
+            "model", lambda n: eng_time * n / batch,
+            batcher=BatcherConfig(max_batch_size=batch,
+                                  max_queue_delay=0.001),
+            preprocess_model="pre"))
+        client = ClosedLoopClient(server, "model", concurrency=4 * batch,
+                                  num_requests=40 * batch)
+        client.start()
+        server.run()
+        return summarize_responses(client.completed,
+                                   warmup_fraction=0.25)
+
+    stats = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    write_artifact("fig8_simulator_cross_check",
+                   f"analytic={analytic.throughput:.0f} img/s  "
+                   f"simulated={stats.throughput_ips:.0f} img/s")
+    assert stats.throughput_ips == pytest.approx(analytic.throughput,
+                                                 rel=0.15)

@@ -1,0 +1,53 @@
+"""Table 1 bench: platform inventory + GEMM practical-FLOPS benchmark.
+
+Regenerates the Table 1 rows (modeled sweeps for the three paper
+platforms) and runs the *real* NumPy GEMM microbenchmark on this host to
+demonstrate the measurement methodology.
+"""
+
+import pytest
+
+from repro.analysis.tables import table1
+from repro.hardware.gemm import GemmBenchmark
+from repro.hardware.platform import list_platforms
+
+
+def test_table1_regeneration(benchmark, write_artifact):
+    table = benchmark(table1)
+    write_artifact("table1_platforms", table.render())
+    assert [r["platform"] for r in table.rows] == ["A100", "V100",
+                                                   "Jetson"]
+    # Efficiency range from the paper's text (cloud platforms).
+    effs = {r["platform"]: r["efficiency_pct"] for r in table.rows}
+    assert effs["A100"] == pytest.approx(75.74, abs=1.0)
+    assert effs["V100"] == pytest.approx(82.68, abs=1.0)
+
+
+def test_table1_modeled_gemm_sweeps(benchmark, write_artifact):
+    def run():
+        bench = GemmBenchmark()
+        return {p.name: bench.run_modeled(p) for p in list_platforms()}
+
+    sweeps = benchmark(run)
+    lines = []
+    for name, sweep in sweeps.items():
+        lines.append(f"{name}: practical={sweep.practical_tflops:.1f} "
+                     f"TFLOPS efficiency={sweep.efficiency * 100:.2f}%")
+        for r in sweep.results:
+            lines.append(f"  n={r.size:5d}  {r.achieved_tflops:7.1f} "
+                         f"TFLOPS  ({r.efficiency * 100:5.1f}%)")
+    write_artifact("table1_gemm_sweeps", "\n".join(lines))
+    for platform in list_platforms():
+        assert sweeps[platform.name].practical_tflops == pytest.approx(
+            platform.practical_tflops, rel=0.02)
+
+
+def test_table1_real_host_gemm(benchmark, write_artifact):
+    # The actual measurement on this machine: methodology demonstration.
+    bench = GemmBenchmark(sizes=(128, 256, 512), repeats=2)
+    sweep = benchmark.pedantic(lambda: bench.run_host(max_size=512),
+                               rounds=1, iterations=1)
+    write_artifact("table1_host_gemm", "\n".join(
+        f"n={r.size}: {r.achieved_tflops * 1e3:.1f} GFLOPS "
+        f"(eff {r.efficiency * 100:.0f}%)" for r in sweep.results))
+    assert sweep.practical_tflops > 0

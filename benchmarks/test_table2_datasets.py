@@ -1,0 +1,52 @@
+"""Table 2 bench: dataset inventory + synthetic generator throughput."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import table2
+from repro.data.datasets import list_datasets
+from repro.data.loader import DataLoader
+
+
+def test_table2_regeneration(benchmark, write_artifact):
+    table = benchmark(table2)
+    write_artifact("table2_datasets", table.render())
+    assert len(table.rows) == 6
+    samples = {r["dataset"]: r["samples"] for r in table.rows}
+    assert samples["Plant Village"] == 43430
+    assert samples["CRSA"] == 992
+
+
+def test_table2_loader_throughput(benchmark, write_artifact):
+    # Generator performance: streaming a small epoch of each dataset
+    # (CRSA scaled down; full 4K frames are exercised elsewhere).
+    def stream_all():
+        total = 0
+        for spec in list_datasets():
+            scale = 0.05 if spec.name == "crsa" else 0.5
+            for batch in DataLoader(spec, batch_size=4, epoch_size=8,
+                                    scale=scale):
+                total += len(batch)
+        return total
+
+    total = benchmark(stream_all)
+    assert total == 6 * 8
+    write_artifact("table2_loader", f"streamed {total} samples")
+
+
+def test_table2_size_statistics(benchmark, write_artifact):
+    def stats():
+        return {spec.name: DataLoader(spec, batch_size=1)
+                .size_statistics(512) for spec in list_datasets()}
+
+    result = benchmark(stats)
+    lines = [f"{name}: mean {s['mean_width']:.0f}x{s['mean_height']:.0f} "
+             f"({s['mean_pixels'] / 1e3:.1f} kpx)"
+             for name, s in result.items()]
+    write_artifact("table2_size_stats", "\n".join(lines))
+    assert result["plant_village"]["mean_pixels"] == pytest.approx(
+        256 * 256)
+    assert result["crsa"]["mean_pixels"] == pytest.approx(3840 * 2160)
+    # Variable-size sets really vary.
+    assert result["weed_soybean"]["p95_pixels"] > \
+        result["weed_soybean"]["mean_pixels"]

@@ -1,0 +1,58 @@
+"""Table 3 bench: model specs, upper bounds, and real forward passes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import table3
+from repro.models.functional import MacTally, build_functional
+from repro.models.zoo import list_models
+
+
+def test_table3_regeneration(benchmark, write_artifact):
+    table = benchmark(table3)
+    write_artifact("table3_models", table.render())
+    rows = {r["model"]: r for r in table.rows}
+    # The Table 3 anchors.
+    assert rows["ViT Tiny"]["params_millions"] == pytest.approx(5.39,
+                                                                rel=0.005)
+    assert rows["ResNet50"]["gflops_per_image"] == pytest.approx(
+        4.09, rel=0.01)
+    assert rows["ViT Base"]["upper_bound_a100"] == pytest.approx(
+        14013, rel=0.015)
+    assert rows["ViT Small"]["upper_bound_jetson"] == pytest.approx(
+        2085, rel=0.015)
+
+
+def test_table3_analytic_accounting_speed(benchmark):
+    # Building + fully accounting all four graphs; exercises the layer
+    # algebra end to end.
+    def account():
+        out = {}
+        for entry in list_models():
+            graph = entry.builder()
+            out[entry.name] = (graph.total_params(),
+                               graph.reported_gflops(),
+                               graph.compute_breakdown())
+        return out
+
+    result = benchmark(account)
+    assert result["resnet50"][0] == 25_557_032
+
+
+def test_table3_real_vit_tiny_forward(benchmark, write_artifact):
+    # A real NumPy inference of ViT Tiny, MAC-tallied: the executable
+    # twin of the Table 3 GFLOPs column.
+    model = build_functional("vit_tiny")
+    x = np.random.default_rng(0).standard_normal(
+        (1, 3, 32, 32)).astype(np.float32)
+
+    def forward():
+        tally = MacTally()
+        model(x, tally=tally)
+        return tally.macs
+
+    macs = benchmark.pedantic(forward, rounds=2, iterations=1)
+    gmacs = macs / 1e9
+    write_artifact("table3_vit_tiny_forward",
+                   f"executed {gmacs:.3f} GMACs per image")
+    assert gmacs == pytest.approx(1.669, rel=0.01)

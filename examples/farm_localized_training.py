@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Farm-localized model training, end to end (the HARVEST-2.0 story).
+
+"HARVEST-2.0 provides farmers with an end-to-end AI training and
+deployment platform, enabling landholders to easily train localized AI
+models with their own data" using "semi-supervised learning techniques
+[to mitigate] labeling challenges."
+
+This example walks that lifecycle on a synthetic farm task:
+
+1. collect imagery (synthetic class-conditional field photos);
+2. the farmer labels only a handful;
+3. extract frozen-backbone features (the fast adaptation path);
+4. train a localized head; improve it with pseudo-labeling;
+5. deploy: check the result against the Jetson's real-time budget.
+
+Run:  python examples/farm_localized_training.py   (~1 minute on CPU)
+"""
+
+import numpy as np
+
+from repro.core.guidance import TuningAdvisor
+from repro.data.synthetic import synth_labeled_images
+from repro.hardware.platform import JETSON
+from repro.models.zoo import get_model
+from repro.training.features import FeatureExtractor
+from repro.training.linear_probe import LinearProbe, train_test_split
+from repro.training.pseudo_label import self_training
+
+CLASSES = 3          # e.g. healthy / aphid damage / drought stress
+LABELED = 12         # photos the farmer annotated
+CAPTURES = 110       # photos collected in total
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    print(f"collecting {CAPTURES} field photos "
+          f"({CLASSES} conditions, {LABELED} labeled) ...")
+    images, labels = synth_labeled_images(CAPTURES, CLASSES, 40, rng,
+                                          signal_strength=0.12)
+
+    print("extracting frozen ViT-Tiny features (the fast-training "
+          "path) ...")
+    extractor = FeatureExtractor("vit_tiny")
+    features = extractor.extract(list(images))
+
+    # Split: labeled / unlabeled pool / held-out test.
+    x_l, y_l = features[:LABELED], labels[:LABELED]
+    x_u, y_u = features[LABELED:80], labels[LABELED:80]
+    x_t, y_t = features[80:], labels[80:]
+
+    # ------------------------------------------------------------------
+    supervised = LinearProbe(extractor.feature_dim, CLASSES)
+    supervised.fit(x_l, y_l)
+    print(f"\nsupervised-only head ({LABELED} labels): "
+          f"{supervised.accuracy(x_t, y_t):.1%} test accuracy")
+
+    result = self_training(x_l, y_l, x_u, x_t, y_t, classes=CLASSES,
+                           y_unlabeled_true=y_u, confidence=0.8)
+    print(f"with pseudo-labeling: {result.final_accuracy:.1%} "
+          f"({result.pseudo_labels_used} pseudo-labels recruited at "
+          f"{result.pseudo_label_precision:.0%} precision, "
+          f"{result.rounds_run} rounds)")
+
+    # ------------------------------------------------------------------
+    # Deployment check: does the adapted model meet the vehicle's
+    # real-time budget on the Jetson?
+    print("\ndeployment check on the Jetson (60 QPS target):")
+    advisor = TuningAdvisor(JETSON)
+    rec = advisor.recommend_batch(get_model("vit_tiny").graph)
+    status = "meets" if rec.meets_target else "misses"
+    print(f"  vit_tiny @BS{rec.batch_size}: "
+          f"{rec.expected_throughput:.0f} img/s, "
+          f"{rec.expected_latency_seconds * 1e3:.1f} ms -> {status} "
+          "the target")
+    print("\nthe localized model ships as (backbone checkpoint + "
+          f"{extractor.feature_dim}x{CLASSES} head) — "
+          f"{(extractor.feature_dim + 1) * CLASSES} trainable "
+          "parameters, trained in seconds on the farm's own data.")
+
+
+if __name__ == "__main__":
+    main()

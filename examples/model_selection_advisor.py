@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Model selection across the compute continuum (Sections 3.3 / 5).
+
+For every (platform, dataset) deployment, rank the zoo by the paper's
+rule: the most capable model that still meets the latency target, with
+the end-to-end bottleneck called out — the "multi-level guidance, from
+model selection to end-to-end pipeline optimization" of the conclusion.
+
+Run:  python examples/model_selection_advisor.py [latency_ms]
+"""
+
+import sys
+
+from repro.core.guidance import TuningAdvisor
+from repro.data.datasets import list_datasets
+from repro.hardware.platform import list_platforms
+
+
+def main() -> None:
+    latency_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 1000 / 60
+    print(f"latency target: {latency_ms:.1f} ms per request\n")
+
+    for platform in list_platforms():
+        advisor = TuningAdvisor(platform,
+                                latency_target_seconds=latency_ms / 1e3)
+        print(f"== {platform.name} "
+              f"({platform.practical_tflops:.1f} practical TFLOPS, "
+              f"{platform.gpu_memory_gb:.0f} GB"
+              f"{', unified' if platform.unified_memory else ''}) ==")
+        for dataset in list_datasets():
+            if dataset.dataset_specific_preprocessing:
+                continue  # CRSA handled by the real-time example
+            recs = advisor.recommend_model(dataset)
+            best = recs[0]
+            verdict = ("deploy " + best.model if best.meets_target
+                       else "no model meets the target; fastest is "
+                       + best.model)
+            print(f"  {dataset.display_name:26s} -> {verdict:38s} "
+                  f"@BS{best.batch_size:<3d} "
+                  f"{best.throughput:7.0f} img/s "
+                  f"{best.latency_seconds * 1e3:7.1f} ms "
+                  f"({best.bottleneck}-bound)")
+        print()
+
+    print("rule: prefer the most capable (largest) model that meets the "
+          "deadline;\nwhen nothing does, report the fastest option and "
+          "its bottleneck so the\noperator knows whether to shrink the "
+          "model or accelerate preprocessing.")
+
+
+if __name__ == "__main__":
+    main()

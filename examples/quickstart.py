@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: reproduce the paper's headline results in one run.
+
+Regenerates Tables 1-3, sweeps one engine curve, prices one preprocessing
+matrix, evaluates one end-to-end pipeline, and asks the tuning advisor
+for a deployment recommendation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    A100,
+    JETSON,
+    CharacterizationStudy,
+    EndToEndPipeline,
+    InferenceEngine,
+    TuningAdvisor,
+    get_dataset,
+    get_model,
+)
+from repro.analysis.compare import render_comparison
+
+
+def main() -> None:
+    study = CharacterizationStudy()
+
+    # ------------------------------------------------------------------
+    print(study.table1().render())
+    print(study.table3().render())
+
+    # ------------------------------------------------------------------
+    # One engine curve (Fig. 5/6): ViT Small on the A100.
+    print("== ViT Small on A100: engine scaling (Fig. 5/6) ==")
+    engine = InferenceEngine(get_model("vit_small").graph, A100)
+    print(f"{'batch':>6} {'MFU':>7} {'TFLOPS':>8} {'img/s':>9} "
+          f"{'latency':>9}")
+    for batch in (1, 8, 64, 256, 1024):
+        point = engine.predict_point(batch)
+        print(f"{batch:>6} {point.mfu:>7.2%} "
+              f"{point.achieved_tflops:>8.1f} {point.throughput:>9.0f} "
+              f"{point.latency_seconds * 1e3:>7.2f}ms")
+    print()
+
+    # ------------------------------------------------------------------
+    # One end-to-end cell (Fig. 8): ResNet50 + Plant Village on Jetson.
+    print("== ResNet50 + Plant Village on Jetson: end-to-end (Fig. 8) ==")
+    pipeline = EndToEndPipeline(get_model("resnet50").graph, JETSON)
+    result = pipeline.evaluate(get_dataset("plant_village"))
+    print(f"batch {result.batch_size}: "
+          f"{result.throughput:.0f} img/s, "
+          f"{result.latency_seconds * 1e3:.1f} ms/request, "
+          f"bottleneck: {result.bottleneck}\n")
+
+    # ------------------------------------------------------------------
+    # Tuning advice (the paper's Section 3.3/5 guidance, automated).
+    print("== Tuning advisor: 60 QPS deployment on the Jetson ==")
+    advisor = TuningAdvisor(JETSON)
+    for rec in advisor.recommend_model(get_dataset("plant_village")):
+        flag = "ok " if rec.meets_target else "MISS"
+        print(f"  [{flag}] {rec.model:10s} @BS{rec.batch_size:<3d} "
+              f"{rec.throughput:7.0f} img/s  "
+              f"{rec.latency_seconds * 1e3:6.1f} ms  "
+              f"({rec.bottleneck}-bound)")
+    print()
+
+    # ------------------------------------------------------------------
+    # Paper-vs-model anchor comparison (the EXPERIMENTS.md data).
+    print(render_comparison())
+
+
+if __name__ == "__main__":
+    main()

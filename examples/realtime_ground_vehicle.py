@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Real-time ground vehicle (Fig. 3b): camera → rectify → classify on
+the Jetson, against the 60 QPS deadline.
+
+The CRSA use case: a GoPro on a ground vehicle streams raw frames; each
+frame is perspective-corrected (the dataset-specific preprocessing),
+resized to the model input, and classified on the Jetson Orin Nano under
+the real-time scenario's 16.7 ms budget.  The serving simulator then
+replays a camera stream to measure sustained frame deadlines.
+
+The functional stage runs on scaled-down frames so the demo is quick;
+the performance numbers use the calibrated Jetson models at full 4K.
+
+Run:  python examples/realtime_ground_vehicle.py
+"""
+
+import numpy as np
+
+from repro.continuum.scenarios import RealTimeScenario
+from repro.data.datasets import get_dataset
+from repro.data.synthetic import synth_crsa_frame
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import JETSON
+from repro.models.functional import build_functional
+from repro.models.zoo import get_model
+from repro.preprocessing.frameworks import OpenCVCPU
+from repro.preprocessing.pipelines import crsa_pipeline
+from repro.serving.batcher import BatcherConfig
+from repro.serving.client import OpenLoopClient
+from repro.serving.metrics import summarize_responses
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+
+def main() -> None:
+    scenario = RealTimeScenario(camera_fps=30.0)
+    scenario.validate_platform(JETSON)
+    crsa = get_dataset("crsa")
+
+    # ------------------------------------------------------------------
+    # 1. Functional path: rectify + classify one (scaled) camera frame.
+    frame = synth_crsa_frame(480, 270)  # 1/8-scale GoPro frame
+    pipeline = crsa_pipeline(32, frame_hw=(270, 480))
+    model_input = pipeline(frame)
+    model = build_functional("vit_tiny", num_classes=4)  # residue classes
+    logits = model(model_input[None])
+    print(f"frame {frame.shape[1]}x{frame.shape[0]} -> rectified -> "
+          f"model input {tuple(model_input.shape)} -> "
+          f"class {int(logits.argmax())}")
+
+    # ------------------------------------------------------------------
+    # 2. Budget check at full 4K: which stages fit the frame interval?
+    print(f"\n== per-frame budget at {scenario.camera_fps:.0f} fps "
+          f"({scenario.frame_interval_seconds * 1e3:.1f} ms) ==")
+    preproc = OpenCVCPU(32).estimate(crsa, JETSON)
+    engine = LatencyModel(get_model("vit_tiny").graph, JETSON)
+    infer_ms = engine.latency(1) * 1e3
+    print(f"CPU perspective+resize (CV2): "
+          f"{preproc.per_image_seconds * 1e3:8.1f} ms "
+          f"{'MISS' if preproc.per_image_seconds > scenario.frame_interval_seconds else 'ok'}")
+    print(f"ViT Tiny inference @BS1:      {infer_ms:8.1f} ms "
+          f"{'MISS' if infer_ms / 1e3 > scenario.frame_interval_seconds else 'ok'}")
+    print("-> the paper's conclusion: the CPU-bound CRSA preprocessing "
+          "is unsuitable for real time;")
+    print("   GPU-accelerating it is listed as future work.")
+
+    # ------------------------------------------------------------------
+    # 3. What *does* fit: pre-rectified region-of-interest crops at the
+    #    camera rate, served through the Triton-like scheduler.
+    print(f"\n== serving a {scenario.camera_fps:.0f} fps ROI stream on "
+          "the Jetson ==")
+    server = TritonLikeServer()
+    server.register(ModelConfig(
+        "vit_tiny",
+        lambda n: engine.latency(max(1, n)),
+        batcher=BatcherConfig(max_batch_size=8, max_queue_delay=0.004)))
+    client = OpenLoopClient(server, "vit_tiny",
+                           rate_per_second=scenario.camera_fps,
+                           num_requests=300, seed=1)
+    client.start()
+    server.run()
+    stats = summarize_responses(server.responses, warmup_fraction=0.1)
+    deadline = scenario.frame_interval_seconds
+    misses = sum(r.latency > deadline for r in server.responses)
+    print(f"served {stats.count} frames at "
+          f"{stats.throughput_rps:.1f} fps, p95 "
+          f"{stats.p95_latency * 1e3:.1f} ms, "
+          f"{misses} deadline misses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""HARVEST Inference reproduction.
+
+A from-scratch Python reproduction of *"HARVEST Inference: Characterizing
+Digital Agriculture Workloads across Compute Continuum"* (Chen, Anthony,
+Panda — ICPP Companion 2025): the inference-serving pipeline, its
+substrates (hardware models, model zoo with analytic cost accounting and a
+real NumPy execution path, synthetic agricultural datasets, preprocessing
+frameworks, a Triton-like serving simulator, compute-continuum scenarios),
+and a harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import CharacterizationStudy
+    report = CharacterizationStudy().run()
+    print(report["table3"].render())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-model results.
+"""
+
+from repro.core.study import CharacterizationStudy, StudyReport
+from repro.core.guidance import TuningAdvisor
+from repro.hardware.platform import (
+    A100,
+    V100,
+    JETSON,
+    get_platform,
+    list_platforms,
+)
+from repro.models.zoo import get_model, list_models
+from repro.data.datasets import get_dataset, list_datasets
+from repro.engine.engine import InferenceEngine
+from repro.continuum.pipeline import EndToEndPipeline
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharacterizationStudy",
+    "StudyReport",
+    "TuningAdvisor",
+    "A100",
+    "V100",
+    "JETSON",
+    "get_platform",
+    "list_platforms",
+    "get_model",
+    "list_models",
+    "get_dataset",
+    "list_datasets",
+    "InferenceEngine",
+    "EndToEndPipeline",
+    "ModelConfig",
+    "TritonLikeServer",
+    "__version__",
+]

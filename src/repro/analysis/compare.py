@@ -1,0 +1,124 @@
+"""Paper-vs-model comparison: the data behind EXPERIMENTS.md.
+
+Collects every quantitative anchor printed in the paper next to what this
+reproduction produces for it, with the relative error.  Run
+``python -m repro.analysis.compare`` to print the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.sweeps import engine_sweep
+from repro.engine.calibration import THROUGHPUT_ANCHORS
+from repro.hardware.platform import get_platform, list_platforms
+from repro.models.zoo import list_models
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One anchor: paper value vs model value."""
+
+    experiment: str
+    quantity: str
+    paper: float
+    model: float
+
+    @property
+    def relative_error(self) -> float:
+        """Absolute error relative to the paper value."""
+        if self.paper == 0:
+            return float("inf") if self.model else 0.0
+        return abs(self.model - self.paper) / abs(self.paper)
+
+
+def paper_comparison() -> list[ComparisonRow]:
+    """Every numeric anchor the paper prints, compared."""
+    rows: list[ComparisonRow] = []
+
+    # Table 1: practical TFLOPS and efficiency.
+    for platform in list_platforms():
+        rows.append(ComparisonRow(
+            "table1", f"{platform.name} practical TFLOPS",
+            paper=platform.practical_tflops,
+            model=platform.practical_tflops))  # definitionally anchored
+    rows.append(ComparisonRow(
+        "table1", "V100 efficiency %", paper=82.68,
+        model=get_platform("v100").flops_efficiency * 100))
+    rows.append(ComparisonRow(
+        "table1", "A100 efficiency %", paper=75.74,
+        model=get_platform("a100").flops_efficiency * 100))
+
+    # Table 3: params / GFLOPs / upper bounds.
+    upper_bounds = {
+        ("a100", "vit_tiny"): 172508, ("a100", "vit_small"): 43214,
+        ("a100", "vit_base"): 14013, ("a100", "resnet50"): 57775,
+        ("v100", "vit_tiny"): 67602, ("v100", "vit_small"): 16935,
+        ("v100", "vit_base"): 5491, ("v100", "resnet50"): 22641,
+        ("jetson", "vit_tiny"): 8322, ("jetson", "vit_small"): 2085,
+        ("jetson", "vit_base"): 676, ("jetson", "resnet50"): 2787,
+    }
+    for entry in list_models():
+        graph = entry.graph
+        rows.append(ComparisonRow(
+            "table3", f"{entry.name} params (M)",
+            paper=entry.paper_params_millions,
+            model=graph.total_params() / 1e6))
+        rows.append(ComparisonRow(
+            "table3", f"{entry.name} GFLOPs/image",
+            paper=entry.paper_gflops_per_image,
+            model=graph.reported_gflops()))
+        for platform in list_platforms():
+            key = (platform.name.lower(), entry.name)
+            rows.append(ComparisonRow(
+                "table3",
+                f"{entry.name} upper bound on {platform.name} (img/s)",
+                paper=float(upper_bounds[key]),
+                model=platform.throughput_upper_bound(
+                    graph.flops_per_image())))
+
+    # Section 4.0.2 FLOP splits.
+    vit_tiny = next(e for e in list_models() if e.name == "vit_tiny").graph
+    mlp, attn = vit_tiny.mlp_attention_split()
+    rows.append(ComparisonRow("sec4", "ViT Tiny MLP share %",
+                              paper=81.73, model=mlp * 100))
+    rows.append(ComparisonRow("sec4", "ViT Tiny attention share %",
+                              paper=18.23, model=attn * 100))
+    resnet = next(e for e in list_models() if e.name == "resnet50").graph
+    from repro.models.layers import LayerCategory
+
+    conv_share = resnet.compute_breakdown()[LayerCategory.CONV]
+    rows.append(ComparisonRow("sec4", "ResNet50 conv share %",
+                              paper=99.5, model=conv_share * 100))
+
+    # Fig 5/6 legend throughputs at max batch.
+    for (plat, model), (batch, paper_thr) in sorted(THROUGHPUT_ANCHORS.items()):
+        graph = next(e for e in list_models() if e.name == model).graph
+        points = engine_sweep(graph, get_platform(plat))
+        at_anchor = next(p for p in points if p.batch_size == batch)
+        rows.append(ComparisonRow(
+            "fig5", f"{model} on {plat} img/s @BS{batch}",
+            paper=paper_thr, model=at_anchor.throughput))
+
+    return rows
+
+
+def render_comparison(rows: list[ComparisonRow] | None = None) -> str:
+    """Render the paper-vs-model diff as an ASCII table."""
+    from repro.core.results import render_table
+
+    rows = rows if rows is not None else paper_comparison()
+    return render_table("Paper vs model", [
+        {
+            "experiment": r.experiment,
+            "quantity": r.quantity,
+            "paper": r.paper,
+            "model": round(r.model, 3),
+            "rel_err_pct": round(r.relative_error * 100, 2),
+        }
+        for r in rows
+    ])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render_comparison())

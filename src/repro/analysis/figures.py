@@ -1,0 +1,186 @@
+"""Figure 4–8 series regeneration.
+
+Each ``figN`` function returns a list of :class:`FigureSeries` — named
+(x, y) series with panel/axis metadata — the exact data a plotting script
+would draw, and what the paper's figures printed as curves/bars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.sweeps import e2e_sweep, engine_sweep, preprocessing_sweep
+from repro.data.datasets import list_datasets
+from repro.data.distributions import density_grid, empirical_mode
+from repro.engine.calibration import LATENCY_TARGET_SECONDS, batch_grid
+from repro.hardware.platform import get_platform, list_platforms
+from repro.models.zoo import list_models
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureSeries:
+    """One named series within one panel of a figure."""
+
+    figure: str
+    panel: str              # e.g. the platform name
+    name: str               # legend entry
+    x: tuple
+    y: tuple
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"{self.figure}/{self.name}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})")
+
+
+# ----------------------------------------------------------------------
+def fig4(samples: int = 20000, seed: int = 0) -> list[FigureSeries]:
+    """Image-size density distributions per dataset (Fig. 4).
+
+    Each series is the flattened density grid; ``meta`` carries the grid
+    shape and the estimated mode label (the figure's "233x233" text).
+    """
+    series = []
+    rng = np.random.default_rng(seed)
+    for spec in list_datasets():
+        dist = spec.size_distribution
+        if dist.is_uniform:
+            mode = dist.mode
+            series.append(FigureSeries(
+                "fig4", spec.name, spec.display_name,
+                x=(mode[0],), y=(mode[1],),
+                meta={"mode_label": f"{mode[0]}x{mode[1]}",
+                      "uniform": True}))
+            continue
+        sizes = dist.sample(samples, rng)
+        density, w_edges, h_edges = density_grid(sizes)
+        mode = empirical_mode(sizes)
+        series.append(FigureSeries(
+            "fig4", spec.name, spec.display_name,
+            x=tuple(np.repeat(w_edges[:-1], len(h_edges) - 1)),
+            y=tuple(np.tile(h_edges[:-1], len(w_edges) - 1)),
+            meta={"density": tuple(density.ravel()),
+                  "mode_label": f"{mode[0]}x{mode[1]}",
+                  "uniform": False}))
+    return series
+
+
+# ----------------------------------------------------------------------
+def fig5(platform_name: str | None = None) -> list[FigureSeries]:
+    """TFLOPS vs batch size per platform (Fig. 5): solid achieved lines
+    plus the dashed theoretical ceiling."""
+    platforms = ([get_platform(platform_name)] if platform_name
+                 else list_platforms())
+    series = []
+    for platform in platforms:
+        grid = batch_grid(platform.name)
+        series.append(FigureSeries(
+            "fig5", platform.name, "theoretical",
+            x=grid, y=tuple(
+                platform.theoretical_tflops[platform.benchmark_precision]
+                for _ in grid),
+            meta={"style": "dashed"}))
+        series.append(FigureSeries(
+            "fig5", platform.name, "practical_bound",
+            x=grid, y=tuple(platform.practical_tflops for _ in grid),
+            meta={"style": "dashed"}))
+        for entry in list_models():
+            points = engine_sweep(entry.graph, platform)
+            series.append(FigureSeries(
+                "fig5", platform.name, entry.display_name,
+                x=tuple(p.batch_size for p in points),
+                y=tuple(p.achieved_tflops for p in points),
+                meta={"throughput_at_max":
+                      points[-1].throughput,
+                      "max_batch": points[-1].batch_size}))
+    return series
+
+
+# ----------------------------------------------------------------------
+def fig6(platform_name: str | None = None) -> list[FigureSeries]:
+    """Request latency vs batch size (Fig. 6), with the 60-QPS red line."""
+    platforms = ([get_platform(platform_name)] if platform_name
+                 else list_platforms())
+    series = []
+    for platform in platforms:
+        grid = batch_grid(platform.name)
+        series.append(FigureSeries(
+            "fig6", platform.name, "60qps_threshold",
+            x=grid, y=tuple(LATENCY_TARGET_SECONDS * 1e3 for _ in grid),
+            meta={"style": "threshold"}))
+        for entry in list_models():
+            points = engine_sweep(entry.graph, platform)
+            series.append(FigureSeries(
+                "fig6", platform.name, entry.display_name,
+                x=tuple(p.batch_size for p in points),
+                y=tuple(p.latency_seconds * 1e3 for p in points),
+                meta={"theoretical_ms": tuple(
+                    p.theoretical_latency_seconds * 1e3 for p in points)}))
+    return series
+
+
+# ----------------------------------------------------------------------
+def fig7(platform_name: str | None = None) -> list[FigureSeries]:
+    """Preprocessing latency and throughput (Fig. 7).
+
+    Two series per (platform, framework): latency bars and throughput
+    bars, with datasets along x (as legend groups in the paper).
+    """
+    platforms = ([get_platform(platform_name)] if platform_name
+                 else list_platforms())
+    series = []
+    for platform in platforms:
+        estimates = preprocessing_sweep(platform)
+        frameworks = sorted({e.framework for e in estimates},
+                            key=lambda f: [e.framework
+                                           for e in estimates].index(f))
+        for framework in frameworks:
+            cells = [e for e in estimates if e.framework == framework]
+            datasets = tuple(c.dataset for c in cells)
+            series.append(FigureSeries(
+                "fig7", platform.name, f"{framework} latency",
+                x=datasets,
+                y=tuple(c.batch_latency_seconds * 1e3 for c in cells),
+                meta={"metric": "latency_ms",
+                      "batch_size": cells[0].batch_size}))
+            series.append(FigureSeries(
+                "fig7", platform.name, f"{framework} throughput",
+                x=datasets,
+                y=tuple(c.throughput for c in cells),
+                meta={"metric": "images_per_second",
+                      "batch_size": cells[0].batch_size}))
+    return series
+
+
+# ----------------------------------------------------------------------
+def fig8(platform_name: str | None = None) -> list[FigureSeries]:
+    """End-to-end latency and throughput (Fig. 8)."""
+    platforms = ([get_platform(platform_name)] if platform_name
+                 else list_platforms())
+    series = []
+    for platform in platforms:
+        results = e2e_sweep(platform)
+        models = sorted({r.model for r in results},
+                        key=lambda m: [r.model for r in results].index(m))
+        for model in models:
+            cells = [r for r in results if r.model == model]
+            datasets = tuple(c.dataset for c in cells)
+            label = f"{model}@BS{cells[0].batch_size}"
+            series.append(FigureSeries(
+                "fig8", platform.name, f"{label} latency",
+                x=datasets,
+                y=tuple(c.latency_seconds * 1e3 for c in cells),
+                meta={"metric": "latency_ms",
+                      "batch_size": cells[0].batch_size}))
+            series.append(FigureSeries(
+                "fig8", platform.name, f"{label} throughput",
+                x=datasets,
+                y=tuple(c.throughput for c in cells),
+                meta={"metric": "images_per_second",
+                      "batch_size": cells[0].batch_size,
+                      "bottlenecks": tuple(c.bottleneck for c in cells)}))
+    return series

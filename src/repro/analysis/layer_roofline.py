@@ -1,0 +1,112 @@
+"""Per-layer roofline placement (Section 3.1's intensity analysis).
+
+"Computational cost varies by layer type.  For instance, attention
+layers in Transformer models generally have much higher computational
+intensity than CNN layers with comparable parameter counts."  This
+module computes each fused engine layer's arithmetic intensity
+(FLOPs per byte moved: weights read once, activations in + out) and
+places it on the platform roofline, classifying it compute- or
+bandwidth-bound — the per-layer view behind the whole-model MFU story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.roofline import RooflineModel
+from repro.models.graph import ModelGraph
+from repro.models.trt import TRTEngineBuilder
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerRooflinePoint:
+    """One fused layer on the roofline."""
+
+    layer: str
+    category: str
+    gmacs: float
+    intensity: float            # FLOPs / byte at the given batch
+    attainable_tflops: float
+    compute_bound: bool
+    time_fraction: float        # share of the model's roofline time
+
+
+def model_layer_roofline(graph: ModelGraph, platform: PlatformSpec,
+                         batch_size: int = 64,
+                         bytes_per_elem: int = 2,
+                         ) -> list[LayerRooflinePoint]:
+    """Place every fused layer of a model on the platform roofline.
+
+    Intensity per layer at batch ``b``:
+
+        FLOPs  = 2 · b · MACs  (+ elementwise)
+        bytes  = weights + b · (input + output activations) · width
+
+    Weight traffic amortizes over the batch — exactly why batching
+    raises MFU (Fig. 5) and why small batches leave matmuls
+    bandwidth-bound.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    builder = TRTEngineBuilder(platform)
+    fused = builder.fuse(graph)
+    roofline = RooflineModel(platform)
+
+    # Per-layer time under the roofline: FLOPs / attainable rate.
+    points = []
+    times = []
+    # Input activations approximated by the previous layer's output.
+    prev_elems = (graph.input_shape[0] * graph.input_shape[1]
+                  * graph.input_shape[2])
+    for layer in fused:
+        weights = sum(
+            spec.params() for spec in graph.layers
+            if spec.name in layer.source_layers) * bytes_per_elem
+        act_bytes = (prev_elems + layer.activation_elements) \
+            * bytes_per_elem * batch_size
+        flops = 2.0 * batch_size * layer.macs \
+            + batch_size * layer.elementwise_flops
+        if flops <= 0:
+            prev_elems = layer.activation_elements
+            continue
+        intensity = flops / max(weights + act_bytes, 1.0)
+        placed = roofline.attainable(intensity)
+        seconds = flops / (placed.attainable_tflops * 1e12)
+        times.append(seconds)
+        points.append((layer, flops, intensity, placed, seconds))
+        prev_elems = layer.activation_elements
+
+    total = sum(times) or 1.0
+    return [
+        LayerRooflinePoint(
+            layer=layer.name,
+            category=layer.category.value,
+            gmacs=layer.macs / 1e9,
+            intensity=intensity,
+            attainable_tflops=placed.attainable_tflops,
+            compute_bound=placed.compute_bound,
+            time_fraction=seconds / total,
+        )
+        for (layer, flops, intensity, placed, seconds) in points
+    ]
+
+
+def roofline_summary(graph: ModelGraph, platform: PlatformSpec,
+                     batch_size: int = 64) -> dict:
+    """Aggregate view: compute-bound share, dominant categories."""
+    points = model_layer_roofline(graph, platform, batch_size)
+    compute_share = sum(p.time_fraction for p in points
+                        if p.compute_bound)
+    by_category: dict[str, float] = {}
+    for p in points:
+        by_category[p.category] = by_category.get(p.category, 0.0) \
+            + p.time_fraction
+    return {
+        "model": graph.name,
+        "platform": platform.name,
+        "batch_size": batch_size,
+        "layers": len(points),
+        "compute_bound_time_fraction": compute_share,
+        "time_by_category": by_category,
+    }

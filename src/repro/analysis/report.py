@@ -1,0 +1,59 @@
+"""Text rendering of the full reproduction report."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FigureSeries, fig5, fig6, fig7, fig8
+from repro.analysis.tables import table1, table2, table3
+from repro.core.results import render_table
+
+
+def render_series(series: list[FigureSeries], max_points: int = 6) -> str:
+    """Compact text rendering of figure series (legend + endpoints)."""
+    lines = []
+    current_panel = None
+    for s in series:
+        if (s.figure, s.panel) != current_panel:
+            current_panel = (s.figure, s.panel)
+            lines.append(f"-- {s.figure} [{s.panel}] --")
+        pts = list(zip(s.x, s.y))
+        if len(pts) > max_points:
+            shown = pts[:max_points // 2] + [("...", "...")] + \
+                pts[-max_points // 2:]
+        else:
+            shown = pts
+        rendered = ", ".join(
+            f"{x}:{y:.4g}" if isinstance(y, float) else f"{x}:{y}"
+            for x, y in shown)
+        lines.append(f"  {s.name}: {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def render_report(artifact: str) -> str:
+    """Render one named artifact ("table1".."table3", "fig5".."fig8")."""
+    generators = {
+        "table1": lambda: table1().render(),
+        "table2": lambda: table2().render(),
+        "table3": lambda: table3().render(),
+        "fig5": lambda: render_series(fig5()),
+        "fig6": lambda: render_series(fig6()),
+        "fig7": lambda: render_series(fig7()),
+        "fig8": lambda: render_series(fig8()),
+    }
+    if artifact not in generators:
+        raise KeyError(
+            f"unknown artifact {artifact!r}; available: "
+            f"{sorted(generators)}")
+    return generators[artifact]()
+
+
+def full_report() -> str:
+    """Every table and figure, rendered to one text document."""
+    parts = [render_report(name)
+             for name in ("table1", "table2", "table3",
+                          "fig5", "fig6", "fig7", "fig8")]
+    return "\n".join(parts)
+
+
+def render_rows(title: str, rows: list[dict]) -> str:
+    """Convenience re-export of the core renderer."""
+    return render_table(title, rows)

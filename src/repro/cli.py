@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report [artifact]``   print a reproduced table/figure (default: all)
+``compare``             paper-vs-model anchor diff table
+``advise``              tuning advice for a (platform, dataset) pair
+``predict``             expectation report for a (model, platform) pair
+``figures``             write the Fig 5-8 panels as SVG files
+``backtest``            leave-one-platform-out predictor validation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import full_report, render_report
+
+    if args.format == "text":
+        text = (full_report() if args.artifact == "all"
+                else render_report(args.artifact))
+    else:
+        table = _structured_table(args.artifact)
+        text = (table.to_json(indent=2) if args.format == "json"
+                else table.to_csv())
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _structured_table(artifact: str):
+    """A ResultTable for machine-readable export."""
+    from repro.core.study import CharacterizationStudy
+
+    study = CharacterizationStudy()
+    generators = {
+        "table1": study.table1,
+        "table2": study.table2,
+        "table3": study.table3,
+        "fig5": study.engine_scaling,
+        "fig6": study.engine_scaling,
+        "fig7": study.preprocessing,
+        "fig8": study.end_to_end,
+    }
+    if artifact not in generators:
+        raise KeyError(
+            f"structured export supports {sorted(generators)}, "
+            f"not {artifact!r}")
+    return generators[artifact]()
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import render_comparison
+
+    print(render_comparison())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.guidance import TuningAdvisor
+    from repro.data.datasets import get_dataset
+    from repro.hardware.platform import get_platform
+
+    advisor = TuningAdvisor(get_platform(args.platform),
+                            latency_target_seconds=args.latency_ms / 1e3)
+    dataset = get_dataset(args.dataset)
+    print(f"deployment advice for {dataset.display_name} on "
+          f"{args.platform} (target {args.latency_ms:.1f} ms):")
+    for rec in advisor.recommend_model(dataset):
+        status = "meets target" if rec.meets_target else "misses target"
+        print(f"  {rec.model:10s} @BS{rec.batch_size:<4d} "
+              f"{rec.throughput:8.0f} img/s  "
+              f"{rec.latency_seconds * 1e3:7.1f} ms  "
+              f"{rec.bottleneck}-bound  [{status}]")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.hardware.platform import get_platform
+    from repro.models.zoo import get_model
+    from repro.predict.predictor import PerformancePredictor
+
+    predictor = PerformancePredictor(get_platform(args.platform))
+    report = predictor.expectation_report(get_model(args.model).graph)
+    for key, value in report.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.charts import save_all_figures
+
+    paths = save_all_figures(args.out)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_backtest(args: argparse.Namespace) -> int:
+    from repro.predict.validation import backtest_platform
+
+    results = backtest_platform(args.platform, args.donor)
+    print(f"predicting {args.platform} from {args.donor} calibration:")
+    for r in results:
+        print(f"  {r.model:10s} @BS{r.batch:<5d} paper "
+              f"{r.paper_images_per_second:9.1f}  predicted "
+              f"{r.predicted_images_per_second:9.1f}  "
+              f"({r.relative_error:+.1%})")
+    mean = sum(r.relative_error for r in results) / len(results)
+    print(f"  mean relative error: {mean:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HARVEST Inference reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="print a reproduced artifact")
+    p.add_argument("artifact", nargs="?", default="all",
+                   choices=["all", "table1", "table2", "table3",
+                            "fig5", "fig6", "fig7", "fig8"])
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default=None,
+                   help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("compare", help="paper-vs-model anchor table")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("advise", help="deployment tuning advice")
+    p.add_argument("--platform", required=True)
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--latency-ms", type=float, default=1000.0 / 60.0)
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser("predict", help="pre-deployment expectations")
+    p.add_argument("--model", required=True)
+    p.add_argument("--platform", required=True)
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("figures", help="write Fig 5-8 SVG panels")
+    p.add_argument("--out", default="figures")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("backtest", help="validate the predictor")
+    p.add_argument("--platform", required=True)
+    p.add_argument("--donor", required=True)
+    p.set_defaults(func=_cmd_backtest)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

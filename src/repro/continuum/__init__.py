@@ -1,0 +1,65 @@
+"""Compute continuum: deployment scenarios, network, offline stitching.
+
+Section 2.2 defines three deployment scenarios — online (streaming,
+throughput-oriented), offline (batch, "field-by-field" with extensive
+preprocessing such as orthomosaic stitching), and real-time (edge,
+latency-critical).  This package models each, plus the substrates they
+need: network links for edge→cloud transfer and a real orthomosaic
+stitch/tile pipeline for the offline drone workflow (Fig. 3a).
+"""
+
+from repro.continuum.network import NetworkLink, LINKS, get_link
+from repro.continuum.stitching import (
+    TilePlacement,
+    stitch_mosaic,
+    tile_mosaic,
+    plan_survey,
+    StitchCostModel,
+)
+from repro.continuum.scenarios import (
+    ScenarioSpec,
+    OnlineScenario,
+    OfflineScenario,
+    RealTimeScenario,
+)
+from repro.continuum.pipeline import (
+    EndToEndPipeline,
+    EndToEndResult,
+    e2e_batch_size,
+)
+from repro.continuum.offload import (
+    OffloadDecision,
+    OffloadPolicy,
+    Placement,
+)
+from repro.continuum.deployment import (
+    DeploymentManifest,
+    ManifestError,
+    build_stack,
+    load_manifest,
+)
+
+__all__ = [
+    "NetworkLink",
+    "LINKS",
+    "get_link",
+    "TilePlacement",
+    "stitch_mosaic",
+    "tile_mosaic",
+    "plan_survey",
+    "StitchCostModel",
+    "ScenarioSpec",
+    "OnlineScenario",
+    "OfflineScenario",
+    "RealTimeScenario",
+    "EndToEndPipeline",
+    "EndToEndResult",
+    "e2e_batch_size",
+    "OffloadDecision",
+    "OffloadPolicy",
+    "Placement",
+    "DeploymentManifest",
+    "ManifestError",
+    "build_stack",
+    "load_manifest",
+]

@@ -1,0 +1,81 @@
+"""Network links between continuum tiers.
+
+"This setup presents challenges for data transmission, especially when
+transmitting large image data to the cloud.  It would be beneficial to
+leverage advanced wireless capabilities" (Section 2.2.1).  A
+:class:`NetworkLink` prices payload transfers; the presets cover the
+deployment situations the paper discusses (field LTE uplink, farm Wi-Fi,
+station Ethernet, on-device loopback).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link with bandwidth, RTT and loss overhead."""
+
+    name: str
+    bandwidth_bps: float          # usable goodput, bits/second
+    round_trip_seconds: float
+    #: Multiplier on payload bytes for protocol framing/retransmission.
+    overhead_factor: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.round_trip_seconds < 0:
+            raise ValueError("RTT must be non-negative")
+        if self.overhead_factor < 1.0:
+            raise ValueError("overhead factor must be >= 1")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """One-way transfer time of a payload (half-RTT + serialization)."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        serialization = (payload_bytes * self.overhead_factor * 8.0
+                         / self.bandwidth_bps)
+        return self.round_trip_seconds / 2.0 + serialization
+
+    def request_response_seconds(self, upload_bytes: float,
+                                 download_bytes: float = 1024.0) -> float:
+        """Full round trip: upload payload, download a (small) result."""
+        return (self.transfer_seconds(upload_bytes)
+                + self.transfer_seconds(download_bytes))
+
+    def sustainable_images_per_second(self, image_bytes: float) -> float:
+        """Upload-rate ceiling for a stream of same-sized images."""
+        if image_bytes <= 0:
+            raise ValueError("image size must be positive")
+        return self.bandwidth_bps / (image_bytes * self.overhead_factor
+                                     * 8.0)
+
+
+LINKS: dict[str, NetworkLink] = {
+    link.name: link
+    for link in (
+        # Rural LTE uplink from a field deployment.
+        NetworkLink("field_lte", bandwidth_bps=10e6,
+                    round_trip_seconds=0.060),
+        # Farm-building Wi-Fi backhaul.
+        NetworkLink("farm_wifi", bandwidth_bps=80e6,
+                    round_trip_seconds=0.010),
+        # Research-station wired uplink to the cluster.
+        NetworkLink("station_ethernet", bandwidth_bps=1e9,
+                    round_trip_seconds=0.002),
+        # On-device (camera directly attached to the Jetson).
+        NetworkLink("local", bandwidth_bps=40e9,
+                    round_trip_seconds=0.0, overhead_factor=1.0),
+    )
+}
+
+
+def get_link(name: str) -> NetworkLink:
+    """Look up a preset link by name."""
+    try:
+        return LINKS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown link {name!r}; available: {sorted(LINKS)}") from None

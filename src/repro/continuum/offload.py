@@ -1,0 +1,132 @@
+"""Edge-cloud offload decisions.
+
+Section 2.2: "A single training process enables deployment on both edge
+and cloud systems — inference can run in the cloud with high throughput
+after unified preprocessing, or be performed on edge devices in the
+field for low-latency results supporting real-time decisions."
+
+When a vehicle carries an edge device *and* a link to the cluster, every
+frame poses a decision: classify locally (slow device, zero transfer) or
+upload (fast device, pay the link).  :class:`OffloadPolicy` prices both
+paths with the calibrated models and picks per request;
+:func:`crossover_image_bytes` solves for the payload size where the
+decision flips — the continuum's operating boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.continuum.network import NetworkLink
+from repro.engine.latency import LatencyModel
+from repro.hardware.platform import PlatformSpec
+from repro.models.graph import ModelGraph
+
+
+class Placement(str, enum.Enum):
+    """Which continuum tier serves a request."""
+
+    EDGE = "edge"
+    CLOUD = "cloud"
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadDecision:
+    """The priced decision for one request."""
+
+    placement: Placement
+    edge_latency_seconds: float
+    cloud_latency_seconds: float      # upload + compute + result download
+    payload_bytes: float
+
+    @property
+    def chosen_latency_seconds(self) -> float:
+        """Latency of the selected placement."""
+        return (self.edge_latency_seconds
+                if self.placement is Placement.EDGE
+                else self.cloud_latency_seconds)
+
+    @property
+    def margin_seconds(self) -> float:
+        """How much the chosen path wins by (>= 0)."""
+        return abs(self.edge_latency_seconds
+                   - self.cloud_latency_seconds)
+
+
+class OffloadPolicy:
+    """Latency-optimal per-request placement.
+
+    Parameters
+    ----------
+    graph:
+        The deployed model (same checkpoint both sides — the paper's
+        single-training-process premise).
+    edge / cloud:
+        The two platforms.
+    link:
+        The uplink between them.
+    edge_batch / cloud_batch:
+        Operating batch sizes per side (the edge typically runs small
+        batches for latency; the cloud batches aggressively).
+    result_bytes:
+        Response payload (classification results are tiny).
+    """
+
+    def __init__(self, graph: ModelGraph, edge: PlatformSpec,
+                 cloud: PlatformSpec, link: NetworkLink,
+                 edge_batch: int = 1, cloud_batch: int = 16,
+                 result_bytes: float = 512.0):
+        if edge_batch < 1 or cloud_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        self.graph = graph
+        self.link = link
+        self.edge_model = LatencyModel(graph, edge)
+        self.cloud_model = LatencyModel(graph, cloud)
+        self.edge_batch = edge_batch
+        self.cloud_batch = cloud_batch
+        self.result_bytes = result_bytes
+
+    # ------------------------------------------------------------------
+    def edge_latency(self) -> float:
+        """On-device request latency at the edge batch."""
+        return self.edge_model.latency(self.edge_batch)
+
+    def cloud_latency(self, payload_bytes: float) -> float:
+        """Round-trip latency through the cluster."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        transfer = self.link.transfer_seconds(payload_bytes) + \
+            self.link.transfer_seconds(self.result_bytes)
+        return transfer + self.cloud_model.latency(self.cloud_batch)
+
+    def decide(self, payload_bytes: float) -> OffloadDecision:
+        """Pick the lower-latency path for one request."""
+        edge = self.edge_latency()
+        cloud = self.cloud_latency(payload_bytes)
+        placement = Placement.EDGE if edge <= cloud else Placement.CLOUD
+        return OffloadDecision(placement, edge, cloud, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def crossover_image_bytes(self) -> float | None:
+        """Payload size where edge and cloud latencies are equal.
+
+        Below it, uploading wins (the cloud's compute advantage covers
+        the transfer); above it, the edge wins.  Returns None when one
+        side dominates at every size (e.g. the cloud is slower even for
+        a zero-byte payload).
+        """
+        edge = self.edge_latency()
+        base = self.cloud_latency(0.0)
+        if base >= edge:
+            return None  # cloud never wins
+        # transfer grows linearly: solve base + k * bytes = edge.
+        per_byte = (self.link.overhead_factor * 8.0
+                    / self.link.bandwidth_bps)
+        return (edge - base) / per_byte
+
+    def sustainable_offload_rate(self, payload_bytes: float) -> float:
+        """Uplink ceiling in requests/second at this payload size."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        return self.link.sustainable_images_per_second(payload_bytes)

@@ -1,0 +1,147 @@
+"""End-to-end pipeline performance (Fig. 8).
+
+The e2e experiment co-locates a preprocessing instance and a model engine
+on one device and streams batches through both.  Steady-state behaviour
+under Triton's decoupled backends:
+
+* stages overlap (batch *k* preprocesses while batch *k−1* infers), so
+  **throughput is the slower stage's throughput**;
+* a single request still traverses both stages, so **request latency is
+  the sum of the stage batch latencies**;
+* on memory-constrained devices the resident preprocessing buffers shrink
+  the engine's feasible batch ("Combined memory consumption from
+  preprocessing and inference constrains the model engine's available
+  batch size" — the Fig. 8 batch labels), which lowers engine throughput
+  and produces the Jetson's "inverted performance dynamics".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.data.datasets import DatasetSpec
+from repro.engine import calibration
+from repro.engine.latency import LatencyModel
+from repro.engine.oom import max_batch_size
+from repro.hardware.platform import PlatformSpec
+from repro.models.graph import ModelGraph
+from repro.preprocessing.frameworks import DALI, PreprocessFramework
+
+
+def e2e_batch_size(platform: PlatformSpec, graph: ModelGraph,
+                   batch_sizes: tuple[int, ...] | None = None) -> int:
+    """The largest batch usable end to end (the Fig. 8 x-labels).
+
+    Uses the paper's anchored values when available; otherwise falls back
+    to the memory model with the e2e-reduced budget (unified memory) or
+    the full budget (discrete GPUs, capped at the paper's BS 64 e2e
+    operating point).
+    """
+    key = (platform.name.lower(), graph.name.lower())
+    anchored = calibration.E2E_BATCH_SIZES.get(key)
+    if anchored is not None:
+        return anchored
+    budget = None
+    if platform.unified_memory:
+        budget = calibration.JETSON_E2E_ENGINE_BUDGET_BYTES
+    grid = batch_sizes or calibration.batch_grid(platform.name)
+    return min(64, max_batch_size(graph, platform, grid,
+                                  budget_bytes=budget))
+
+
+@dataclasses.dataclass(frozen=True)
+class EndToEndResult:
+    """One Fig. 8 cell: (platform, model, dataset) at its e2e batch."""
+
+    platform: str
+    model: str
+    dataset: str
+    batch_size: int
+    preprocess_latency_seconds: float
+    engine_latency_seconds: float
+    preprocess_throughput: float
+    engine_throughput: float
+
+    @property
+    def latency_seconds(self) -> float:
+        """Request latency: both stages traversed (Fig. 8 upper panels)."""
+        return self.preprocess_latency_seconds + self.engine_latency_seconds
+
+    @property
+    def throughput(self) -> float:
+        """Pipelined steady-state images/s (Fig. 8 lower panels)."""
+        return min(self.preprocess_throughput, self.engine_throughput)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which stage caps throughput ("preprocess" or "engine")."""
+        return ("preprocess"
+                if self.preprocess_throughput <= self.engine_throughput
+                else "engine")
+
+
+class EndToEndPipeline:
+    """Composes a preprocessing framework with an engine on one platform.
+
+    Parameters
+    ----------
+    graph / platform:
+        The deployed model and device.
+    framework:
+        Preprocessing backend.  Defaults to a DALI instance producing the
+        model's input resolution (the paper's e2e configuration).
+    """
+
+    def __init__(self, graph: ModelGraph, platform: PlatformSpec,
+                 framework: PreprocessFramework | None = None):
+        self.graph = graph
+        self.platform = platform
+        if framework is None:
+            framework = DALI(output_size=graph.input_shape[1])
+        elif framework.output_size != graph.input_shape[1]:
+            raise ValueError(
+                f"framework produces {framework.output_size}px inputs but "
+                f"{graph.name} expects {graph.input_shape[1]}px")
+        self.framework = framework
+        self.latency_model = LatencyModel(graph, platform)
+
+    def evaluate(self, dataset: DatasetSpec,
+                 batch_size: int | None = None) -> EndToEndResult:
+        """Price the pipeline for one dataset (one Fig. 8 bar pair)."""
+        if dataset.dataset_specific_preprocessing and \
+                not self.framework.supports_warp:
+            # The paper's Fig. 8 legend omits CRSA for exactly this
+            # reason: its CPU-bound perspective stage is not
+            # GPU-accelerated yet.
+            raise ValueError(
+                f"{dataset.name} needs dataset-specific preprocessing that "
+                f"{self.framework.name} does not provide")
+        batch = (e2e_batch_size(self.platform, self.graph)
+                 if batch_size is None else batch_size)
+        if batch < 1:
+            raise ValueError("batch_size must be >= 1")
+        pre = self.framework.estimate(dataset, self.platform,
+                                      batch_size=batch)
+        engine_latency = self.latency_model.latency(batch)
+        return EndToEndResult(
+            platform=self.platform.name,
+            model=self.graph.name,
+            dataset=dataset.name,
+            batch_size=batch,
+            preprocess_latency_seconds=pre.batch_latency_seconds,
+            engine_latency_seconds=engine_latency,
+            preprocess_throughput=pre.throughput,
+            engine_throughput=batch / engine_latency,
+        )
+
+    def sweep_datasets(self, datasets: list[DatasetSpec],
+                       batch_size: int | None = None,
+                       ) -> list[EndToEndResult]:
+        """Evaluate all (non-CRSA) datasets — one Fig. 8 panel group."""
+        results = []
+        for dataset in datasets:
+            if dataset.dataset_specific_preprocessing and \
+                    not self.framework.supports_warp:
+                continue
+            results.append(self.evaluate(dataset, batch_size))
+        return results

@@ -1,0 +1,47 @@
+"""Core contribution: the characterization study and tuning guidance.
+
+The paper's primary contribution is a *characterization methodology* —
+sweep (model × dataset × platform × batch size × preprocessing framework),
+measure engine utilization, preprocessing cost and end-to-end behaviour,
+and turn the results into application-specific tuning guidance
+(Section 3.3, Section 5).  :class:`~repro.core.study.CharacterizationStudy`
+orchestrates those sweeps over the substrate packages;
+:mod:`repro.core.guidance` implements the advisory layer ("guidance to
+guide application-specific tuning").
+"""
+
+from repro.core.sweeps import (
+    SweepGrid,
+    default_grid,
+    engine_sweep,
+    preprocessing_sweep,
+    e2e_sweep,
+)
+from repro.core.results import (
+    ResultTable,
+    render_table,
+)
+from repro.core.study import CharacterizationStudy, StudyReport
+from repro.core.autotune import SLOAutotuner, TuningStep
+from repro.core.guidance import (
+    TuningAdvisor,
+    BatchRecommendation,
+    ModelRecommendation,
+)
+
+__all__ = [
+    "SweepGrid",
+    "default_grid",
+    "engine_sweep",
+    "preprocessing_sweep",
+    "e2e_sweep",
+    "ResultTable",
+    "render_table",
+    "CharacterizationStudy",
+    "StudyReport",
+    "SLOAutotuner",
+    "TuningStep",
+    "TuningAdvisor",
+    "BatchRecommendation",
+    "ModelRecommendation",
+]

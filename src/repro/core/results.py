@@ -1,0 +1,108 @@
+"""Result containers and plain-text table rendering.
+
+Every harness in :mod:`repro.analysis` and :mod:`benchmarks` reports
+through :class:`ResultTable`, so the reproduced tables/figures print in a
+consistent, diff-friendly format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass
+class ResultTable:
+    """A titled table of homogeneous dict rows."""
+
+    title: str
+    rows: list[dict]
+
+    def __post_init__(self) -> None:
+        if self.rows:
+            first = set(self.rows[0])
+            for i, row in enumerate(self.rows[1:], start=1):
+                if set(row) != first:
+                    raise ValueError(
+                        f"row {i} keys {sorted(row)} differ from row 0 "
+                        f"{sorted(first)}")
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names (from the first row)."""
+        return list(self.rows[0]) if self.rows else []
+
+    def column(self, name: str) -> list:
+        """Extract one column as a list."""
+        if name not in self.columns:
+            raise KeyError(
+                f"no column {name!r}; available: {self.columns}")
+        return [row[name] for row in self.rows]
+
+    def where(self, **conditions) -> "ResultTable":
+        """Filter rows by exact column values."""
+        rows = [row for row in self.rows
+                if all(row.get(k) == v for k, v in conditions.items())]
+        return ResultTable(self.title, rows)
+
+    def render(self, float_format: str = "{:.2f}") -> str:
+        """Render as an aligned ASCII table."""
+        return render_table(self.title, self.rows, float_format)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Machine-readable export: {title, rows}."""
+        import json
+
+        return json.dumps({"title": self.title, "rows": self.rows},
+                          indent=indent, default=str)
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV with a header row."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultTable":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        doc = json.loads(payload)
+        if not isinstance(doc, dict) or "title" not in doc \
+                or "rows" not in doc:
+            raise ValueError("expected a {title, rows} document")
+        return cls(doc["title"], doc["rows"])
+
+
+def _format_cell(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return float_format.format(value)
+    return str(value)
+
+
+def render_table(title: str, rows: Sequence[dict],
+                 float_format: str = "{:.2f}") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)\n"
+    columns = list(rows[0])
+    cells = [[_format_cell(row[c], float_format) for c in columns]
+             for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(columns)]
+    lines = [f"== {title} ==",
+             "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,142 @@
+"""The characterization study orchestrator.
+
+Runs the full evaluation of Section 4 — engine scaling (Fig. 5/6),
+preprocessing comparison (Fig. 7), end-to-end pipelines (Fig. 8), and the
+platform/model/dataset inventories (Tables 1–3) — and exposes the results
+as :class:`~repro.core.results.ResultTable` objects plus a rendered
+:class:`StudyReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.results import ResultTable
+from repro.core.sweeps import (
+    SweepGrid,
+    default_grid,
+    e2e_sweep,
+    engine_sweep,
+    preprocessing_sweep,
+)
+from repro.data.datasets import table2_rows
+from repro.hardware.gemm import GemmBenchmark
+from repro.models.zoo import table3_rows
+
+
+@dataclasses.dataclass
+class StudyReport:
+    """All reproduced tables/figures from one study run."""
+
+    tables: dict[str, ResultTable]
+
+    def render(self) -> str:
+        """Render every table to one text document."""
+        return "\n".join(t.render() for _, t in sorted(self.tables.items()))
+
+    def __getitem__(self, key: str) -> ResultTable:
+        return self.tables[key]
+
+
+class CharacterizationStudy:
+    """End-to-end driver of the paper's evaluation."""
+
+    def __init__(self, grid: SweepGrid | None = None):
+        self.grid = grid if grid is not None else default_grid()
+
+    # ------------------------------------------------------------------
+    # Individual experiments
+    # ------------------------------------------------------------------
+    def table1(self) -> ResultTable:
+        """Platform inventory with modeled GEMM efficiency (Table 1)."""
+        bench = GemmBenchmark()
+        rows = []
+        for platform in self.grid.platforms:
+            sweep = bench.run_modeled(platform)
+            rows.append({
+                "platform": platform.name,
+                "cpu_cores": platform.cpu_cores,
+                "gpu": platform.gpu_name,
+                "memory_gb": platform.host_memory_gb,
+                "theory_tflops":
+                    platform.theoretical_tflops[platform.benchmark_precision],
+                "practical_tflops": round(sweep.practical_tflops, 1),
+                "efficiency_pct": round(sweep.efficiency * 100, 2),
+                "precision": platform.benchmark_precision.value,
+            })
+        return ResultTable("Table 1: evaluated platforms", rows)
+
+    def table2(self) -> ResultTable:
+        """Dataset inventory (Table 2)."""
+        return ResultTable("Table 2: agriculture datasets", table2_rows())
+
+    def table3(self) -> ResultTable:
+        """Model specs and upper bounds (Table 3)."""
+        return ResultTable("Table 3: models and computational intensity",
+                           table3_rows(list(self.grid.platforms)))
+
+    def engine_scaling(self) -> ResultTable:
+        """Fig. 5 + Fig. 6 data: the full engine batch sweeps."""
+        rows = []
+        for platform in self.grid.platforms:
+            for graph in self.grid.models:
+                for point in engine_sweep(graph, platform):
+                    rows.append({
+                        "platform": platform.name,
+                        "model": graph.name,
+                        "batch_size": point.batch_size,
+                        "mfu": point.mfu,
+                        "achieved_tflops": point.achieved_tflops,
+                        "throughput": point.throughput,
+                        "latency_ms": point.latency_seconds * 1e3,
+                        "theoretical_latency_ms":
+                            point.theoretical_latency_seconds * 1e3,
+                        "meets_60qps": point.meets_60qps,
+                    })
+        return ResultTable("Fig 5/6: engine scaling", rows)
+
+    def preprocessing(self) -> ResultTable:
+        """Fig. 7 data: framework × dataset × platform."""
+        rows = []
+        for platform in self.grid.platforms:
+            for est in preprocessing_sweep(platform,
+                                           datasets=self.grid.datasets,
+                                           frameworks=self.grid.frameworks):
+                rows.append({
+                    "platform": est.platform,
+                    "framework": est.framework,
+                    "dataset": est.dataset,
+                    "batch_size": est.batch_size,
+                    "latency_ms": est.batch_latency_seconds * 1e3,
+                    "throughput": est.throughput,
+                })
+        return ResultTable("Fig 7: preprocessing performance", rows)
+
+    def end_to_end(self) -> ResultTable:
+        """Fig. 8 data: pipeline latency/throughput per cell."""
+        rows = []
+        for platform in self.grid.platforms:
+            for result in e2e_sweep(platform, models=self.grid.models,
+                                    datasets=self.grid.datasets):
+                rows.append({
+                    "platform": result.platform,
+                    "model": result.model,
+                    "dataset": result.dataset,
+                    "batch_size": result.batch_size,
+                    "latency_ms": result.latency_seconds * 1e3,
+                    "throughput": result.throughput,
+                    "bottleneck": result.bottleneck,
+                })
+        return ResultTable("Fig 8: end-to-end performance", rows)
+
+    # ------------------------------------------------------------------
+    def run(self) -> StudyReport:
+        """Run every experiment; the full Section 4 reproduction."""
+        return StudyReport(tables={
+            "table1": self.table1(),
+            "table2": self.table2(),
+            "table3": self.table3(),
+            "fig5_6_engine": self.engine_scaling(),
+            "fig7_preprocessing": self.preprocessing(),
+            "fig8_end_to_end": self.end_to_end(),
+        })

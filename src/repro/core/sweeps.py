@@ -1,0 +1,103 @@
+"""Parameter sweeps: the experiment grids behind Figs. 5–8.
+
+Free functions so they compose (the study orchestrator, benchmarks, and
+examples all call them directly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.continuum.pipeline import EndToEndPipeline, EndToEndResult
+from repro.data.datasets import DatasetSpec, list_datasets
+from repro.engine.calibration import batch_grid
+from repro.engine.latency import EnginePoint, LatencyModel
+from repro.engine.oom import max_batch_size
+from repro.hardware.platform import PlatformSpec, list_platforms
+from repro.models.graph import ModelGraph
+from repro.models.zoo import list_models
+from repro.preprocessing.frameworks import (
+    PreprocessEstimate,
+    PreprocessFramework,
+    framework_catalog,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepGrid:
+    """The full experiment grid of the paper's evaluation section."""
+
+    platforms: tuple[PlatformSpec, ...]
+    models: tuple[ModelGraph, ...]
+    datasets: tuple[DatasetSpec, ...]
+    frameworks: tuple[PreprocessFramework, ...]
+
+    def batch_sizes(self, platform: PlatformSpec) -> tuple[int, ...]:
+        """The Fig. 5/6 batch axis for a platform."""
+        return batch_grid(platform.name)
+
+
+def default_grid() -> SweepGrid:
+    """The paper's grid: 3 platforms × 4 models × 6 datasets × 5 framework
+    configurations."""
+    return SweepGrid(
+        platforms=tuple(list_platforms()),
+        models=tuple(entry.graph for entry in list_models()),
+        datasets=tuple(list_datasets()),
+        frameworks=tuple(framework_catalog()),
+    )
+
+
+def engine_sweep(graph: ModelGraph, platform: PlatformSpec,
+                 batch_sizes: tuple[int, ...] | None = None,
+                 ) -> list[EnginePoint]:
+    """One Fig. 5/6 curve: engine performance over the feasible batch grid.
+
+    The sweep stops at the OOM boundary, exactly as the paper's curves do
+    on the Jetson.
+    """
+    grid = batch_sizes or batch_grid(platform.name)
+    limit = max_batch_size(graph, platform, grid)
+    model = LatencyModel(graph, platform)
+    return model.sweep(tuple(b for b in grid if b <= limit))
+
+
+def preprocessing_sweep(platform: PlatformSpec,
+                        datasets: tuple[DatasetSpec, ...] | None = None,
+                        frameworks: tuple[PreprocessFramework, ...] | None = None,
+                        ) -> list[PreprocessEstimate]:
+    """One Fig. 7 panel: every (framework, dataset) cell on a platform.
+
+    Matches the figure's conventions: the CV2 row is only evaluated for
+    CRSA ("OpenCV, employed specifically for the CRSA dataset"), and CRSA
+    is skipped for the torchvision baseline, which lacks the dataset's
+    perspective stage.
+    """
+    datasets = datasets or tuple(list_datasets())
+    frameworks = frameworks or tuple(framework_catalog())
+    estimates = []
+    for framework in frameworks:
+        for dataset in datasets:
+            if framework.name == "CV2" and \
+                    not dataset.dataset_specific_preprocessing:
+                continue
+            if framework.name == "PyTorch" and \
+                    dataset.dataset_specific_preprocessing:
+                continue
+            estimates.append(framework.estimate(dataset, platform))
+    return estimates
+
+
+def e2e_sweep(platform: PlatformSpec,
+              models: tuple[ModelGraph, ...] | None = None,
+              datasets: tuple[DatasetSpec, ...] | None = None,
+              ) -> list[EndToEndResult]:
+    """One Fig. 8 panel: end-to-end results for every (model, dataset)."""
+    if models is None:
+        models = tuple(entry.graph for entry in list_models())
+    datasets = datasets or tuple(list_datasets())
+    results = []
+    for graph in models:
+        pipeline = EndToEndPipeline(graph, platform)
+        results.extend(pipeline.sweep_datasets(list(datasets)))
+    return results

@@ -1,0 +1,51 @@
+"""Inference engine substrate: calibrated performance + memory models.
+
+The paper's engine measurements (Figs. 5, 6, 8) come from TensorRT engines
+on real GPUs.  This package reproduces them with:
+
+* :mod:`repro.engine.calibration` — the anchor values printed in the paper
+  (Fig. 5/6 legend throughputs, OOM batch limits, batch grids);
+* :mod:`repro.engine.mfu` — a Model-FLOPs-Utilization saturation law fit
+  through the anchors, giving the full TFLOPS-vs-batch curves of Fig. 5;
+* :mod:`repro.engine.latency` — the latency/throughput laws of Fig. 6,
+  including the 16.7 ms / 60 QPS operating threshold;
+* :mod:`repro.engine.oom` — the memory model bounding usable batch sizes
+  (ping-pong activations on discrete GPUs; calibrated effective footprints
+  on the unified-memory Jetson);
+* :mod:`repro.engine.engine` — the :class:`InferenceEngine` facade tying
+  the above to a built TRT-like plan, with an optional *functional* mode
+  that really executes the NumPy forward pass.
+"""
+
+from repro.engine.calibration import (
+    BATCH_GRIDS,
+    THROUGHPUT_ANCHORS,
+    JETSON_ACT_BYTES,
+    E2E_BATCH_SIZES,
+    LATENCY_TARGET_SECONDS,
+    TARGET_QPS,
+    batch_grid,
+    anchor_for,
+)
+from repro.engine.mfu import MFUModel
+from repro.engine.latency import LatencyModel, EnginePoint
+from repro.engine.oom import EngineMemoryModel, max_batch_size
+from repro.engine.engine import InferenceEngine, InferenceResult
+
+__all__ = [
+    "BATCH_GRIDS",
+    "THROUGHPUT_ANCHORS",
+    "JETSON_ACT_BYTES",
+    "E2E_BATCH_SIZES",
+    "LATENCY_TARGET_SECONDS",
+    "TARGET_QPS",
+    "batch_grid",
+    "anchor_for",
+    "MFUModel",
+    "LatencyModel",
+    "EnginePoint",
+    "EngineMemoryModel",
+    "max_batch_size",
+    "InferenceEngine",
+    "InferenceResult",
+]

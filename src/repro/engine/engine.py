@@ -1,0 +1,132 @@
+"""The inference engine facade.
+
+An :class:`InferenceEngine` combines a built TRT-like plan with the
+calibrated performance and memory models, and optionally the *functional*
+NumPy forward pass, behind one `infer(batch)`-shaped API that the serving
+layer hosts as a backend instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.engine.latency import EnginePoint, LatencyModel
+from repro.engine.mfu import MFUModel
+from repro.engine.oom import EngineMemoryModel
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.precision import Precision
+from repro.models.functional import FunctionalModel, build_functional
+from repro.models.graph import ModelGraph
+from repro.models.trt import BuiltEngineSpec, TRTEngineBuilder
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of one (possibly simulated) batch inference."""
+
+    batch_size: int
+    latency_seconds: float
+    outputs: np.ndarray | None  # logits when run functionally, else None
+
+    @property
+    def throughput(self) -> float:
+        """Images per second implied by the batch latency."""
+        return self.batch_size / self.latency_seconds
+
+
+class InferenceEngine:
+    """A deployed model instance on one platform.
+
+    Parameters
+    ----------
+    graph:
+        The model to deploy.
+    platform:
+        Target device.
+    precision:
+        Engine numeric format (defaults to the platform's benchmark
+        precision, the paper's setup).
+    functional:
+        When True, :meth:`infer` actually executes the NumPy forward pass
+        and returns logits; the *timing* still comes from the calibrated
+        model (this process is not a GPU).
+    max_batch_size:
+        Engine profile limit; memory feasibility at this batch is checked
+        at construction (build-time OOM, like ``trtexec``).
+    """
+
+    def __init__(self, graph: ModelGraph, platform: PlatformSpec,
+                 precision: Precision | None = None,
+                 functional: bool = False,
+                 max_batch_size: int = 1024,
+                 memory_budget_bytes: float | None = None):
+        self.graph = graph
+        self.platform = platform
+        builder = TRTEngineBuilder(platform, precision)
+        self.precision = builder.precision
+        self.spec: BuiltEngineSpec = builder.build(
+            graph, max_batch_size=max_batch_size)
+        self.memory_model = EngineMemoryModel(graph, platform,
+                                              self.precision)
+        self.mfu_model = MFUModel(graph, platform)
+        self.latency_model = LatencyModel(graph, platform, self.mfu_model,
+                                          precision=self.precision)
+        self._budget = memory_budget_bytes
+        self.max_batch_size = max_batch_size
+        # Build-time check: batch 1 must fit.
+        self.memory_model.require(1, self._budget)
+        self._functional: FunctionalModel | None = (
+            build_functional(graph.name) if functional else None)
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self, batch_size: int) -> float:
+        """Predicted engine memory at a batch size."""
+        return self.memory_model.engine_bytes(batch_size)
+
+    def check_batch(self, batch_size: int) -> None:
+        """Validate a batch against the profile and memory (raises)."""
+        if not 1 <= batch_size <= self.max_batch_size:
+            raise ValueError(
+                f"batch {batch_size} outside engine profile "
+                f"[1, {self.max_batch_size}]")
+        self.memory_model.require(batch_size, self._budget)
+
+    def predict_point(self, batch_size: int) -> EnginePoint:
+        """Predicted performance at a batch size (validates memory)."""
+        self.check_batch(batch_size)
+        return self.latency_model.point(batch_size)
+
+    def infer(self, batch: "np.ndarray | int") -> InferenceResult:
+        """Serve one batch.
+
+        ``batch`` is either a real input array ``(N, C, H, W)`` (functional
+        mode executes it) or an integer batch size (pure simulation).
+        """
+        if isinstance(batch, (int, np.integer)):
+            batch_size = int(batch)
+            inputs = None
+        else:
+            if batch.ndim != 4:
+                raise ValueError(
+                    f"expected (N, C, H, W) input, got shape {batch.shape}")
+            if tuple(batch.shape[1:]) != self.graph.input_shape:
+                raise ValueError(
+                    f"engine {self.graph.name} expects per-image shape "
+                    f"{self.graph.input_shape}, got {tuple(batch.shape[1:])}")
+            batch_size = batch.shape[0]
+            inputs = batch
+        self.check_batch(batch_size)
+        latency = self.latency_model.latency(batch_size)
+        outputs = None
+        if self._functional is not None and inputs is not None:
+            outputs = self._functional(
+                inputs.astype(self.precision.numpy_dtype, copy=False)
+                .astype(np.float32, copy=False))
+        return InferenceResult(batch_size, latency, outputs)
+
+    def __repr__(self) -> str:
+        return (f"InferenceEngine({self.graph.name!r} on "
+                f"{self.platform.name}, {self.precision.value}, "
+                f"max_batch={self.max_batch_size})")

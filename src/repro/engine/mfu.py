@@ -1,0 +1,127 @@
+"""Model FLOPs Utilization (MFU) as a function of batch size.
+
+Section 4.1: "a substantial gap exists between the Model FLOPs Utilization
+(MFU) and the practical upper bound ... This gap can be narrowed through
+two primary mechanisms: increasing batch size, which enhances
+computational intensity, and deploying larger models ... increasing batch
+size demonstrates diminishing returns: MFU improves gradually before
+eventually plateauing".
+
+The law used here is a saturating exponential,
+
+    MFU(b) = MFU_peak · (1 − exp(−b / b_sat)),
+
+with ``b_sat = K_SAT(platform) · REF_GFLOPS / model_gflops`` (heavier
+models saturate at smaller batches) and ``MFU_peak`` solved so the curve
+passes exactly through the paper's Fig. 5 legend anchor for that
+(platform, model) pair.  For unanchored models, ``MFU_peak`` is
+interpolated from the anchored models' peaks by arithmetic intensity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine import calibration
+from repro.hardware.platform import PlatformSpec
+from repro.models.graph import ModelGraph
+
+
+def _b_sat_for(platform_name: str, gflops: float) -> float:
+    """Saturation batch scale for (platform, model GFLOPs).
+
+    Cloud GPUs: inversely proportional to model FLOPs (heavier models
+    fill the device sooner).  The Jetson: a fixed occupancy-driven scale
+    (see :data:`repro.engine.calibration.FIXED_B_SAT`).
+    """
+    plat = platform_name.lower()
+    fixed = calibration.FIXED_B_SAT.get(plat)
+    if fixed is not None:
+        return fixed
+    k = calibration.K_SAT.get(plat, 8.0)
+    return max(1.0, k * calibration.REF_GFLOPS / gflops)
+
+
+class MFUModel:
+    """MFU(batch) for one (model, platform) pair.
+
+    Parameters
+    ----------
+    graph:
+        The model (its per-image FLOPs set the saturation scale and turn
+        throughput anchors into MFU anchors).
+    platform:
+        The target device (practical FLOPS, saturation constant).
+    """
+
+    def __init__(self, graph: ModelGraph, platform: PlatformSpec):
+        self.graph = graph
+        self.platform = platform
+        self.b_sat = _b_sat_for(platform.name, graph.reported_gflops())
+        self.mfu_peak = self._solve_peak()
+
+    # ------------------------------------------------------------------
+    def _solve_peak(self) -> float:
+        key = (self.platform.name.lower(), self.graph.name.lower())
+        anchor = calibration.THROUGHPUT_ANCHORS.get(key)
+        if anchor is not None:
+            batch, images_per_s = anchor
+            mfu_at_anchor = (images_per_s * self.graph.flops_per_image()
+                             / self.platform.practical_flops)
+            peak = mfu_at_anchor / (1.0 - math.exp(-batch / self.b_sat))
+            return min(peak, 1.0)
+        return self._interpolated_peak()
+
+    def _interpolated_peak(self) -> float:
+        """Peak MFU for unanchored models: log-linear in GFLOPs/image
+        between the anchored models of the same platform (clamped at the
+        ends)."""
+        plat = self.platform.name.lower()
+        points = []
+        for (p, model), (batch, images_per_s) in sorted(
+                calibration.THROUGHPUT_ANCHORS.items()):
+            if p != plat:
+                continue
+            from repro.models.zoo import MODEL_ZOO  # local: avoid cycle
+
+            graph = MODEL_ZOO[model].graph
+            mfu = (images_per_s * graph.flops_per_image()
+                   / self.platform.practical_flops)
+            b_sat = _b_sat_for(plat, graph.reported_gflops())
+            peak = min(mfu / (1.0 - math.exp(-batch / b_sat)), 1.0)
+            points.append((math.log(graph.reported_gflops()), peak))
+        if not points:
+            raise KeyError(
+                f"no calibration anchors for platform {self.platform.name}; "
+                "cannot build an MFU model")
+        points.sort()
+        x = math.log(self.graph.reported_gflops())
+        if x <= points[0][0]:
+            return points[0][1]
+        if x >= points[-1][0]:
+            return points[-1][1]
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= x <= x1:
+                t = (x - x0) / (x1 - x0)
+                return y0 + t * (y1 - y0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def mfu(self, batch_size: int) -> float:
+        """Utilization fraction at a batch size (0 < MFU <= MFU_peak)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.mfu_peak * (1.0 - math.exp(-batch_size / self.b_sat))
+
+    def achieved_tflops(self, batch_size: int) -> float:
+        """The Fig. 5 y-axis: practical TFLOPS actually sustained."""
+        return self.platform.practical_tflops * self.mfu(batch_size)
+
+    def near_saturation_batch(self, fraction: float = 0.9) -> int:
+        """Smallest batch reaching ``fraction`` of the MFU plateau.
+
+        This is the "optimal operating region" boundary of Section 4.1.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        return max(1, math.ceil(-self.b_sat * math.log(1.0 - fraction)))

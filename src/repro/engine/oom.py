@@ -1,0 +1,100 @@
+"""Engine memory model and OOM-bounded batch limits.
+
+Two regimes, matching the hardware:
+
+* **Discrete GPUs (A100, V100)** — TensorRT-style engines reuse activation
+  buffers, so live memory is weights + batch × (2 × peak tensor).  All
+  four models fit the full batch grid (Fig. 5a/5b reach BS 1024).
+* **Unified memory (Jetson)** — the effective per-image footprint is far
+  larger (allocator granularity, FP32 fallback copies, shared pool
+  pressure); the model uses the calibrated
+  :data:`repro.engine.calibration.JETSON_ACT_BYTES` values inverted from
+  the Fig. 5c OOM boundaries, and a reduced budget when a preprocessing
+  instance is co-resident (Fig. 8c).
+"""
+
+from __future__ import annotations
+
+from repro.engine import calibration
+from repro.hardware.memory import OutOfMemoryError
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.precision import Precision
+from repro.models.graph import ModelGraph
+
+
+class EngineMemoryModel:
+    """Predicts engine memory for (model, platform, precision)."""
+
+    def __init__(self, graph: ModelGraph, platform: PlatformSpec,
+                 precision: Precision | None = None):
+        self.graph = graph
+        self.platform = platform
+        self.precision = (platform.benchmark_precision if precision is None
+                          else precision)
+        if not platform.supports(self.precision):
+            raise ValueError(
+                f"{platform.name} lacks support for {self.precision.value}")
+
+    @property
+    def weight_bytes(self) -> float:
+        """Engine weight storage at the chosen precision."""
+        return self.graph.weight_bytes(self.precision.bytes)
+
+    @property
+    def activation_bytes_per_image(self) -> float:
+        """Effective per-image activation footprint."""
+        if self.platform.unified_memory:
+            calibrated = calibration.JETSON_ACT_BYTES.get(
+                self.graph.name.lower())
+            if calibrated is not None:
+                return calibrated
+            # Unanchored model on unified memory: scale the analytic
+            # footprint by the ratio observed on the anchored models
+            # (median ≈ 25× the ping-pong estimate).
+            return 25.0 * self.graph.activation_bytes_per_image(
+                self.precision.bytes, reuse=True)
+        return self.graph.activation_bytes_per_image(
+            self.precision.bytes, reuse=True)
+
+    def engine_bytes(self, batch_size: int) -> float:
+        """Live engine memory at a batch size."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return (self.weight_bytes
+                + batch_size * self.activation_bytes_per_image)
+
+    def fits(self, batch_size: int,
+             budget_bytes: float | None = None) -> bool:
+        """Whether the engine fits the platform (or explicit) budget."""
+        budget = (self.platform.usable_gpu_memory_bytes
+                  if budget_bytes is None else budget_bytes)
+        return self.engine_bytes(batch_size) <= budget
+
+    def require(self, batch_size: int,
+                budget_bytes: float | None = None) -> None:
+        """Raise :class:`OutOfMemoryError` when the batch does not fit."""
+        budget = (self.platform.usable_gpu_memory_bytes
+                  if budget_bytes is None else budget_bytes)
+        needed = self.engine_bytes(batch_size)
+        if needed > budget:
+            raise OutOfMemoryError(needed, budget,
+                                   f"{self.platform.name}-engine")
+
+
+def max_batch_size(graph: ModelGraph, platform: PlatformSpec,
+                   batch_sizes: tuple[int, ...] | None = None,
+                   budget_bytes: float | None = None,
+                   precision: Precision | None = None) -> int:
+    """Largest grid batch that fits memory (the Fig. 5 curve endpoint).
+
+    Raises :class:`OutOfMemoryError` when even batch 1 does not fit.
+    """
+    if batch_sizes is None:
+        batch_sizes = calibration.batch_grid(platform.name)
+    model = EngineMemoryModel(graph, platform, precision)
+    budget = (platform.usable_gpu_memory_bytes if budget_bytes is None
+              else budget_bytes)
+    fitting = [b for b in batch_sizes if model.fits(b, budget)]
+    if not fitting:
+        model.require(min(batch_sizes), budget)
+    return max(fitting)

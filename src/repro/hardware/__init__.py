@@ -1,0 +1,69 @@
+"""Hardware substrate: platform models, GEMM microbenchmark, roofline, memory.
+
+The paper evaluates three platforms (Table 1): the OSC Pitzer cluster's
+V100 nodes, the MRI cluster's A100 nodes, and an NVIDIA Jetson Orin Nano
+Super edge device.  None of that silicon is available here, so this package
+models each platform by the quantities the paper's analysis actually
+consumes: theoretical peak FLOPS per precision, the practical (measured)
+FLOPS fraction, memory capacity/bandwidth, CPU core count, and whether the
+GPU shares a unified memory pool with the host (the Jetson case).
+
+:class:`~repro.hardware.gemm.GemmBenchmark` reproduces the Table 1
+methodology — sweeping square GEMMs and reporting achieved vs. theoretical
+FLOPS — both as a *real* NumPy run on the host CPU and as a calibrated
+model run for the three paper platforms.
+"""
+
+from repro.hardware.precision import Precision, PRECISION_BYTES
+from repro.hardware.platform import (
+    PlatformSpec,
+    PlatformKind,
+    PLATFORMS,
+    get_platform,
+    list_platforms,
+    A100,
+    V100,
+    JETSON,
+)
+from repro.hardware.gemm import GemmBenchmark, GemmResult, gemm_flops
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+from repro.hardware.memory import (
+    MemoryPool,
+    UnifiedMemoryPool,
+    Allocation,
+    OutOfMemoryError,
+)
+from repro.hardware.power import (
+    PowerProfile,
+    POWER_PROFILES,
+    power_profile_for,
+    EnergyModel,
+    EnergyPoint,
+)
+
+__all__ = [
+    "Precision",
+    "PRECISION_BYTES",
+    "PlatformSpec",
+    "PlatformKind",
+    "PLATFORMS",
+    "get_platform",
+    "list_platforms",
+    "A100",
+    "V100",
+    "JETSON",
+    "GemmBenchmark",
+    "GemmResult",
+    "gemm_flops",
+    "RooflineModel",
+    "RooflinePoint",
+    "MemoryPool",
+    "UnifiedMemoryPool",
+    "Allocation",
+    "OutOfMemoryError",
+    "PowerProfile",
+    "POWER_PROFILES",
+    "power_profile_for",
+    "EnergyModel",
+    "EnergyPoint",
+]

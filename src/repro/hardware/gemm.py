@@ -1,0 +1,163 @@
+"""GEMM microbenchmark reproducing the Table 1 methodology.
+
+The paper: "Since theoretical FLOPS numbers provided by manufacturers tend
+to be overly optimistic, we benchmarked practical FLOPS performance over
+GEMM operations on all three platforms."
+
+Two execution modes are provided:
+
+* :meth:`GemmBenchmark.run_host` — a *real* measurement: times
+  ``C = A @ B`` with NumPy (BLAS) on the host CPU over a sweep of square
+  sizes and reports achieved vs. a caller-supplied theoretical peak.  This
+  demonstrates the methodology end to end and exhibits the same
+  efficiency-gap phenomenon the paper reports.
+* :meth:`GemmBenchmark.run_modeled` — a calibrated model for the three
+  paper platforms: achieved FLOPS follows a saturation curve in problem
+  size that plateaus at the Table 1 practical TFLOPS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.precision import Precision
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """FLOPs of a single M×K @ K×N GEMM (multiply + add counted separately)."""
+    if min(m, n, k) < 1:
+        raise ValueError("GEMM dimensions must be >= 1")
+    return 2.0 * m * n * k
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmResult:
+    """One point of a GEMM sweep."""
+
+    size: int
+    seconds: float
+    achieved_tflops: float
+    theoretical_tflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / theoretical FLOPS fraction."""
+        return self.achieved_tflops / self.theoretical_tflops
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmSweep:
+    """A complete sweep; ``practical_tflops`` is the plateau estimate."""
+
+    platform_name: str
+    precision: Precision
+    results: tuple[GemmResult, ...]
+
+    @property
+    def practical_tflops(self) -> float:
+        """Plateau estimate: mean of the top quartile of achieved rates.
+
+        Using the top quartile (rather than the single max) makes the
+        estimate robust to one lucky timing while still reporting the
+        saturated regime, which is what Table 1's "Practical TFLOPS" means.
+        """
+        rates = sorted(r.achieved_tflops for r in self.results)
+        top = rates[int(len(rates) * 0.75):] or rates[-1:]
+        return float(np.mean(top))
+
+    @property
+    def efficiency(self) -> float:
+        """Practical / theoretical efficiency (Table 1 ranges 75.7–82.7%)."""
+        return self.practical_tflops / self.results[-1].theoretical_tflops
+
+
+class GemmBenchmark:
+    """Sweep square GEMMs and report achieved FLOPS.
+
+    Parameters
+    ----------
+    sizes:
+        Square matrix sizes to sweep.  Defaults to a geometric ladder that
+        reaches the saturated regime on all modeled platforms.
+    repeats:
+        Timed repetitions per size in host mode (best-of is reported, the
+        standard practice for throughput microbenchmarks).
+    """
+
+    #: Saturation length scale of the modeled achieved-rate curve.
+    #: Large GPUs need larger tiles to saturate.
+    _HALF_SATURATION_SIZE = {"A100": 1024.0, "V100": 768.0, "Jetson": 256.0}
+
+    def __init__(self, sizes: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192),
+                 repeats: int = 3):
+        if not sizes:
+            raise ValueError("sizes must be non-empty")
+        if any(s < 1 for s in sizes):
+            raise ValueError("sizes must be positive")
+        self.sizes = tuple(sorted(sizes))
+        self.repeats = max(1, repeats)
+
+    # ------------------------------------------------------------------
+    def run_host(self, theoretical_tflops: float | None = None,
+                 dtype: np.dtype = np.float32,
+                 max_size: int = 1024) -> GemmSweep:
+        """Measure real NumPy GEMM throughput on the host CPU.
+
+        ``max_size`` caps the sweep so the benchmark stays in the ~seconds
+        range on a single core (the guides' 10s profiling-run rule).
+        """
+        if theoretical_tflops is None:
+            theoretical_tflops = self._estimate_host_peak(dtype)
+        rng = np.random.default_rng(0)
+        results = []
+        for size in (s for s in self.sizes if s <= max_size):
+            a = rng.standard_normal((size, size)).astype(dtype)
+            b = rng.standard_normal((size, size)).astype(dtype)
+            a @ b  # warm-up: page in BLAS threads / JIT dispatch
+            best = min(self._time_once(a, b) for _ in range(self.repeats))
+            achieved = gemm_flops(size, size, size) / best / 1e12
+            results.append(GemmResult(size, best, achieved, theoretical_tflops))
+        if not results:
+            raise ValueError(f"no sweep sizes <= max_size={max_size}")
+        return GemmSweep("host", Precision.FP32, tuple(results))
+
+    @staticmethod
+    def _time_once(a: np.ndarray, b: np.ndarray) -> float:
+        start = time.perf_counter()
+        a @ b
+        return time.perf_counter() - start
+
+    @staticmethod
+    def _estimate_host_peak(dtype: np.dtype) -> float:
+        """Crude host peak estimate: a short calibration GEMM scaled up.
+
+        The host "theoretical" number only anchors the efficiency axis of
+        the demonstration run; absolute accuracy is not needed.
+        """
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((512, 512)).astype(dtype)
+        best = min(GemmBenchmark._time_once(a, a) for _ in range(3))
+        achieved = gemm_flops(512, 512, 512) / best / 1e12
+        return achieved * 1.25  # assume the probe reaches ~80% of peak
+
+    # ------------------------------------------------------------------
+    def run_modeled(self, platform: PlatformSpec) -> GemmSweep:
+        """Model the GEMM sweep for one of the paper's platforms.
+
+        Achieved rate follows ``practical * (1 - exp(-s / s_sat))`` — small
+        GEMMs under-utilize the device (launch overhead, tile quantization)
+        and large ones plateau at the Table 1 practical TFLOPS.
+        """
+        s_sat = self._HALF_SATURATION_SIZE.get(platform.name, 512.0)
+        peak = platform.theoretical_tflops[platform.benchmark_precision]
+        results = []
+        for size in self.sizes:
+            achieved = platform.practical_tflops * (1.0 - float(np.exp(-size / s_sat)))
+            seconds = gemm_flops(size, size, size) / (achieved * 1e12)
+            results.append(GemmResult(size, seconds, achieved, peak))
+        return GemmSweep(platform.name, platform.benchmark_precision,
+                         tuple(results))

@@ -1,0 +1,82 @@
+"""Numerical precision formats used across the inference pipeline.
+
+Section 3.1 of the paper: "Lower-precision formats like INT8 or FP16 offer
+faster inference but may reduce accuracy.  BF16 or FP16, as used in our
+experiments, provides a common balance between speed and accuracy."
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Precision(str, enum.Enum):
+    """Numerical formats supported by the engine substrate.
+
+    The string values follow the TensorRT/ONNX naming convention so that
+    engine build configs serialize readably.
+    """
+
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    INT8 = "int8"
+
+    @property
+    def bytes(self) -> int:
+        """Storage bytes per element."""
+        return PRECISION_BYTES[self]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used by the functional execution path.
+
+        BF16 and TF32 have no native NumPy representation; the functional
+        path computes them in float32 (which is a superset), while the
+        *performance* model still uses their native byte widths and FLOPS
+        rates.  INT8 maps to float32 as well because the functional path
+        performs fake-quantized arithmetic.
+        """
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_reduced(self) -> bool:
+        """True for formats narrower than FP32."""
+        return self is not Precision.FP32
+
+
+PRECISION_BYTES: dict[Precision, int] = {
+    Precision.FP32: 4,
+    Precision.TF32: 4,
+    Precision.FP16: 2,
+    Precision.BF16: 2,
+    Precision.INT8: 1,
+}
+
+_NUMPY_DTYPES: dict[Precision, np.dtype] = {
+    Precision.FP32: np.dtype(np.float32),
+    Precision.TF32: np.dtype(np.float32),
+    Precision.FP16: np.dtype(np.float16),
+    Precision.BF16: np.dtype(np.float32),
+    Precision.INT8: np.dtype(np.float32),
+}
+
+
+def parse_precision(value: "Precision | str") -> Precision:
+    """Coerce a user-supplied precision name to a :class:`Precision`.
+
+    Accepts enum members, their values (``"fp16"``), and upper-case names
+    (``"FP16"``).  Raises :class:`ValueError` for unknown formats.
+    """
+    if isinstance(value, Precision):
+        return value
+    try:
+        return Precision(value.lower())
+    except (ValueError, AttributeError):
+        raise ValueError(
+            f"unknown precision {value!r}; expected one of "
+            f"{[p.value for p in Precision]}"
+        ) from None

@@ -1,0 +1,80 @@
+"""Roofline model for the throughput-vs-batch-size analysis.
+
+The paper's conclusion frames its findings as "a performance roofline
+constrained by either compute saturation or memory exhaustion".  This
+module provides the classical bandwidth/compute roofline: attainable
+FLOPS = min(peak FLOPS, bandwidth × arithmetic intensity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.precision import Precision, parse_precision
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on the roofline."""
+
+    arithmetic_intensity: float  # FLOPs per byte moved
+    attainable_tflops: float
+    compute_bound: bool
+
+
+class RooflineModel:
+    """Roofline for a platform at a given precision.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose practical FLOPS and memory bandwidth bound the
+        roofline.
+    precision:
+        Numerical format; scales the compute ceiling by the ratio of the
+        format's theoretical peak to the benchmark precision's peak (the
+        practical efficiency measured in Table 1 is assumed to carry over
+        between formats on the same device).
+    """
+
+    def __init__(self, platform: PlatformSpec,
+                 precision: Precision | str | None = None):
+        self.platform = platform
+        precision = (platform.benchmark_precision if precision is None
+                     else parse_precision(precision))
+        if not platform.supports(precision):
+            raise KeyError(
+                f"{platform.name} does not support {precision}")
+        self.precision = precision
+        scale = (platform.theoretical_tflops[precision]
+                 / platform.theoretical_tflops[platform.benchmark_precision])
+        self.compute_ceiling_tflops = platform.practical_tflops * scale
+        self.bandwidth_gbps = platform.memory_bandwidth_gbps
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOPs/byte) where the two roofs meet."""
+        return self.compute_ceiling_tflops * 1e12 / (self.bandwidth_gbps * 1e9)
+
+    def attainable(self, arithmetic_intensity: float) -> RooflinePoint:
+        """Attainable performance for a workload of the given intensity."""
+        if arithmetic_intensity <= 0:
+            raise ValueError("arithmetic intensity must be positive")
+        bw_bound = self.bandwidth_gbps * 1e9 * arithmetic_intensity / 1e12
+        compute_bound = bw_bound >= self.compute_ceiling_tflops
+        return RooflinePoint(
+            arithmetic_intensity=arithmetic_intensity,
+            attainable_tflops=min(bw_bound, self.compute_ceiling_tflops),
+            compute_bound=compute_bound,
+        )
+
+    def model_intensity(self, flops: float, bytes_moved: float) -> float:
+        """Arithmetic intensity of a model layer/pass."""
+        if bytes_moved <= 0:
+            raise ValueError("bytes_moved must be positive")
+        return flops / bytes_moved
+
+    def sweep(self, intensities: list[float]) -> list[RooflinePoint]:
+        """Place a list of intensities on the roofline (for plotting)."""
+        return [self.attainable(i) for i in intensities]

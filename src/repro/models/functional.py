@@ -1,0 +1,426 @@
+"""Real NumPy forward passes for the evaluated models.
+
+The analytic :class:`~repro.models.graph.ModelGraph` predicts cost; this
+module is its executable twin — actual arithmetic for every op, vectorized
+with NumPy per the HPC guides (im2col convolution so the inner loop is one
+BLAS GEMM, batched attention via einsum-free matmuls, no Python-level
+pixel loops).
+
+Weights are procedurally initialized (seeded) since the paper's trained
+checkpoints are farm-specific and private; the characterization never
+depends on weight values, only on shapes and arithmetic.  An optional
+:class:`MacTally` records the multiply-accumulates actually executed so
+tests can cross-check the analytic accounting against the real compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.models.resnet import STAGES, BottleneckConfig
+from repro.models.vit import ViTConfig, VIT_CONFIGS
+
+
+class MacTally:
+    """Accumulates the MACs actually performed by the low-level ops."""
+
+    def __init__(self) -> None:
+        self.macs = 0.0
+
+    def add(self, macs: float) -> None:
+        """Accumulate multiply-accumulate operations."""
+        self.macs += macs
+
+
+# ----------------------------------------------------------------------
+# Low-level ops (all batched: leading axis is the batch)
+# ----------------------------------------------------------------------
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           tally: MacTally | None = None) -> np.ndarray:
+    """``y = x @ W^T + b`` over the last axis.
+
+    ``weight`` is ``(out, in)`` (PyTorch convention).
+    """
+    if x.shape[-1] != weight.shape[1]:
+        raise ValueError(
+            f"linear: input features {x.shape[-1]} != weight in "
+            f"{weight.shape[1]}")
+    y = x @ weight.T
+    if bias is not None:
+        y = y + bias
+    if tally is not None:
+        tally.add(x.size / x.shape[-1] * weight.size)
+    return y
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int,
+           padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into GEMM-ready patches.
+
+    Returns ``(patches, out_h, out_w)`` where ``patches`` has shape
+    ``(N, out_h * out_w, C * kernel²)``.  Uses a strided view (no copy)
+    before the final reshape, per the guides' views-not-copies advice.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+        h, w = h + 2 * padding, w + 2 * padding
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("im2col: output spatial size collapsed")
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    patches = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, out_h * out_w, c * kernel * kernel)
+    return patches, out_h, out_w
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           stride: int = 1, padding: int = 0,
+           tally: MacTally | None = None) -> np.ndarray:
+    """2D convolution; ``weight`` is ``(out_c, in_c, k, k)``."""
+    out_c, in_c, k, _ = weight.shape
+    if x.shape[1] != in_c:
+        raise ValueError(
+            f"conv2d: input channels {x.shape[1]} != weight in_c {in_c}")
+    patches, out_h, out_w = im2col(x, k, stride, padding)
+    y = patches @ weight.reshape(out_c, -1).T  # (N, OH*OW, out_c)
+    if bias is not None:
+        y = y + bias
+    if tally is not None:
+        tally.add(x.shape[0] * out_h * out_w * float(weight.size))
+    return y.transpose(0, 2, 1).reshape(x.shape[0], out_c, out_h, out_w)
+
+
+def batchnorm2d(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                mean: np.ndarray, var: np.ndarray,
+                eps: float = 1e-5) -> np.ndarray:
+    """Inference-mode batch norm with running statistics."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    return x * scale[:, None, None] + shift[:, None, None]
+
+
+def layernorm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+              eps: float = 1e-6) -> np.ndarray:
+    """Layer normalization over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * gamma + beta
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU (the ViT default)."""
+    c = math.sqrt(2.0 / math.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along an axis."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def maxpool2d(x: np.ndarray, kernel: int, stride: int,
+              padding: int = 0) -> np.ndarray:
+    """Max pooling over (N, C, H, W)."""
+    n, c, _, _ = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)),
+                   constant_values=-np.inf)
+    merged = x.reshape(n * c, 1, *x.shape[2:])
+    patches, out_h, out_w = im2col(merged, kernel, stride, 0)
+    return patches.max(axis=-1).reshape(n, c, out_h, out_w)
+
+
+def global_avgpool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def attention(qkv: np.ndarray, heads: int,
+              tally: MacTally | None = None) -> np.ndarray:
+    """Multi-head scaled dot-product attention from packed QKV.
+
+    ``qkv`` has shape ``(N, T, 3*D)``; returns ``(N, T, D)``.
+    """
+    n, t, three_d = qkv.shape
+    if three_d % 3:
+        raise ValueError("qkv last axis must be 3*D")
+    d = three_d // 3
+    if d % heads:
+        raise ValueError(f"dim {d} not divisible by heads {heads}")
+    head_dim = d // heads
+    q, k, v = np.split(qkv, 3, axis=-1)
+
+    def to_heads(a: np.ndarray) -> np.ndarray:
+        return a.reshape(n, t, heads, head_dim).transpose(0, 2, 1, 3)
+
+    q, k, v = to_heads(q), to_heads(k), to_heads(v)
+    scores = (q @ k.transpose(0, 1, 3, 2)) / math.sqrt(head_dim)
+    weights = softmax(scores, axis=-1)
+    ctx = weights @ v  # (N, heads, T, head_dim)
+    if tally is not None:
+        tally.add(2.0 * n * t * t * d)  # QK^T and AV
+    return ctx.transpose(0, 2, 1, 3).reshape(n, t, d)
+
+
+# ----------------------------------------------------------------------
+# Weight initialization
+# ----------------------------------------------------------------------
+
+def _init(rng: np.random.Generator, *shape: int) -> np.ndarray:
+    fan_in = math.prod(shape[1:]) if len(shape) > 1 else shape[0]
+    std = 1.0 / math.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def init_vit_weights(cfg: ViTConfig, seed: int = 0) -> dict[str, np.ndarray]:
+    """Procedural ViT weights keyed by parameter name."""
+    rng = np.random.default_rng(seed)
+    d, hidden = cfg.dim, cfg.mlp_hidden
+    w: dict[str, np.ndarray] = {
+        "patch_embed.weight": _init(rng, d, cfg.in_channels,
+                                    cfg.patch_size, cfg.patch_size),
+        "patch_embed.bias": np.zeros(d, np.float32),
+        "cls_token": _init(rng, 1, d),
+        "pos_embed": _init(rng, cfg.tokens, d),
+        "norm.gamma": np.ones(d, np.float32),
+        "norm.beta": np.zeros(d, np.float32),
+        "head.weight": _init(rng, cfg.num_classes, d),
+        "head.bias": np.zeros(cfg.num_classes, np.float32),
+    }
+    for i in range(cfg.depth):
+        p = f"block{i}"
+        w[f"{p}.norm1.gamma"] = np.ones(d, np.float32)
+        w[f"{p}.norm1.beta"] = np.zeros(d, np.float32)
+        w[f"{p}.qkv.weight"] = _init(rng, 3 * d, d)
+        w[f"{p}.qkv.bias"] = np.zeros(3 * d, np.float32)
+        w[f"{p}.proj.weight"] = _init(rng, d, d)
+        w[f"{p}.proj.bias"] = np.zeros(d, np.float32)
+        w[f"{p}.norm2.gamma"] = np.ones(d, np.float32)
+        w[f"{p}.norm2.beta"] = np.zeros(d, np.float32)
+        w[f"{p}.fc1.weight"] = _init(rng, hidden, d)
+        w[f"{p}.fc1.bias"] = np.zeros(hidden, np.float32)
+        w[f"{p}.fc2.weight"] = _init(rng, d, hidden)
+        w[f"{p}.fc2.bias"] = np.zeros(d, np.float32)
+    return w
+
+
+def vit_forward(cfg: ViTConfig, weights: dict[str, np.ndarray],
+                x: np.ndarray, tally: MacTally | None = None,
+                return_features: bool = False) -> np.ndarray:
+    """ViT inference: ``(N, C, H, W) -> (N, num_classes)`` logits.
+
+    ``return_features=True`` returns the penultimate class-token
+    embedding ``(N, D)`` instead — the representation the fine-tuning
+    substrate trains localized heads on.
+    """
+    n, c, h, wd = x.shape
+    if (c, h, wd) != (cfg.in_channels, cfg.img_size, cfg.img_size):
+        raise ValueError(
+            f"expected input (N, {cfg.in_channels}, {cfg.img_size}, "
+            f"{cfg.img_size}), got {x.shape}")
+    # Patch embedding is a stride=kernel conv.
+    tokens = conv2d(x, weights["patch_embed.weight"],
+                    weights["patch_embed.bias"],
+                    stride=cfg.patch_size, tally=tally)
+    tokens = tokens.reshape(n, cfg.dim, -1).transpose(0, 2, 1)  # (N, T-1, D)
+    cls = np.broadcast_to(weights["cls_token"], (n, 1, cfg.dim))
+    seq = np.concatenate([cls, tokens], axis=1) + weights["pos_embed"]
+
+    for i in range(cfg.depth):
+        p = f"block{i}"
+        y = layernorm(seq, weights[f"{p}.norm1.gamma"],
+                      weights[f"{p}.norm1.beta"])
+        qkv = linear(y, weights[f"{p}.qkv.weight"], weights[f"{p}.qkv.bias"],
+                     tally=tally)
+        ctx = attention(qkv, cfg.heads, tally=tally)
+        seq = seq + linear(ctx, weights[f"{p}.proj.weight"],
+                           weights[f"{p}.proj.bias"], tally=tally)
+        y = layernorm(seq, weights[f"{p}.norm2.gamma"],
+                      weights[f"{p}.norm2.beta"])
+        y = gelu(linear(y, weights[f"{p}.fc1.weight"],
+                        weights[f"{p}.fc1.bias"], tally=tally))
+        seq = seq + linear(y, weights[f"{p}.fc2.weight"],
+                           weights[f"{p}.fc2.bias"], tally=tally)
+
+    seq = layernorm(seq, weights["norm.gamma"], weights["norm.beta"])
+    if return_features:
+        return seq[:, 0]
+    return linear(seq[:, 0], weights["head.weight"], weights["head.bias"],
+                  tally=tally)
+
+
+# ----------------------------------------------------------------------
+# ResNet50
+# ----------------------------------------------------------------------
+
+def _resnet_block_configs(img_size: int) -> list[tuple[str, BottleneckConfig]]:
+    configs = []
+    hw = (img_size // 4, img_size // 4)  # after stem conv + maxpool
+    in_ch = 64
+    for stage_idx, (blocks, width) in enumerate(STAGES, start=1):
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 1) else 1
+            cfg = BottleneckConfig(in_channels=in_ch, width=width,
+                                   stride=stride, in_hw=hw)
+            configs.append((f"layer{stage_idx}.{block_idx}", cfg))
+            in_ch = cfg.out_channels
+            hw = cfg.out_hw
+    return configs
+
+
+def init_resnet50_weights(img_size: int = 224, num_classes: int = 1000,
+                          seed: int = 0) -> dict[str, np.ndarray]:
+    """Procedural ResNet50 weights keyed by parameter name."""
+    rng = np.random.default_rng(seed)
+
+    def bn(prefix: str, ch: int) -> dict[str, np.ndarray]:
+        return {
+            f"{prefix}.gamma": np.ones(ch, np.float32),
+            f"{prefix}.beta": np.zeros(ch, np.float32),
+            f"{prefix}.mean": np.zeros(ch, np.float32),
+            f"{prefix}.var": np.ones(ch, np.float32),
+        }
+
+    w: dict[str, np.ndarray] = {"stem.conv": _init(rng, 64, 3, 7, 7)}
+    w.update(bn("stem.bn", 64))
+    for name, cfg in _resnet_block_configs(img_size):
+        w[f"{name}.1.conv"] = _init(rng, cfg.width, cfg.in_channels, 1, 1)
+        w.update(bn(f"{name}.1.bn", cfg.width))
+        w[f"{name}.2.conv"] = _init(rng, cfg.width, cfg.width, 3, 3)
+        w.update(bn(f"{name}.2.bn", cfg.width))
+        w[f"{name}.3.conv"] = _init(rng, cfg.out_channels, cfg.width, 1, 1)
+        w.update(bn(f"{name}.3.bn", cfg.out_channels))
+        if cfg.has_downsample:
+            w[f"{name}.downsample.conv"] = _init(
+                rng, cfg.out_channels, cfg.in_channels, 1, 1)
+            w.update(bn(f"{name}.downsample.bn", cfg.out_channels))
+    w["fc.weight"] = _init(rng, num_classes, 2048)
+    w["fc.bias"] = np.zeros(num_classes, np.float32)
+    return w
+
+
+def resnet50_forward(weights: dict[str, np.ndarray], x: np.ndarray,
+                     img_size: int = 224,
+                     tally: MacTally | None = None,
+                     return_features: bool = False) -> np.ndarray:
+    """ResNet50 inference: ``(N, 3, H, W) -> (N, num_classes)`` logits.
+
+    ``return_features=True`` returns the pooled 2048-d embedding.
+    """
+    if x.shape[1:] != (3, img_size, img_size):
+        raise ValueError(
+            f"expected input (N, 3, {img_size}, {img_size}), got {x.shape}")
+
+    def apply_bn(prefix: str, t: np.ndarray) -> np.ndarray:
+        return batchnorm2d(t, weights[f"{prefix}.gamma"],
+                           weights[f"{prefix}.beta"],
+                           weights[f"{prefix}.mean"],
+                           weights[f"{prefix}.var"])
+
+    y = conv2d(x, weights["stem.conv"], stride=2, padding=3, tally=tally)
+    y = relu(apply_bn("stem.bn", y))
+    y = maxpool2d(y, kernel=3, stride=2, padding=1)
+
+    for name, cfg in _resnet_block_configs(img_size):
+        identity = y
+        y = relu(apply_bn(f"{name}.1.bn",
+                          conv2d(y, weights[f"{name}.1.conv"], tally=tally)))
+        y = relu(apply_bn(f"{name}.2.bn",
+                          conv2d(y, weights[f"{name}.2.conv"],
+                                 stride=cfg.stride, padding=1, tally=tally)))
+        y = apply_bn(f"{name}.3.bn",
+                     conv2d(y, weights[f"{name}.3.conv"], tally=tally))
+        if cfg.has_downsample:
+            identity = apply_bn(
+                f"{name}.downsample.bn",
+                conv2d(identity, weights[f"{name}.downsample.conv"],
+                       stride=cfg.stride, tally=tally))
+        y = relu(y + identity)
+
+    pooled = global_avgpool(y)
+    if return_features:
+        return pooled
+    return linear(pooled, weights["fc.weight"], weights["fc.bias"],
+                  tally=tally)
+
+
+# ----------------------------------------------------------------------
+# Facade
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FunctionalModel:
+    """A runnable model: config-resolved forward plus its weights."""
+
+    name: str
+    weights: dict[str, np.ndarray]
+    _forward: object
+    input_shape: tuple[int, int, int]
+    num_classes: int
+
+    def __call__(self, x: np.ndarray,
+                 tally: MacTally | None = None) -> np.ndarray:
+        return self._forward(self.weights, x, tally)
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Penultimate embeddings ``(N, D)`` for fine-tuning."""
+        return self._forward(self.weights, x, None, True)
+
+    def weight_elements(self) -> int:
+        """Total stored weight elements (BN running stats excluded)."""
+        return sum(
+            a.size for k, a in self.weights.items()
+            if not (k.endswith(".mean") or k.endswith(".var")))
+
+
+def build_functional(name: str, seed: int = 0,
+                     num_classes: int | None = None) -> FunctionalModel:
+    """Instantiate a runnable model by zoo name.
+
+    >>> m = build_functional("vit_tiny")
+    >>> m(np.zeros((1, 3, 32, 32), np.float32)).shape
+    (1, 39)
+    """
+    if name in VIT_CONFIGS:
+        cfg = VIT_CONFIGS[name]
+        if num_classes is not None:
+            cfg = dataclasses.replace(cfg, num_classes=num_classes)
+        weights = init_vit_weights(cfg, seed)
+
+        def fwd(w, x, tally=None, return_features=False, _cfg=cfg):
+            return vit_forward(_cfg, w, x, tally, return_features)
+
+        return FunctionalModel(name, weights, fwd,
+                               (cfg.in_channels, cfg.img_size, cfg.img_size),
+                               cfg.num_classes)
+    if name == "resnet50":
+        classes = 1000 if num_classes is None else num_classes
+        weights = init_resnet50_weights(num_classes=classes, seed=seed)
+
+        def fwd(w, x, tally=None, return_features=False):
+            return resnet50_forward(w, x, tally=tally,
+                                    return_features=return_features)
+
+        return FunctionalModel(name, weights, fwd, (3, 224, 224), classes)
+    raise KeyError(f"unknown model {name!r}")

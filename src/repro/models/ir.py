@@ -1,0 +1,156 @@
+"""ONNX-like intermediate representation for model graphs.
+
+The paper's models "are provided in the platform-neutral ONNX format and
+internally converted to the inference-oriented TensorRT format".  This
+module is the platform-neutral half: a JSON-serializable IR round-tripping
+:class:`~repro.models.graph.ModelGraph` losslessly, so the serving layer
+can load model definitions from a model repository on disk exactly the way
+Triton loads ONNX files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.models import layers as L
+from repro.models.graph import ModelGraph
+
+IR_VERSION = 1
+
+#: Layer registry: IR "op_type" -> spec class.  Field names in the IR match
+#: the dataclass fields, so (de)serialization is generic.
+_OP_TYPES: dict[str, type[L.LayerSpec]] = {
+    "Conv2d": L.Conv2d,
+    "BatchNorm2d": L.BatchNorm2d,
+    "Linear": L.Linear,
+    "AttentionMatmul": L.AttentionMatmul,
+    "Softmax": L.Softmax,
+    "LayerNorm": L.LayerNorm,
+    "Activation": L.Activation,
+    "Pool2d": L.Pool2d,
+    "GlobalAvgPool": L.GlobalAvgPool,
+    "Add": L.Add,
+    "PatchEmbed": L.PatchEmbed,
+    "TokenConcat": L.TokenConcat,
+    "PositionEmbedding": L.PositionEmbedding,
+}
+
+
+def _register_extension_ops() -> None:
+    """Extension layer types (imported lazily to avoid a cycle)."""
+    from repro.models.linear_attention import LinearAttentionMatmul
+
+    _OP_TYPES.setdefault("LinearAttentionMatmul", LinearAttentionMatmul)
+    _CLASS_TO_OP.setdefault(LinearAttentionMatmul, "LinearAttentionMatmul")
+_CLASS_TO_OP = {cls: op for op, cls in _OP_TYPES.items()}
+
+
+class IRError(ValueError):
+    """Raised when an IR document is malformed or version-incompatible."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelIR:
+    """A validated, JSON-ready model document."""
+
+    version: int
+    name: str
+    architecture: str
+    input_shape: tuple[int, int, int]
+    nodes: tuple[dict[str, Any], ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form of the document."""
+        return {
+            "ir_version": self.version,
+            "name": self.name,
+            "architecture": self.architecture,
+            "input_shape": list(self.input_shape),
+            "nodes": [dict(node) for node in self.nodes],
+        }
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def to_ir(graph: ModelGraph) -> ModelIR:
+    """Lower a :class:`ModelGraph` to the IR."""
+    _register_extension_ops()
+    nodes = []
+    for layer in graph.layers:
+        cls = type(layer)
+        if cls not in _CLASS_TO_OP:
+            raise IRError(f"layer type {cls.__name__} has no IR op_type")
+        attrs = {
+            field.name: _encode_value(getattr(layer, field.name))
+            for field in dataclasses.fields(layer)
+        }
+        nodes.append({"op_type": _CLASS_TO_OP[cls], **attrs})
+    return ModelIR(IR_VERSION, graph.name, graph.architecture,
+                   graph.input_shape, tuple(nodes))
+
+
+def _decode_node(node: dict[str, Any]) -> L.LayerSpec:
+    _register_extension_ops()
+    node = dict(node)
+    op_type = node.pop("op_type", None)
+    if op_type not in _OP_TYPES:
+        raise IRError(f"unknown op_type {op_type!r}")
+    cls = _OP_TYPES[op_type]
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(node) - fields
+    if unknown:
+        raise IRError(f"{op_type}: unexpected fields {sorted(unknown)}")
+    missing = fields - set(node)
+    # Fields with defaults may be omitted.
+    required = {
+        f.name for f in dataclasses.fields(cls)
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    if missing & required:
+        raise IRError(f"{op_type}: missing fields {sorted(missing & required)}")
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in node.items()
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise IRError(f"{op_type}: {exc}") from exc
+
+
+def from_ir(ir: ModelIR | dict[str, Any]) -> ModelGraph:
+    """Reconstruct a :class:`ModelGraph` from the IR (dict or ModelIR)."""
+    doc = ir.to_dict() if isinstance(ir, ModelIR) else ir
+    version = doc.get("ir_version")
+    if version != IR_VERSION:
+        raise IRError(f"unsupported ir_version {version!r} "
+                      f"(this build reads {IR_VERSION})")
+    for key in ("name", "architecture", "input_shape", "nodes"):
+        if key not in doc:
+            raise IRError(f"missing top-level field {key!r}")
+    layers = [_decode_node(node) for node in doc["nodes"]]
+    return ModelGraph(doc["name"], doc["architecture"],
+                      tuple(doc["input_shape"]), layers)
+
+
+def dumps(graph: ModelGraph, indent: int | None = None) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(to_ir(graph).to_dict(), indent=indent)
+
+
+def loads(payload: str) -> ModelGraph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        doc = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise IRError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise IRError("IR document must be a JSON object")
+    return from_ir(doc)

@@ -1,0 +1,234 @@
+"""Linear-complexity attention variant (the paper's RWKV pointer).
+
+Section 3.1: "attention layers scale quadratically with respect to input
+sequence length, making them less suitable for large image inputs.
+Recent work seeks to address this limitation through state-based
+architectures such as RWKV."
+
+This module builds that alternative for the ViT family: the softmax
+attention matmuls are replaced by kernelized linear attention
+(Katharopoulos et al. style, the stateless formulation of the RWKV-class
+recurrence),
+
+    out = φ(Q) · (φ(K)ᵀ V) / (φ(Q) · Σφ(K)),   φ(x) = elu(x) + 1,
+
+whose cost is ``2·T·d·head_dim`` MACs — **linear** in token count — at
+the price of the softmax's sharp selectivity.  The extension experiment
+(`benchmarks/test_ext_linear_attention.py`) reproduces the crossover the
+paper alludes to: quadratic attention wins at ViT-Tiny's 257 tokens,
+linear attention wins as image (and hence token) count grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import LayerCategory, LayerSpec, Shape
+from repro.models.vit import VIT_CONFIGS, ViTConfig, _block_layers
+from repro.models.layers import (
+    Activation,
+    Add,
+    AttentionMatmul,
+    LayerNorm,
+    Linear,
+    PatchEmbed,
+    PositionEmbedding,
+    Softmax,
+    TokenConcat,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearAttentionMatmul(LayerSpec):
+    """Kernelized linear attention: φ(K)ᵀV accumulation + φ(Q) readout.
+
+    Two ``T × head_dim × head_dim`` matmuls per head:
+    ``2 · T · d · head_dim`` MACs total — linear in T, versus the
+    softmax path's ``2 · T² · d``.
+    """
+
+    tokens: int
+    dim: int
+    heads: int
+
+    def __post_init__(self) -> None:
+        if self.dim % self.heads != 0:
+            raise ValueError(
+                f"{self.name}: dim {self.dim} not divisible by heads "
+                f"{self.heads}")
+
+    @property
+    def category(self) -> LayerCategory:
+        return LayerCategory.ATTENTION
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature width."""
+        return self.dim // self.heads
+
+    @property
+    def input_shape(self) -> Shape:
+        return (self.tokens, self.dim)
+
+    output_shape = input_shape
+
+    def params(self) -> int:
+        return 0
+
+    def macs(self) -> float:
+        return 2.0 * self.tokens * self.dim * self.head_dim
+
+    def elementwise_flops(self) -> float:
+        # φ on Q and K, plus the normalizer divide.
+        return 5.0 * self.tokens * self.dim
+
+    def activation_elements(self) -> int:
+        # The per-head (head_dim × head_dim) state plus the output.
+        return self.heads * self.head_dim ** 2 + self.tokens * self.dim
+
+
+def build_linear_vit(variant: "str | ViTConfig",
+                     num_classes: int | None = None) -> ModelGraph:
+    """A ViT with every softmax attention swapped for linear attention.
+
+    The rest of the architecture (and hence the parameter count) is
+    unchanged; only the parameter-free mixing op differs.
+    """
+    if isinstance(variant, str):
+        try:
+            cfg = VIT_CONFIGS[variant]
+        except KeyError:
+            raise KeyError(
+                f"unknown ViT variant {variant!r}; available: "
+                f"{sorted(VIT_CONFIGS)}") from None
+    else:
+        cfg = variant
+    if num_classes is not None:
+        cfg = dataclasses.replace(cfg, num_classes=num_classes)
+
+    layers: list[LayerSpec] = [
+        PatchEmbed("patch_embed", in_channels=cfg.in_channels, dim=cfg.dim,
+                   img_hw=(cfg.img_size, cfg.img_size),
+                   patch_size=cfg.patch_size),
+        TokenConcat("cls_token", tokens=cfg.tokens - 1, dim=cfg.dim),
+        PositionEmbedding("pos_embed", tokens=cfg.tokens, dim=cfg.dim),
+    ]
+    for i in range(cfg.depth):
+        for layer in _block_layers(cfg, i):
+            if isinstance(layer, AttentionMatmul):
+                layers.append(LinearAttentionMatmul(
+                    layer.name.replace("matmul", "linear"),
+                    tokens=cfg.tokens, dim=cfg.dim, heads=cfg.heads))
+            elif isinstance(layer, Softmax):
+                continue  # no softmax in the kernelized form
+            else:
+                layers.append(layer)
+    layers.extend([
+        LayerNorm("norm", tokens=cfg.tokens, dim=cfg.dim),
+        Linear("head", in_features=cfg.dim, out_features=cfg.num_classes,
+               tokens=1),
+    ])
+    return ModelGraph(f"{cfg.name}_linattn", "transformer",
+                      (cfg.in_channels, cfg.img_size, cfg.img_size),
+                      layers)
+
+
+# ----------------------------------------------------------------------
+# Functional path
+# ----------------------------------------------------------------------
+
+def _elu_plus_one(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x + 1.0, np.exp(np.minimum(x, 0.0)))
+
+
+def linear_attention(qkv: np.ndarray, heads: int) -> np.ndarray:
+    """Kernelized linear attention from packed QKV: ``(N, T, 3D) -> (N, T, D)``.
+
+    Cost is O(T · d · head_dim): the φ(K)ᵀV state is accumulated once and
+    read out per query token.
+    """
+    n, t, three_d = qkv.shape
+    if three_d % 3:
+        raise ValueError("qkv last axis must be 3*D")
+    d = three_d // 3
+    if d % heads:
+        raise ValueError(f"dim {d} not divisible by heads {heads}")
+    head_dim = d // heads
+    q, k, v = np.split(qkv, 3, axis=-1)
+
+    def to_heads(a: np.ndarray) -> np.ndarray:
+        return a.reshape(n, t, heads, head_dim).transpose(0, 2, 1, 3)
+
+    q = _elu_plus_one(to_heads(q))
+    k = _elu_plus_one(to_heads(k))
+    v = to_heads(v)
+    # State: (N, H, head_dim, head_dim); normalizer: (N, H, head_dim).
+    state = k.transpose(0, 1, 3, 2) @ v
+    z = k.sum(axis=2)
+    out = q @ state                                   # (N, H, T, hd)
+    denom = np.einsum("nhtd,nhd->nht", q, z)[..., None]
+    out = out / np.maximum(denom, 1e-9)
+    return out.transpose(0, 2, 1, 3).reshape(n, t, d)
+
+
+def linear_vit_forward(cfg: ViTConfig, weights: dict[str, np.ndarray],
+                       x: np.ndarray) -> np.ndarray:
+    """Forward pass of the linear-attention ViT (same weights as ViT)."""
+    from repro.models import functional as F
+
+    n = x.shape[0]
+    if x.shape[1:] != (cfg.in_channels, cfg.img_size, cfg.img_size):
+        raise ValueError(
+            f"expected input (N, {cfg.in_channels}, {cfg.img_size}, "
+            f"{cfg.img_size}), got {x.shape}")
+    tokens = F.conv2d(x, weights["patch_embed.weight"],
+                      weights["patch_embed.bias"], stride=cfg.patch_size)
+    tokens = tokens.reshape(n, cfg.dim, -1).transpose(0, 2, 1)
+    cls = np.broadcast_to(weights["cls_token"], (n, 1, cfg.dim))
+    seq = np.concatenate([cls, tokens], axis=1) + weights["pos_embed"]
+    for i in range(cfg.depth):
+        p = f"block{i}"
+        y = F.layernorm(seq, weights[f"{p}.norm1.gamma"],
+                        weights[f"{p}.norm1.beta"])
+        qkv = F.linear(y, weights[f"{p}.qkv.weight"],
+                       weights[f"{p}.qkv.bias"])
+        seq = seq + F.linear(linear_attention(qkv, cfg.heads),
+                             weights[f"{p}.proj.weight"],
+                             weights[f"{p}.proj.bias"])
+        y = F.layernorm(seq, weights[f"{p}.norm2.gamma"],
+                        weights[f"{p}.norm2.beta"])
+        y = F.gelu(F.linear(y, weights[f"{p}.fc1.weight"],
+                            weights[f"{p}.fc1.bias"]))
+        seq = seq + F.linear(y, weights[f"{p}.fc2.weight"],
+                             weights[f"{p}.fc2.bias"])
+    seq = F.layernorm(seq, weights["norm.gamma"], weights["norm.beta"])
+    return F.linear(seq[:, 0], weights["head.weight"],
+                    weights["head.bias"])
+
+
+def attention_cost_crossover(dim: int = 192, heads: int = 3,
+                             token_counts: tuple[int, ...] = (
+                                 33, 65, 257, 1025, 4097, 16385),
+                             ) -> list[dict]:
+    """MACs of softmax vs linear attention across sequence lengths.
+
+    The extension experiment: where does the quadratic path lose?
+    Crossover sits at T = head_dim (d/heads): beyond it the softmax
+    matmuls cost more than the kernelized state.
+    """
+    rows = []
+    for t in token_counts:
+        softmax_macs = AttentionMatmul("sm", tokens=t, dim=dim,
+                                       heads=heads).macs()
+        linear_macs = LinearAttentionMatmul("lin", tokens=t, dim=dim,
+                                            heads=heads).macs()
+        rows.append({
+            "tokens": t,
+            "softmax_gmacs": softmax_macs / 1e9,
+            "linear_gmacs": linear_macs / 1e9,
+            "linear_wins": linear_macs < softmax_macs,
+        })
+    return rows

@@ -1,0 +1,129 @@
+"""ResNet50 builder (He et al. [15]).
+
+Standard torchvision topology: a 7×7/2 stem, 3×3/2 max pool, four stages
+of bottleneck blocks ([3, 4, 6, 3] with widths 64/128/256/512, expansion
+4), global average pooling, and a 1000-way linear head (the paper's
+25.56M-parameter count matches the ImageNet-1k head, i.e. a pretrained
+backbone fine-tuned with its original classifier width).
+
+Table 3 anchors: 25.56M parameters, 4.09 GFLOPs/image at 224×224, and the
+Section 4.0.2 claim that "convolution operations account for 99.5% of
+ResNet50's overall computational intensity".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    LayerSpec,
+    Linear,
+    Pool2d,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BottleneckConfig:
+    """One bottleneck block: 1×1 reduce, 3×3, 1×1 expand (+ downsample)."""
+
+    in_channels: int
+    width: int
+    stride: int
+    in_hw: tuple[int, int]
+
+    @property
+    def out_channels(self) -> int:
+        """Block output channels (width x expansion 4)."""
+        return self.width * 4
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        """Spatial size after the block's stride."""
+        h, w = self.in_hw
+        return (h // self.stride, w // self.stride)
+
+    @property
+    def has_downsample(self) -> bool:
+        """Whether the identity path needs a projection."""
+        return self.stride != 1 or self.in_channels != self.out_channels
+
+
+def _conv_bn(prefix: str, in_ch: int, out_ch: int, in_hw: tuple[int, int],
+             kernel: int, stride: int, padding: int,
+             relu: bool = True) -> list[LayerSpec]:
+    conv = Conv2d(f"{prefix}.conv", in_channels=in_ch, out_channels=out_ch,
+                  in_hw=in_hw, kernel_size=kernel, stride=stride,
+                  padding=padding, bias=False)
+    layers: list[LayerSpec] = [
+        conv,
+        BatchNorm2d(f"{prefix}.bn", channels=out_ch, in_hw=conv.out_hw),
+    ]
+    if relu:
+        layers.append(Activation(f"{prefix}.relu", kind="relu",
+                                 shape=(out_ch, *conv.out_hw)))
+    return layers
+
+
+def _bottleneck(prefix: str, cfg: BottleneckConfig) -> list[LayerSpec]:
+    layers: list[LayerSpec] = []
+    # 1x1 reduce
+    layers += _conv_bn(f"{prefix}.1", cfg.in_channels, cfg.width,
+                       cfg.in_hw, kernel=1, stride=1, padding=0)
+    # 3x3 (carries the stride, torchvision style)
+    layers += _conv_bn(f"{prefix}.2", cfg.width, cfg.width,
+                       cfg.in_hw, kernel=3, stride=cfg.stride, padding=1)
+    # 1x1 expand, no relu before the residual add
+    layers += _conv_bn(f"{prefix}.3", cfg.width, cfg.out_channels,
+                       cfg.out_hw, kernel=1, stride=1, padding=0, relu=False)
+    if cfg.has_downsample:
+        layers += _conv_bn(f"{prefix}.downsample", cfg.in_channels,
+                           cfg.out_channels, cfg.in_hw, kernel=1,
+                           stride=cfg.stride, padding=0, relu=False)
+    layers.append(Add(f"{prefix}.residual",
+                      shape=(cfg.out_channels, *cfg.out_hw)))
+    layers.append(Activation(f"{prefix}.relu_out", kind="relu",
+                             shape=(cfg.out_channels, *cfg.out_hw)))
+    return layers
+
+
+#: (blocks, width) per stage — the "50" in ResNet50.
+STAGES: tuple[tuple[int, int], ...] = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def build_resnet50(img_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Build the ResNet50 layer graph.
+
+    ``img_size`` must be divisible by 32 (five stride-2 reductions).
+    """
+    if img_size % 32:
+        raise ValueError(f"img_size must be divisible by 32, got {img_size}")
+
+    layers: list[LayerSpec] = []
+    hw = (img_size, img_size)
+    # Stem: 7x7/2 conv, BN, ReLU, 3x3/2 max pool.
+    layers += _conv_bn("stem", 3, 64, hw, kernel=7, stride=2, padding=3)
+    hw = (img_size // 2, img_size // 2)
+    pool = Pool2d("stem.maxpool", kind="max", channels=64, in_hw=hw,
+                  kernel_size=3, stride=2, padding=1)
+    layers.append(pool)
+    hw = pool.out_hw
+
+    in_ch = 64
+    for stage_idx, (blocks, width) in enumerate(STAGES, start=1):
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 1) else 1
+            cfg = BottleneckConfig(in_channels=in_ch, width=width,
+                                   stride=stride, in_hw=hw)
+            layers += _bottleneck(f"layer{stage_idx}.{block_idx}", cfg)
+            in_ch = cfg.out_channels
+            hw = cfg.out_hw
+
+    layers.append(GlobalAvgPool("avgpool", channels=in_ch, in_hw=hw))
+    layers.append(Linear("fc", in_features=in_ch, out_features=num_classes))
+    return ModelGraph("resnet50", "cnn", (3, img_size, img_size), layers)

@@ -1,0 +1,164 @@
+"""TensorRT-like engine builder: precision conversion and operator fusion.
+
+The paper converts ONNX models "internally ... to the inference-oriented
+TensorRT format".  The builder here performs the two transformations that
+matter for the characterization:
+
+* **precision conversion** — weights and activations are narrowed to the
+  requested format, checked against platform support (e.g. requesting BF16
+  on the V100 fails exactly like ``trtexec`` would);
+* **operator fusion** — the classical inference fusions that reduce layer
+  launches: Conv+BN(+ReLU) folding and Linear+GELU pointwise fusion.
+  Fusion does not change MACs but shrinks elementwise work and the number
+  of intermediate tensors, which the memory model consumes.
+
+The output :class:`BuiltEngineSpec` is a static plan: fused layer list,
+weight bytes, per-image activation bytes, and the supported batch range.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.precision import Precision, parse_precision
+from repro.models import layers as L
+from repro.models.graph import ModelGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedLayer:
+    """One engine layer after fusion (1..n source layers)."""
+
+    name: str
+    source_layers: tuple[str, ...]
+    category: L.LayerCategory
+    macs: float
+    elementwise_flops: float
+    activation_elements: int
+
+
+@dataclasses.dataclass(frozen=True)
+class BuiltEngineSpec:
+    """A built engine plan — the static artifact `trtexec` would emit."""
+
+    model_name: str
+    platform_name: str
+    precision: Precision
+    max_batch_size: int
+    fused_layers: tuple[FusedLayer, ...]
+    weight_bytes: float
+    activation_bytes_per_image: float
+    flops_per_image: float
+
+    @property
+    def num_layers(self) -> int:
+        """Fused layer count of the built plan."""
+        return len(self.fused_layers)
+
+    def memory_bytes(self, batch_size: int) -> float:
+        """Device memory at a given batch (weights + live activations)."""
+        if not 1 <= batch_size <= self.max_batch_size:
+            raise ValueError(
+                f"batch {batch_size} outside engine profile "
+                f"[1, {self.max_batch_size}]")
+        return (self.weight_bytes
+                + batch_size * self.activation_bytes_per_image)
+
+
+class TRTEngineBuilder:
+    """Builds :class:`BuiltEngineSpec` plans from model graphs.
+
+    Parameters
+    ----------
+    platform:
+        Target device; precision support is validated against it.
+    precision:
+        Engine format.  Defaults to the platform's benchmark precision
+        (BF16 on A100/Jetson, FP16 on V100 — the paper's setup).
+    """
+
+    #: Pointwise ops fusable into a preceding matmul/conv layer.
+    _FUSABLE_AFTER = (L.BatchNorm2d, L.Activation)
+
+    def __init__(self, platform: PlatformSpec,
+                 precision: Precision | str | None = None):
+        self.platform = platform
+        precision = (platform.benchmark_precision if precision is None
+                     else parse_precision(precision))
+        if not platform.supports(precision):
+            raise ValueError(
+                f"{platform.name} lacks hardware support for "
+                f"{precision.value}; supported: "
+                f"{sorted(p.value for p in platform.theoretical_tflops)}")
+        self.precision = precision
+
+    # ------------------------------------------------------------------
+    def fuse(self, graph: ModelGraph) -> list[FusedLayer]:
+        """Greedy forward fusion of pointwise ops into producers.
+
+        A BatchNorm/Activation immediately following a Conv2d or Linear is
+        folded into it (Conv+BN+ReLU becomes one engine layer).  Chains
+        are followed transitively, mirroring TensorRT's CBR fusion.
+        """
+        fused: list[FusedLayer] = []
+        layers = list(graph.layers)
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            group = [layer]
+            if isinstance(layer, (L.Conv2d, L.Linear, L.PatchEmbed)):
+                j = i + 1
+                while j < len(layers) and isinstance(
+                        layers[j], self._FUSABLE_AFTER):
+                    group.append(layers[j])
+                    j += 1
+                i = j
+            else:
+                i += 1
+            # BN folding removes the normalization arithmetic entirely;
+            # fused activations keep their flops but not their tensor.
+            elementwise = sum(
+                g.elementwise_flops() for g in group[1:]
+                if not isinstance(g, L.BatchNorm2d))
+            fused.append(FusedLayer(
+                name=group[0].name if len(group) == 1 else
+                "+".join(g.name.rsplit(".", 1)[-1] for g in group),
+                source_layers=tuple(g.name for g in group),
+                category=group[0].category,
+                macs=group[0].macs(),
+                elementwise_flops=group[0].elementwise_flops() + elementwise,
+                activation_elements=group[-1].activation_elements(),
+            ))
+        return fused
+
+    # ------------------------------------------------------------------
+    def build(self, graph: ModelGraph, max_batch_size: int = 1024,
+              available_memory_bytes: float | None = None) -> BuiltEngineSpec:
+        """Build an engine plan.
+
+        Raises :class:`~repro.hardware.memory.OutOfMemoryError`-compatible
+        ``ValueError`` if even batch 1 cannot fit the optional memory cap
+        (callers normally use :mod:`repro.engine.oom` for batch limits).
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        fused = tuple(self.fuse(graph))
+        weight_bytes = graph.weight_bytes(self.precision.bytes)
+        peak_elems = max(f.activation_elements for f in fused)
+        act_bytes = 2.0 * peak_elems * self.precision.bytes  # ping-pong
+        if available_memory_bytes is not None:
+            if weight_bytes + act_bytes > available_memory_bytes:
+                raise ValueError(
+                    f"engine for {graph.name} does not fit in "
+                    f"{available_memory_bytes / 1e9:.2f} GB at batch 1")
+        return BuiltEngineSpec(
+            model_name=graph.name,
+            platform_name=self.platform.name,
+            precision=self.precision,
+            max_batch_size=max_batch_size,
+            fused_layers=fused,
+            weight_bytes=weight_bytes,
+            activation_bytes_per_image=act_bytes,
+            flops_per_image=graph.flops_per_image(),
+        )

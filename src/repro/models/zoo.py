@@ -1,0 +1,104 @@
+"""Model registry and the Table 3 reproduction.
+
+The zoo maps model names to lazily-built :class:`ModelGraph` instances plus
+the paper-reported reference values, so tests and the analysis harness can
+compare analytic results against the paper in one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from collections.abc import Callable
+
+from repro.models.graph import ModelGraph
+from repro.models.resnet import build_resnet50
+from repro.models.vit import build_vit
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelEntry:
+    """A zoo entry: builder plus the paper's Table 3 reference values."""
+
+    name: str
+    display_name: str
+    builder: Callable[[], ModelGraph]
+    paper_params_millions: float
+    paper_gflops_per_image: float
+    paper_input_size: int
+    architecture: str
+
+    @functools.cached_property
+    def graph(self) -> ModelGraph:
+        return self.builder()
+
+
+MODEL_ZOO: dict[str, ModelEntry] = {
+    entry.name: entry
+    for entry in (
+        ModelEntry("vit_tiny", "ViT Tiny", lambda: build_vit("vit_tiny"),
+                   paper_params_millions=5.39,
+                   paper_gflops_per_image=1.37,
+                   paper_input_size=32, architecture="transformer"),
+        ModelEntry("vit_small", "ViT Small", lambda: build_vit("vit_small"),
+                   paper_params_millions=21.40,
+                   paper_gflops_per_image=5.47,
+                   paper_input_size=32, architecture="transformer"),
+        ModelEntry("vit_base", "ViT Base", lambda: build_vit("vit_base"),
+                   paper_params_millions=85.80,
+                   paper_gflops_per_image=16.86,
+                   paper_input_size=224, architecture="transformer"),
+        ModelEntry("resnet50", "ResNet50", lambda: build_resnet50(),
+                   paper_params_millions=25.56,
+                   paper_gflops_per_image=4.09,
+                   paper_input_size=224, architecture="cnn"),
+    )
+}
+
+#: Table 3 column order.
+MODEL_ORDER: tuple[str, ...] = ("vit_tiny", "vit_small", "vit_base", "resnet50")
+
+
+def get_model(name: str) -> ModelEntry:
+    """Look up a zoo entry by name (case-insensitive)."""
+    try:
+        return MODEL_ZOO[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None
+
+
+def list_models() -> list[ModelEntry]:
+    """Zoo entries in Table 3 column order."""
+    return [MODEL_ZOO[name] for name in MODEL_ORDER]
+
+
+def table3_rows(platforms=None) -> list[dict]:
+    """Regenerate Table 3: per-model specs and throughput upper bounds.
+
+    ``platforms`` defaults to the three Table 1 platforms.  The throughput
+    upper bound is practical platform FLOPS divided by the model's
+    per-image FLOPs (Section 3.1).
+    """
+    from repro.hardware.platform import list_platforms
+
+    if platforms is None:
+        platforms = list_platforms()
+    rows = []
+    for entry in list_models():
+        graph = entry.graph
+        row = {
+            "model": entry.display_name,
+            "params_millions": graph.total_params() / 1e6,
+            "architecture": graph.architecture,
+            "gflops_per_image": graph.reported_gflops(),
+            "input_size": graph.input_shape[1],
+            "paper_params_millions": entry.paper_params_millions,
+            "paper_gflops_per_image": entry.paper_gflops_per_image,
+        }
+        for platform in platforms:
+            bound = platform.throughput_upper_bound(graph.flops_per_image())
+            row[f"upper_bound_{platform.name.lower()}"] = bound
+        rows.append(row)
+    return rows

@@ -1,0 +1,196 @@
+"""The performance predictor.
+
+For *measured* platforms the predictor delegates to the calibrated engine
+models.  For an **unmeasured** platform it transfers the MFU structure
+from a donor: peak utilization is assumed architecture-portable within a
+tier (the paper's A100/V100/Jetson peaks for the same model differ far
+less than their absolute FLOPS), and the saturation scale follows the
+donor's law.  :mod:`repro.predict.validation` quantifies the error this
+assumption costs on the paper's own data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.engine import calibration
+from repro.engine.latency import LatencyModel
+from repro.engine.mfu import MFUModel, _b_sat_for
+from repro.engine.oom import EngineMemoryModel
+from repro.hardware.platform import PlatformKind, PlatformSpec
+from repro.hardware.power import POWER_PROFILES, PowerProfile, EnergyModel
+from repro.models.graph import ModelGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """Expected behaviour of one deployment operating point."""
+
+    model: str
+    platform: str
+    batch_size: int
+    throughput: float
+    latency_seconds: float
+    mfu: float
+    engine_memory_bytes: float
+    max_batch_size: int
+    joules_per_image: float | None
+    calibrated: bool    # False when MFU structure was transferred
+
+
+def _has_anchors(platform: PlatformSpec) -> bool:
+    plat = platform.name.lower()
+    return any(p == plat for p, _ in calibration.THROUGHPUT_ANCHORS)
+
+
+def _default_donor(platform: PlatformSpec) -> str:
+    """Donor platform for MFU transfer: same continuum tier."""
+    return "jetson" if platform.kind is PlatformKind.EDGE else "a100"
+
+
+class _TransferredMFU:
+    """MFUModel-compatible object with a donor's peak utilization.
+
+    Duck-typed to what :class:`~repro.engine.latency.LatencyModel`
+    consumes: ``mfu(batch)``, ``mfu_peak``, ``b_sat``,
+    ``achieved_tflops``, ``near_saturation_batch``.
+    """
+
+    def __init__(self, graph: ModelGraph, platform: PlatformSpec,
+                 donor_name: str):
+        from repro.hardware.platform import get_platform
+
+        donor = get_platform(donor_name)
+        donor_model = MFUModel(graph, donor)
+        self.graph = graph
+        self.platform = platform
+        self.mfu_peak = donor_model.mfu_peak
+        # Saturation scale: the donor's law evaluated for this platform
+        # tier (fixed scale on edge, FLOPs-inverse on cloud).
+        self.b_sat = _b_sat_for(donor.name, graph.reported_gflops())
+
+    def mfu(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.mfu_peak * (1.0 - math.exp(-batch_size / self.b_sat))
+
+    def achieved_tflops(self, batch_size: int) -> float:
+        return self.platform.practical_tflops * self.mfu(batch_size)
+
+    def near_saturation_batch(self, fraction: float = 0.9) -> int:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        return max(1, math.ceil(-self.b_sat * math.log(1.0 - fraction)))
+
+
+class PerformancePredictor:
+    """Predicts deployment behaviour on measured or hypothetical devices.
+
+    Parameters
+    ----------
+    platform:
+        Target device.  A registered platform uses its calibration; an
+        unregistered :class:`PlatformSpec` (from
+        :func:`repro.predict.whatif.define_platform`) transfers MFU
+        structure from ``donor`` (defaults to the same-tier platform).
+    donor:
+        Override the donor platform name for MFU transfer.
+    power_profile:
+        Electrical envelope for energy predictions; defaults to the
+        registered profile when one exists, else None (energy omitted).
+    """
+
+    def __init__(self, platform: PlatformSpec, donor: str | None = None,
+                 power_profile: PowerProfile | None = None):
+        self.platform = platform
+        self.calibrated = _has_anchors(platform)
+        if self.calibrated:
+            mfu_factory = lambda graph: MFUModel(graph, platform)  # noqa: E731
+        else:
+            donor_name = donor or _default_donor(platform)
+            mfu_factory = lambda graph: _TransferredMFU(  # noqa: E731
+                graph, platform, donor_name)
+        self._mfu_factory = mfu_factory
+        if power_profile is not None:
+            self.power_profile = power_profile
+        else:
+            self.power_profile = POWER_PROFILES.get(platform.name.lower())
+
+    # ------------------------------------------------------------------
+    def latency_model(self, graph: ModelGraph) -> LatencyModel:
+        """The latency model this predictor prices a graph with."""
+        return LatencyModel(graph, self.platform,
+                            mfu_model=self._mfu_factory(graph))
+
+    def predict(self, graph: ModelGraph, batch_size: int) -> Prediction:
+        """Expected behaviour at one operating point."""
+        model = self.latency_model(graph)
+        memory = EngineMemoryModel(graph, self.platform)
+        max_batch = self._max_batch(graph, memory)
+        if batch_size > max_batch:
+            raise ValueError(
+                f"batch {batch_size} exceeds the predicted OOM limit "
+                f"{max_batch} on {self.platform.name}")
+        point = model.point(batch_size)
+        joules = None
+        if self.power_profile is not None:
+            energy = EnergyModel(graph, self.platform,
+                                 profile=self.power_profile)
+            # Reuse this predictor's MFU structure for utilization.
+            watts = self.power_profile.watts_at(point.mfu)
+            joules = watts / point.throughput
+        return Prediction(
+            model=graph.name,
+            platform=self.platform.name,
+            batch_size=batch_size,
+            throughput=point.throughput,
+            latency_seconds=point.latency_seconds,
+            mfu=point.mfu,
+            engine_memory_bytes=memory.engine_bytes(batch_size),
+            max_batch_size=max_batch,
+            joules_per_image=joules,
+            calibrated=self.calibrated,
+        )
+
+    def _max_batch(self, graph: ModelGraph,
+                   memory: EngineMemoryModel) -> int:
+        grid = self._grid()
+        fitting = [b for b in grid if memory.fits(b)]
+        if not fitting:
+            memory.require(grid[0])
+        return max(fitting)
+
+    def _grid(self) -> tuple[int, ...]:
+        try:
+            return calibration.batch_grid(self.platform.name)
+        except KeyError:
+            tier = ("jetson" if self.platform.kind is PlatformKind.EDGE
+                    else "a100")
+            return calibration.batch_grid(tier)
+
+    # ------------------------------------------------------------------
+    def sweep(self, graph: ModelGraph) -> list[Prediction]:
+        """Predictions over the feasible batch grid (a Fig. 5 preview)."""
+        memory = EngineMemoryModel(graph, self.platform)
+        limit = self._max_batch(graph, memory)
+        return [self.predict(graph, b) for b in self._grid()
+                if b <= limit]
+
+    def expectation_report(self, graph: ModelGraph) -> dict:
+        """The practitioner-facing summary: what to expect pre-deploy."""
+        sweep = self.sweep(graph)
+        best = sweep[-1]
+        sat = next((p for p in sweep
+                    if p.mfu >= 0.9 * sweep[-1].mfu), best)
+        return {
+            "model": graph.name,
+            "platform": self.platform.name,
+            "calibrated": self.calibrated,
+            "max_batch": best.max_batch_size,
+            "peak_throughput": best.throughput,
+            "recommended_batch": sat.batch_size,
+            "latency_at_recommended_ms": sat.latency_seconds * 1e3,
+            "engine_memory_gb": best.engine_memory_bytes / 1e9,
+            "joules_per_image": best.joules_per_image,
+        }

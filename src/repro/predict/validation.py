@@ -1,0 +1,82 @@
+"""Backtesting the predictor against the paper's own measurements.
+
+Leave-one-platform-out: strip a platform of its calibration anchors,
+predict its Fig. 5 legend throughputs by transferring MFU structure from
+a donor platform, and report the error against the paper's printed
+values.  This quantifies what the prediction toolkit's portability
+assumption costs — the honest error bar a practitioner should put on
+pre-deployment expectations for unmeasured hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine import calibration
+from repro.hardware.platform import get_platform
+from repro.models.zoo import MODEL_ZOO
+from repro.predict.predictor import PerformancePredictor, _TransferredMFU
+from repro.engine.latency import LatencyModel
+
+
+@dataclasses.dataclass(frozen=True)
+class BacktestResult:
+    """Predicted vs paper throughput for one (platform, model) anchor."""
+
+    platform: str
+    donor: str
+    model: str
+    batch: int
+    paper_images_per_second: float
+    predicted_images_per_second: float
+
+    @property
+    def relative_error(self) -> float:
+        """Prediction error relative to the paper value."""
+        return abs(self.predicted_images_per_second
+                   - self.paper_images_per_second) \
+            / self.paper_images_per_second
+
+
+def backtest_platform(platform_name: str,
+                      donor_name: str) -> list[BacktestResult]:
+    """Predict ``platform_name``'s anchors using only ``donor_name``'s
+    calibration, and compare against the paper.
+
+    >>> results = backtest_platform("v100", donor="a100")  # doctest: +SKIP
+    """
+    platform = get_platform(platform_name)
+    donor = get_platform(donor_name)
+    if platform.name == donor.name:
+        raise ValueError("donor must differ from the target platform")
+    results = []
+    for (plat, model_name), (batch, paper_thr) in sorted(
+            calibration.THROUGHPUT_ANCHORS.items()):
+        if plat != platform.name.lower():
+            continue
+        graph = MODEL_ZOO[model_name].graph
+        transferred = _TransferredMFU(graph, platform, donor.name)
+        model = LatencyModel(graph, platform, mfu_model=transferred)
+        results.append(BacktestResult(
+            platform=platform.name,
+            donor=donor.name,
+            model=model_name,
+            batch=batch,
+            paper_images_per_second=paper_thr,
+            predicted_images_per_second=model.throughput(batch),
+        ))
+    if not results:
+        raise KeyError(f"no anchors recorded for {platform_name!r}")
+    return results
+
+
+def backtest_summary() -> dict[str, float]:
+    """Mean relative error per (target <- donor) pairing across the zoo."""
+    pairs = [("v100", "a100"), ("a100", "v100"),
+             ("jetson", "a100"), ("a100", "jetson")]
+    out = {}
+    for target, donor in pairs:
+        results = backtest_platform(target, donor)
+        out[f"{target}<-{donor}"] = sum(
+            r.relative_error for r in results) / len(results)
+    return out

@@ -1,0 +1,104 @@
+"""What-if platform definition: preview hardware before buying it.
+
+"enable practitioners to establish performance expectations before
+deployment" — :func:`define_platform` turns datasheet numbers into a
+:class:`PlatformSpec` (practical FLOPS estimated from the tier's observed
+efficiency when no measurement exists), and :func:`preview_platform` runs
+the whole model zoo through the predictor on it.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.platform import (
+    PlatformKind,
+    PlatformSpec,
+    Scenario,
+    get_platform,
+)
+from repro.hardware.precision import Precision, parse_precision
+from repro.models.zoo import list_models
+from repro.predict.predictor import PerformancePredictor
+
+#: Practical/theoretical efficiency assumed for an unmeasured device,
+#: taken from the tier's measured platforms (Table 1): cloud 75-83%,
+#: edge 67%.
+_TIER_EFFICIENCY = {PlatformKind.CLOUD: 0.78, PlatformKind.EDGE: 0.67}
+
+
+def define_platform(
+    name: str,
+    kind: "PlatformKind | str",
+    peak_tflops: float,
+    precision: "Precision | str",
+    gpu_memory_gb: float,
+    memory_bandwidth_gbps: float,
+    cpu_cores: int,
+    unified_memory: bool = False,
+    host_memory_gb: float | None = None,
+    measured_practical_tflops: float | None = None,
+    power_watts: float | None = None,
+) -> PlatformSpec:
+    """Build a hypothetical platform from datasheet numbers.
+
+    ``measured_practical_tflops`` overrides the tier-efficiency estimate
+    when the practitioner has run the Table 1 GEMM benchmark on real
+    hardware.
+
+    >>> orin_nx = define_platform("OrinNX", "edge", peak_tflops=50.0,
+    ...     precision="fp16", gpu_memory_gb=16, memory_bandwidth_gbps=102,
+    ...     cpu_cores=8, unified_memory=True)
+    >>> orin_nx.practical_tflops
+    33.5
+    """
+    kind = PlatformKind(kind)
+    if kind is PlatformKind.HOST:
+        raise ValueError("define cloud or edge platforms")
+    precision = parse_precision(precision)
+    if peak_tflops <= 0:
+        raise ValueError("peak_tflops must be positive")
+    practical = (measured_practical_tflops
+                 if measured_practical_tflops is not None
+                 else round(peak_tflops * _TIER_EFFICIENCY[kind], 1))
+    scenarios = ((Scenario.REAL_TIME,) if kind is PlatformKind.EDGE
+                 else (Scenario.ONLINE, Scenario.OFFLINE))
+    usable = 0.52 if unified_memory else 0.92
+    return PlatformSpec(
+        name=name,
+        kind=kind,
+        cpu_cores=cpu_cores,
+        gpu_name=f"{name} (hypothetical)",
+        gpu_count=1,
+        gpu_memory_gb=gpu_memory_gb,
+        host_memory_gb=(gpu_memory_gb if unified_memory
+                        else (host_memory_gb or 4 * gpu_memory_gb)),
+        unified_memory=unified_memory,
+        theoretical_tflops={precision: peak_tflops},
+        practical_tflops=practical,
+        benchmark_precision=precision,
+        memory_bandwidth_gbps=memory_bandwidth_gbps,
+        scenarios=scenarios,
+        power_watts=power_watts,
+        usable_memory_fraction=usable,
+    )
+
+
+def preview_platform(platform: PlatformSpec,
+                     donor: str | None = None) -> list[dict]:
+    """Run the model zoo through the predictor on a candidate device.
+
+    Returns one expectation report per zoo model, plus the speedup over
+    the same-tier reference platform — the "should we buy it" table.
+    """
+    predictor = PerformancePredictor(platform, donor=donor)
+    reference = get_platform("jetson"
+                             if platform.kind is PlatformKind.EDGE
+                             else "a100")
+    ref_predictor = PerformancePredictor(reference)
+    rows = []
+    for entry in list_models():
+        report = predictor.expectation_report(entry.graph)
+        ref = ref_predictor.expectation_report(entry.graph)
+        report["speedup_vs_" + reference.name.lower()] = (
+            report["peak_throughput"] / ref["peak_throughput"])
+        rows.append(report)
+    return rows

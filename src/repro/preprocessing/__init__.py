@@ -1,0 +1,73 @@
+"""Preprocessing substrate: real image ops + framework cost models.
+
+Section 3.2: "Models require preprocessing consistent with their
+training-time distribution ... For vision models, such preprocessing often
+includes image decoding, resizing, cropping, and pixel-wise normalization"
+and "certain data sources also require task-specific preprocessing", e.g.
+the CRSA camera stream's perspective transformation.
+
+Two layers:
+
+* :mod:`repro.preprocessing.ops` — functional, fully vectorized NumPy
+  implementations of every op (bilinear resize, center crop, normalize,
+  perspective warp via a real homography solve);
+* :mod:`repro.preprocessing.frameworks` — the performance models for the
+  frameworks the paper compares in Fig. 7 (PyTorch CPU baseline, OpenCV
+  CPU for CRSA, DALI-style GPU acceleration at output sizes 224/96/32).
+"""
+
+from repro.preprocessing.ops import (
+    resize_bilinear,
+    center_crop,
+    normalize,
+    to_chw,
+    solve_homography,
+    warp_perspective,
+)
+from repro.preprocessing.pipelines import (
+    PreprocessPipeline,
+    model_pipeline,
+    crsa_pipeline,
+    IMAGENET_MEAN,
+    IMAGENET_STD,
+)
+from repro.preprocessing.cost import (
+    PlatformCostParams,
+    COST_PARAMS,
+    cost_params_for,
+)
+from repro.preprocessing.frameworks import (
+    FrameworkKind,
+    PreprocessFramework,
+    PyTorchCPU,
+    OpenCVCPU,
+    DALI,
+    DALIWarp,
+    framework_catalog,
+    PreprocessEstimate,
+)
+
+__all__ = [
+    "resize_bilinear",
+    "center_crop",
+    "normalize",
+    "to_chw",
+    "solve_homography",
+    "warp_perspective",
+    "PreprocessPipeline",
+    "model_pipeline",
+    "crsa_pipeline",
+    "IMAGENET_MEAN",
+    "IMAGENET_STD",
+    "PlatformCostParams",
+    "COST_PARAMS",
+    "cost_params_for",
+    "FrameworkKind",
+    "PreprocessFramework",
+    "PyTorchCPU",
+    "OpenCVCPU",
+    "DALI",
+    "DALIWarp",
+    "framework_catalog",
+    "PreprocessEstimate",
+]

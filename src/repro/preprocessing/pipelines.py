@@ -1,0 +1,113 @@
+"""Preprocessing pipeline composition.
+
+"Each model family is paired with its own preprocessing method, and in
+some cases, the dataset itself may require task-specific preprocessing"
+(Section 3).  A :class:`PreprocessPipeline` is an executable op sequence
+plus the metadata the cost model needs (input pixels in, output pixels
+out, op inventory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.preprocessing import ops
+
+#: torchvision's ImageNet statistics — what the evaluated checkpoints use.
+IMAGENET_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
+IMAGENET_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineStep:
+    """One named op in a pipeline."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class PreprocessPipeline:
+    """An executable preprocessing pipeline.
+
+    ``output_size`` is the square model-input side (224/96/32 in Fig. 7);
+    ``dataset_specific`` marks pipelines that include a dataset-level
+    stage (CRSA's perspective correction) before the model stage.
+    """
+
+    name: str
+    steps: tuple[PipelineStep, ...]
+    output_size: int
+    dataset_specific: bool = False
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        """Run the pipeline: ``(H, W, C)`` uint8 → ``(C, s, s)`` float32."""
+        out = image
+        for step in self.steps:
+            out = step.fn(out)
+        return out
+
+    @property
+    def op_names(self) -> tuple[str, ...]:
+        """Ordered op names in the pipeline."""
+        return tuple(step.name for step in self.steps)
+
+
+def model_pipeline(output_size: int,
+                   resize_ratio: float = 1.143) -> PreprocessPipeline:
+    """The standard vision-model pipeline: resize → crop → normalize → CHW.
+
+    ``resize_ratio`` mirrors torchvision's 256/224 convention: resize the
+    short side to ``ratio × output_size`` then center-crop.
+    """
+    if output_size < 1:
+        raise ValueError("output_size must be positive")
+    resize_to = max(output_size, int(round(output_size * resize_ratio)))
+
+    def do_resize(img: np.ndarray) -> np.ndarray:
+        h, w = img.shape[:2]
+        scale = resize_to / min(h, w)
+        return ops.resize_bilinear(img, max(1, round(h * scale)),
+                                   max(1, round(w * scale)))
+
+    steps = (
+        PipelineStep("resize", do_resize),
+        PipelineStep("center_crop",
+                     lambda img: ops.center_crop(img, output_size,
+                                                 output_size)),
+        PipelineStep("normalize",
+                     lambda img: ops.normalize(img, IMAGENET_MEAN,
+                                               IMAGENET_STD)),
+        PipelineStep("to_chw", ops.to_chw),
+    )
+    return PreprocessPipeline(f"model_{output_size}", steps, output_size)
+
+
+def crsa_pipeline(output_size: int,
+                  frame_hw: tuple[int, int] = (2160, 3840),
+                  ) -> PreprocessPipeline:
+    """The CRSA pipeline: perspective-correct the raw frame, then the
+    standard model stage.
+
+    The perspective op dominates cost on CPU ("OpenCV, employed
+    specifically for the CRSA dataset with heavy CPU-bound operations,
+    demonstrates poor performance in real-time scenarios").
+    """
+    h, w = frame_hw
+    homography = ops.ground_plane_homography(w, h)
+
+    def rectify(img: np.ndarray) -> np.ndarray:
+        ih, iw = img.shape[:2]
+        if (ih, iw) == (h, w):
+            hom = homography
+        else:  # scaled test frames: recompute for the actual size
+            hom = ops.ground_plane_homography(iw, ih)
+        return ops.warp_perspective(img, hom, ih, iw)
+
+    base = model_pipeline(output_size)
+    steps = (PipelineStep("perspective", rectify), *base.steps)
+    return PreprocessPipeline(f"crsa_{output_size}", steps, output_size,
+                              dataset_specific=True)

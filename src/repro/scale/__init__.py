@@ -1,0 +1,34 @@
+"""Scale-out substrate: multi-GPU parallelism and load balancing.
+
+Section 3: "This backend architecture is also prepared for future
+scale-out through different parallelism strategies."  Table 1's cloud
+nodes carry two GPUs each (the paper uses one).  This package models the
+scale-out the paper anticipates:
+
+* :mod:`repro.scale.parallel` — data-parallel replica groups (the second
+  node GPU, multi-node batches) with a communication-overhead efficiency
+  law, plus batch sharding;
+* :mod:`repro.scale.balancer` — request load balancing across replica
+  servers on the discrete-event simulator (round-robin,
+  join-shortest-queue).
+"""
+
+from repro.scale.parallel import (
+    DataParallelGroup,
+    ScalingPoint,
+    shard_batch,
+)
+from repro.scale.balancer import (
+    LoadBalancer,
+    RoundRobinPolicy,
+    JoinShortestQueuePolicy,
+)
+
+__all__ = [
+    "DataParallelGroup",
+    "ScalingPoint",
+    "shard_batch",
+    "LoadBalancer",
+    "RoundRobinPolicy",
+    "JoinShortestQueuePolicy",
+]

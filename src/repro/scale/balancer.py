@@ -1,0 +1,95 @@
+"""Request load balancing across replica servers.
+
+The frontend tier of a scaled-out HARVEST deployment: one entry point
+fanning requests across replica :class:`TritonLikeServer` backends that
+share a simulator clock.  Policies: round-robin (stateless) and
+join-shortest-queue (queue-aware, the standard low-latency choice).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+
+from repro.serving.request import Request
+from repro.serving.server import TritonLikeServer
+
+
+class BalancingPolicy(abc.ABC):
+    """Chooses a backend index for each incoming request."""
+
+    @abc.abstractmethod
+    def choose(self, backends: list[TritonLikeServer],
+               request: Request) -> int:
+        """Backend index for this request."""
+
+
+class RoundRobinPolicy(BalancingPolicy):
+    """Cycle through backends regardless of load."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def choose(self, backends: list[TritonLikeServer],
+               request: Request) -> int:
+        """Cycle position modulo the backend count."""
+        return next(self._counter) % len(backends)
+
+
+class JoinShortestQueuePolicy(BalancingPolicy):
+    """Send each request to the backend with the fewest queued images."""
+
+    def choose(self, backends: list[TritonLikeServer],
+               request: Request) -> int:
+        """Index of the backend with the least queued work."""
+        loads = [s.queued_images() + s.busy_instances() for s in backends]
+        return loads.index(min(loads))
+
+
+class LoadBalancer:
+    """Fan requests across replica servers sharing one simulator.
+
+    All backends must be constructed over the *same*
+    :class:`~repro.serving.events.Simulator` so virtual time is
+    consistent across the group.
+    """
+
+    def __init__(self, backends: list[TritonLikeServer],
+                 policy: BalancingPolicy | None = None):
+        if not backends:
+            raise ValueError("need at least one backend")
+        sims = {id(s.sim) for s in backends}
+        if len(sims) != 1:
+            raise ValueError("backends must share one simulator")
+        self.backends = backends
+        self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.routed: list[int] = []
+
+    @property
+    def sim(self):
+        """The shared simulator clock."""
+        return self.backends[0].sim
+
+    def submit(self, request: Request) -> None:
+        """Route one request per the policy and submit it."""
+        index = self.policy.choose(self.backends, request)
+        if not 0 <= index < len(self.backends):
+            raise IndexError(
+                f"policy chose backend {index} of {len(self.backends)}")
+        self.routed.append(index)
+        self.backends[index].submit(request)
+
+    def run(self, until: float | None = None) -> list:
+        """Drive the shared simulation; returns all responses."""
+        self.sim.run(until=until)
+        responses = []
+        for backend in self.backends:
+            responses.extend(backend.responses)
+        return responses
+
+    def routing_counts(self) -> list[int]:
+        """Requests routed per backend (balance diagnostics)."""
+        counts = [0] * len(self.backends)
+        for index in self.routed:
+            counts[index] += 1
+        return counts

@@ -1,0 +1,90 @@
+"""Serving substrate: a Triton-like server on a discrete-event simulator.
+
+"Backend request orchestration is currently provided by the NVIDIA Triton
+Server" (Section 3).  The experiments depend on Triton's *scheduling
+semantics* — dynamic batching, request queueing, concurrent backend
+instances, and frontend/backend decoupling — rather than its
+implementation, so this package reproduces those semantics exactly on a
+deterministic discrete-event core:
+
+* :mod:`repro.serving.events` — the simulator (event heap, virtual clock);
+* :mod:`repro.serving.request` — request/response types;
+* :mod:`repro.serving.batcher` — Triton's dynamic batcher (max batch,
+  max queue delay, preferred sizes);
+* :mod:`repro.serving.instance` — backend instances wrapping a service
+  -time model (an engine or a preprocessing framework);
+* :mod:`repro.serving.server` — the frontend: model repository, ensemble
+  routing (preprocess → infer), submission API;
+* :mod:`repro.serving.client` — open-loop (Poisson) and closed-loop load
+  generators;
+* :mod:`repro.serving.metrics` — latency percentiles and throughput
+  accounting.
+"""
+
+from repro.serving.events import Simulator, Event
+from repro.serving.request import Request, Response
+from repro.serving.batcher import (
+    BatcherConfig,
+    DynamicBatcher,
+    QueueFullError,
+)
+from repro.serving.instance import BackendInstance, ServiceTimeFn
+from repro.serving.server import (
+    EnsembleConfig,
+    ModelConfig,
+    TritonLikeServer,
+)
+from repro.serving.client import (
+    OpenLoopClient,
+    ClosedLoopClient,
+)
+from repro.serving.metrics import LatencyStats, summarize_responses
+from repro.serving.faults import FaultModel
+from repro.serving.repository import ModelRepository, RepositoryEntry
+from repro.serving.traces import (
+    ArrivalTrace,
+    TraceReplayer,
+    burst_trace,
+    diurnal_trace,
+)
+from repro.serving.exporter import export_metrics, parse_metrics
+from repro.serving.tracing import (
+    RequestTrace,
+    Span,
+    render_gantt,
+    stage_breakdown,
+    trace_of,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Request",
+    "Response",
+    "BatcherConfig",
+    "DynamicBatcher",
+    "QueueFullError",
+    "BackendInstance",
+    "ServiceTimeFn",
+    "EnsembleConfig",
+    "ModelConfig",
+    "TritonLikeServer",
+    "OpenLoopClient",
+    "ClosedLoopClient",
+    "LatencyStats",
+    "summarize_responses",
+    "FaultModel",
+    "ModelRepository",
+    "RepositoryEntry",
+    "ArrivalTrace",
+    "TraceReplayer",
+    "burst_trace",
+    "diurnal_trace",
+    "export_metrics",
+    "parse_metrics",
+    "RequestTrace",
+    "Span",
+    "render_gantt",
+    "stage_breakdown",
+    "trace_of",
+]

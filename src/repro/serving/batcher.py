@@ -1,0 +1,154 @@
+"""Triton-style dynamic batcher.
+
+Triton's dynamic batching collects individually-arriving requests into
+larger backend executions, trading queue delay for batch efficiency —
+exactly the throughput/latency knob the paper's Fig. 6 analysis tunes.
+Semantics reproduced:
+
+* a batch is dispatched immediately when ``max_batch_size`` images are
+  queued and an instance is free;
+* otherwise dispatch waits at most ``max_queue_delay`` seconds from the
+  oldest queued request (then ships whatever is queued);
+* optional ``preferred_batch_sizes`` round the dispatch size down to the
+  largest preferred size that fits (Triton's preferred-size behaviour);
+* with batching disabled the batcher degrades to FIFO single-request
+  dispatch (the ablation baseline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+from repro.serving.request import Request
+
+
+class QueueFullError(RuntimeError):
+    """Raised when a bounded queue rejects a request (overload policy)."""
+
+    def __init__(self, model: str, limit: int):
+        self.model = model
+        self.limit = limit
+        super().__init__(
+            f"queue for {model!r} is full ({limit} images); request "
+            "rejected")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatcherConfig:
+    """Dynamic batching policy.
+
+    ``max_queue_size`` bounds queued *images* (Triton's
+    ``max_queue_size`` queue policy): past it, new requests are rejected
+    immediately rather than queued — the backpressure behaviour an
+    overloaded online deployment needs instead of unbounded latency.
+    ``0`` means unbounded.
+    """
+
+    max_batch_size: int = 64
+    max_queue_delay: float = 0.005
+    preferred_batch_sizes: tuple[int, ...] = ()
+    enabled: bool = True
+    max_queue_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_queue_delay < 0:
+            raise ValueError("max_queue_delay must be >= 0")
+        if any(p < 1 or p > self.max_batch_size
+               for p in self.preferred_batch_sizes):
+            raise ValueError(
+                "preferred batch sizes must lie in [1, max_batch_size]")
+        if self.max_queue_size < 0:
+            raise ValueError("max_queue_size must be >= 0 (0 = unbounded)")
+
+
+@dataclasses.dataclass
+class QueuedRequest:
+    request: Request
+    enqueue_time: float
+
+
+class DynamicBatcher:
+    """The queue + batch-forming policy for one model."""
+
+    def __init__(self, config: BatcherConfig):
+        self.config = config
+        self._queue: deque[QueuedRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_images(self) -> int:
+        """Images waiting across queued requests."""
+        return sum(q.request.num_images for q in self._queue)
+
+    def enqueue(self, request: Request, now: float) -> None:
+        """Queue a request; raises QueueFullError past the bound."""
+        limit = self.config.max_queue_size
+        if limit and self.queued_images + request.num_images > limit:
+            raise QueueFullError(request.model_name, limit)
+        self._queue.append(QueuedRequest(request, now))
+
+    def oldest_enqueue_time(self) -> float | None:
+        """Enqueue time of the oldest queued request, or None."""
+        return self._queue[0].enqueue_time if self._queue else None
+
+    # ------------------------------------------------------------------
+    def ready(self, now: float) -> bool:
+        """Whether a batch should be dispatched right now."""
+        if not self._queue:
+            return False
+        if not self.config.enabled:
+            return True
+        if self.queued_images >= self.config.max_batch_size:
+            return True
+        oldest = self._queue[0].enqueue_time
+        # One-ulp tolerance: the server's delay timer fires at exactly
+        # oldest + max_queue_delay, and (now - oldest) can round below the
+        # configured delay, which would re-arm a zero-delay timer forever.
+        return now >= oldest + self.config.max_queue_delay - 1e-12
+
+    def next_deadline(self) -> float | None:
+        """Virtual time at which the queue-delay timer fires."""
+        if not self._queue or not self.config.enabled:
+            return None
+        return self._queue[0].enqueue_time + self.config.max_queue_delay
+
+    def form_batch(self) -> list[Request]:
+        """Pop the next batch (requests never split across batches).
+
+        Dequeue order is (priority desc, arrival) — Triton's priority
+        levels: urgent real-time requests jump queued offline work, FIFO
+        within a level.
+        """
+        if not self._queue:
+            raise RuntimeError("form_batch on an empty queue")
+        ordered = sorted(
+            range(len(self._queue)),
+            key=lambda i: (-self._queue[i].request.priority, i))
+        if not self.config.enabled:
+            picked = [ordered[0]]
+        else:
+            target = self._pick_target_size()
+            picked = []
+            images = 0
+            for index in ordered:
+                request = self._queue[index].request
+                if picked and images + request.num_images > target:
+                    break
+                picked.append(index)
+                images += request.num_images
+        batch = [self._queue[i].request for i in picked]
+        for index in sorted(picked, reverse=True):
+            del self._queue[index]
+        return batch
+
+    def _pick_target_size(self) -> int:
+        queued = self.queued_images
+        limit = min(queued, self.config.max_batch_size)
+        preferred = [p for p in self.config.preferred_batch_sizes
+                     if p <= limit]
+        return max(preferred) if preferred else limit

@@ -1,0 +1,98 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event loop: events are (time, sequence, callback)
+tuples on a heap; ties in time break by insertion order, so runs are fully
+reproducible.  The virtual clock only moves when events fire — simulating
+hours of serving takes milliseconds of wall time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from collections.abc import Callable
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback (ordered by time, then insertion sequence)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, lambda: print(sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._cancelled: set[int] = set()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        self._cancelled.add(event.seq)
+
+    def run(self, until: float | None = None,
+            max_events: int = 10_000_000) -> None:
+        """Process events until the heap drains or ``until`` is reached.
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a self-scheduling loop")
+            event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)  # leave it for later
+                self._now = until
+                return
+            self._now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].seq in self._cancelled:
+            self._cancelled.discard(heapq.heappop(self._heap).seq)
+        return self._heap[0].time if self._heap else None

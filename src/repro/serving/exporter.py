@@ -1,0 +1,114 @@
+"""Prometheus-style metrics export for serving runs.
+
+Triton exposes a ``/metrics`` endpoint; operations teams alert on it.
+:func:`export_metrics` renders the same class of counters/gauges from a
+:class:`~repro.serving.server.TritonLikeServer` in the Prometheus text
+exposition format (parse-able by the real toolchain), and
+:func:`parse_metrics` reads it back — used by tests and the monitoring
+example.
+"""
+
+from __future__ import annotations
+
+from repro.serving.metrics import summarize_responses
+from repro.serving.server import TritonLikeServer
+
+
+def _line(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        return f"{name}{{{rendered}}} {value:g}"
+    return f"{name} {value:g}"
+
+
+def export_metrics(server: TritonLikeServer,
+                   prefix: str = "harvest") -> str:
+    """Render the server's state as Prometheus exposition text."""
+    lines: list[str] = [
+        f"# HELP {prefix}_request_total Completed requests by status.",
+        f"# TYPE {prefix}_request_total counter",
+    ]
+    by_status: dict[str, int] = {}
+    for response in server.responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    for status, count in sorted(by_status.items()):
+        lines.append(_line(f"{prefix}_request_total",
+                           {"status": status}, count))
+
+    lines += [
+        f"# HELP {prefix}_queue_images Images currently queued per model.",
+        f"# TYPE {prefix}_queue_images gauge",
+    ]
+    for model in server.model_names():
+        lines.append(_line(f"{prefix}_queue_images", {"model": model},
+                           server.queued_images(model)))
+
+    lines += [
+        f"# HELP {prefix}_instance_busy_seconds_total Busy time per "
+        "instance.",
+        f"# TYPE {prefix}_instance_busy_seconds_total counter",
+        f"# HELP {prefix}_instance_batches_total Batches served per "
+        "instance.",
+        f"# TYPE {prefix}_instance_batches_total counter",
+        f"# HELP {prefix}_instance_failures_total Injected/observed "
+        "execution failures per instance.",
+        f"# TYPE {prefix}_instance_failures_total counter",
+    ]
+    for model in server.model_names():
+        for index, stats in enumerate(server.instance_stats(model)):
+            labels = {"model": model, "instance": str(index)}
+            lines.append(_line(f"{prefix}_instance_busy_seconds_total",
+                               labels, stats.busy_seconds))
+            lines.append(_line(f"{prefix}_instance_batches_total",
+                               labels, stats.batches_served))
+            lines.append(_line(f"{prefix}_instance_failures_total",
+                               labels, stats.failures))
+
+    ok = [r for r in server.responses if r.ok]
+    if ok:
+        summary = summarize_responses(ok)
+        lines += [
+            f"# HELP {prefix}_latency_seconds Request latency quantiles.",
+            f"# TYPE {prefix}_latency_seconds gauge",
+            _line(f"{prefix}_latency_seconds", {"quantile": "0.5"},
+                  summary.p50_latency),
+            _line(f"{prefix}_latency_seconds", {"quantile": "0.95"},
+                  summary.p95_latency),
+            _line(f"{prefix}_latency_seconds", {"quantile": "0.99"},
+                  summary.p99_latency),
+            f"# HELP {prefix}_throughput_images Images per second over "
+            "the run.",
+            f"# TYPE {prefix}_throughput_images gauge",
+            _line(f"{prefix}_throughput_images", {},
+                  summary.throughput_ips),
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
+                                     float]:
+    """Parse exposition text back to {(metric, labels): value}.
+
+    Minimal parser for round-trip tests; ignores comments.
+    """
+    out: dict = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        try:
+            value = float(value_part)
+        except ValueError as exc:
+            raise ValueError(f"bad metric line {line!r}") from exc
+        if "{" in name_part:
+            name, _, label_blob = name_part.partition("{")
+            label_blob = label_blob.rstrip("}")
+            labels = []
+            for item in label_blob.split(","):
+                key, _, quoted = item.partition("=")
+                labels.append((key, quoted.strip('"')))
+            out[(name, tuple(sorted(labels)))] = value
+        else:
+            out[(name_part, ())] = value
+    return out

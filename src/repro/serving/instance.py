@@ -1,0 +1,95 @@
+"""Backend instances: the execution units hosted by the server.
+
+"The backend hosts model instances, each dedicated to a specific inference
+task ... preprocessing routines are also encapsulated as separate backend
+engine instances" (Section 3).  A :class:`BackendInstance` wraps any
+service-time function — an :class:`~repro.engine.engine.InferenceEngine`
+latency model, a preprocessing framework estimate, or a test stub — and
+serves one batch at a time on the simulator clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.serving.events import Simulator
+from repro.serving.request import Request
+
+#: Maps a batch image count to its backend execution time in seconds.
+ServiceTimeFn = Callable[[int], float]
+
+
+@dataclasses.dataclass
+class InstanceStats:
+    """Utilization accounting for one instance."""
+
+    batches_served: int = 0
+    images_served: int = 0
+    busy_seconds: float = 0.0
+    failures: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction of the elapsed window."""
+        return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+
+
+class BackendInstance:
+    """One backend execution slot (a model or preprocessing instance).
+
+    ``fault_model`` (see :mod:`repro.serving.faults`) makes executions
+    fail probabilistically; failed batches occupy the instance for the
+    detection window, then fire ``on_failure`` instead of
+    ``on_complete``.
+    """
+
+    def __init__(self, name: str, service_time: ServiceTimeFn,
+                 sim: Simulator, fault_model=None):
+        self.name = name
+        self.service_time = service_time
+        self.sim = sim
+        self.busy = False
+        self.stats = InstanceStats()
+        self.fault_model = fault_model
+
+    def execute(self, batch: list[Request],
+                on_complete: Callable[[list[Request]], None],
+                on_failure: Callable[[list[Request]], None] | None = None,
+                ) -> None:
+        """Serve a batch; fires ``on_complete(batch)`` when done."""
+        if self.busy:
+            raise RuntimeError(f"instance {self.name} is already busy")
+        if not batch:
+            raise ValueError("cannot execute an empty batch")
+        images = sum(r.num_images for r in batch)
+        duration = self.service_time(images)
+        if duration < 0:
+            raise ValueError(
+                f"service time for {images} images is negative")
+        self.busy = True
+        start = self.sim.now
+        for request in batch:
+            request.stage_times[f"{self.name}:start"] = start
+
+        fails = (self.fault_model is not None
+                 and on_failure is not None
+                 and self.fault_model.draw_failure())
+        if fails:
+            def fail() -> None:
+                self.busy = False
+                self.stats.failures += 1
+                on_failure(batch)
+
+            self.sim.schedule(self.fault_model.detect_seconds, fail)
+            return
+
+        def finish() -> None:
+            self.busy = False
+            self.stats.batches_served += 1
+            self.stats.images_served += images
+            self.stats.busy_seconds += duration
+            for request in batch:
+                request.stage_times[f"{self.name}:end"] = self.sim.now
+            on_complete(batch)
+
+        self.sim.schedule(duration, finish)

@@ -1,0 +1,68 @@
+"""Latency and throughput accounting for serving runs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.serving.request import Response
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a set of completed requests."""
+
+    count: int
+    images: int
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    max_latency: float
+    duration: float
+    throughput_rps: float      # requests / second
+    throughput_ips: float      # images / second
+    mean_queue_delay: float
+
+    @classmethod
+    def empty(cls) -> "LatencyStats":
+        return cls(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize_responses(responses: list[Response],
+                        warmup_fraction: float = 0.0) -> LatencyStats:
+    """Aggregate responses into :class:`LatencyStats`.
+
+    ``warmup_fraction`` drops the earliest completions (cold queues bias
+    throughput measurements; standard benchmarking practice).
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    if not responses:
+        return LatencyStats.empty()
+    ordered = sorted(responses, key=lambda r: r.completion_time)
+    skip = int(len(ordered) * warmup_fraction)
+    kept = ordered[skip:]
+    if not kept:
+        return LatencyStats.empty()
+
+    latencies = np.array([r.latency for r in kept])
+    queue_delays = np.array([r.queue_delay for r in kept])
+    images = sum(r.request.num_images for r in kept)
+    start = min(r.request.arrival_time for r in kept)
+    end = max(r.completion_time for r in kept)
+    duration = max(end - start, 1e-12)
+    return LatencyStats(
+        count=len(kept),
+        images=images,
+        mean_latency=float(latencies.mean()),
+        p50_latency=float(np.percentile(latencies, 50)),
+        p95_latency=float(np.percentile(latencies, 95)),
+        p99_latency=float(np.percentile(latencies, 99)),
+        max_latency=float(latencies.max()),
+        duration=duration,
+        throughput_rps=len(kept) / duration,
+        throughput_ips=images / duration,
+        mean_queue_delay=float(queue_delays.mean()),
+    )

@@ -1,0 +1,198 @@
+"""On-disk model repository (Triton's model-repository layout).
+
+Triton serves from a directory tree::
+
+    repository/
+      vit_tiny/
+        config.json          # model configuration
+        1/model.json         # version 1: the ONNX-like IR
+        2/model.json         # version 2
+      preprocess_224/
+        config.json
+        ...
+
+This module writes and loads that layout with real file I/O: model
+definitions serialize through :mod:`repro.models.ir`, configurations
+carry the batching/instance settings of
+:class:`~repro.serving.server.ModelConfig`, and
+:meth:`ModelRepository.serve` loads everything into a
+:class:`~repro.serving.server.TritonLikeServer` exactly the way Triton
+cold-starts from its repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.models import ir
+from repro.models.graph import ModelGraph
+from repro.serving.batcher import BatcherConfig
+
+
+class RepositoryError(ValueError):
+    """Raised for malformed repository layouts or configs."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RepositoryEntry:
+    """One loaded model: latest-version graph plus its serving config."""
+
+    name: str
+    version: int
+    graph: ModelGraph
+    batcher: BatcherConfig
+    instances: int
+    preprocess_model: str | None
+
+
+def _config_to_dict(batcher: BatcherConfig, instances: int,
+                    preprocess_model: str | None) -> dict:
+    return {
+        "max_batch_size": batcher.max_batch_size,
+        "max_queue_delay_us": int(batcher.max_queue_delay * 1e6),
+        "preferred_batch_sizes": list(batcher.preferred_batch_sizes),
+        "dynamic_batching": batcher.enabled,
+        "instance_count": instances,
+        "preprocess_model": preprocess_model,
+    }
+
+
+def _config_from_dict(doc: dict) -> tuple[BatcherConfig, int, str | None]:
+    try:
+        batcher = BatcherConfig(
+            max_batch_size=doc["max_batch_size"],
+            max_queue_delay=doc["max_queue_delay_us"] / 1e6,
+            preferred_batch_sizes=tuple(doc.get("preferred_batch_sizes",
+                                                ())),
+            enabled=doc.get("dynamic_batching", True),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RepositoryError(f"bad config.json: {exc}") from exc
+    instances = doc.get("instance_count", 1)
+    if not isinstance(instances, int) or instances < 1:
+        raise RepositoryError(
+            f"instance_count must be a positive int, got {instances!r}")
+    return batcher, instances, doc.get("preprocess_model")
+
+
+class ModelRepository:
+    """Read/write access to a Triton-style repository directory."""
+
+    CONFIG = "config.json"
+    MODEL_FILE = "model.json"
+
+    def __init__(self, root: "str | pathlib.Path"):
+        self.root = pathlib.Path(root)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def add_model(self, graph: ModelGraph,
+                  batcher: BatcherConfig | None = None,
+                  instances: int = 1,
+                  preprocess_model: str | None = None,
+                  version: int | None = None) -> int:
+        """Store a model (new version if it already exists).
+
+        Returns the version number written.
+        """
+        model_dir = self.root / graph.name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        if version is None:
+            version = max(self.versions(graph.name), default=0) + 1
+        elif version < 1:
+            raise RepositoryError("versions start at 1")
+        version_dir = model_dir / str(version)
+        version_dir.mkdir(exist_ok=True)
+        (version_dir / self.MODEL_FILE).write_text(
+            ir.dumps(graph, indent=2))
+        config = _config_to_dict(batcher or BatcherConfig(), instances,
+                                 preprocess_model)
+        (model_dir / self.CONFIG).write_text(json.dumps(config, indent=2))
+        return version
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def model_names(self) -> list[str]:
+        """Models present in the repository."""
+        if not self.root.exists():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and (p / self.CONFIG).exists())
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted version numbers stored for a model."""
+        model_dir = self.root / name
+        if not model_dir.exists():
+            return []
+        out = []
+        for child in model_dir.iterdir():
+            if child.is_dir() and child.name.isdigit() and \
+                    (child / self.MODEL_FILE).exists():
+                out.append(int(child.name))
+        return sorted(out)
+
+    def load(self, name: str,
+             version: int | None = None) -> RepositoryEntry:
+        """Load one model (latest version by default)."""
+        versions = self.versions(name)
+        if not versions:
+            raise RepositoryError(
+                f"model {name!r} not found in {self.root}")
+        if version is None:
+            version = versions[-1]
+        elif version not in versions:
+            raise RepositoryError(
+                f"model {name!r} has versions {versions}, not {version}")
+        model_path = self.root / name / str(version) / self.MODEL_FILE
+        try:
+            graph = ir.loads(model_path.read_text())
+        except ir.IRError as exc:
+            raise RepositoryError(
+                f"{model_path}: {exc}") from exc
+        config_path = self.root / name / self.CONFIG
+        try:
+            doc = json.loads(config_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RepositoryError(f"{config_path}: {exc}") from exc
+        batcher, instances, preprocess = _config_from_dict(doc)
+        return RepositoryEntry(name, version, graph, batcher, instances,
+                               preprocess)
+
+    def load_all(self) -> list[RepositoryEntry]:
+        """All models, dependency-ordered (preprocess entries first)."""
+        entries = [self.load(name) for name in self.model_names()]
+        return sorted(entries,
+                      key=lambda e: (e.preprocess_model is not None,
+                                     e.name))
+
+    # ------------------------------------------------------------------
+    def serve(self, server, platform,
+              service_time_factory=None) -> list[RepositoryEntry]:
+        """Cold-start a server from the repository (Triton's startup).
+
+        ``service_time_factory(graph, platform)`` maps a loaded model to
+        its backend service-time function; the default builds the
+        calibrated engine latency model.
+        """
+        from repro.engine.latency import LatencyModel
+        from repro.serving.server import ModelConfig
+
+        if service_time_factory is None:
+            def service_time_factory(graph, platform):
+                model = LatencyModel(graph, platform)
+                return lambda n: model.latency(max(1, n))
+
+        entries = self.load_all()
+        for entry in entries:
+            server.register(ModelConfig(
+                name=entry.name,
+                service_time=service_time_factory(entry.graph, platform),
+                batcher=entry.batcher,
+                instances=entry.instances,
+                preprocess_model=entry.preprocess_model,
+            ))
+        return entries

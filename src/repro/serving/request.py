@@ -1,0 +1,63 @@
+"""Request and response types flowing through the serving layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+_request_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Request:
+    """One frontend inference request.
+
+    ``num_images`` is the request's payload size; the dynamic batcher may
+    coalesce several requests into one backend execution.  ``stages_left``
+    tracks the remaining ensemble stages (e.g. preprocess → infer).
+    """
+
+    model_name: str
+    num_images: int = 1
+    arrival_time: float = 0.0
+    #: Scheduling priority (higher = more urgent); Triton's priority
+    #: levels.  Real-time requests outrank offline batch work queued on
+    #: the same model.
+    priority: int = 0
+    request_id: int = dataclasses.field(
+        default_factory=lambda: next(_request_ids))
+    #: Timestamps stamped by the server as the request advances.
+    stage_times: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_images < 1:
+            raise ValueError("a request must carry at least one image")
+
+
+@dataclasses.dataclass(frozen=True)
+class Response:
+    """A completed (or rejected/failed) request."""
+
+    request: Request
+    completion_time: float
+    #: "ok", "rejected" (queue-full backpressure), or "failed"
+    #: (backend fault that exhausted its retries).
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request completed successfully."""
+        return self.status == "ok"
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds from arrival to completion."""
+        return self.completion_time - self.request.arrival_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent queued before the first backend execution."""
+        first_start = min(
+            (t for name, t in self.request.stage_times.items()
+             if name.endswith(":start")), default=self.completion_time)
+        return first_start - self.request.arrival_time

@@ -1,0 +1,315 @@
+"""The Triton-like frontend: model repository, routing, dispatch.
+
+"The HARVEST inference pipeline follows a modular design that decouples
+the frontend—which handles diverse task requests—from the backend, which
+executes model inference" (Section 3).  :class:`TritonLikeServer` owns a
+model repository of :class:`ModelConfig` entries, each with its own
+dynamic batcher and one or more backend instances; requests optionally
+flow through a preprocessing model first (an ensemble of two backends,
+"a single request may trigger multiple backend calls").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.serving.batcher import (
+    BatcherConfig,
+    DynamicBatcher,
+    QueueFullError,
+)
+from repro.serving.events import Simulator
+from repro.serving.instance import BackendInstance, ServiceTimeFn
+from repro.serving.request import Request, Response
+
+
+@dataclasses.dataclass
+class ModelConfig:
+    """One repository entry.
+
+    ``instances`` is Triton's instance-group count: how many copies of
+    the backend serve this model concurrently (the paper's
+    "multi-instance strategies" recommendation).
+    ``preprocess_model`` names another repository entry every request
+    must pass through first (ensemble routing).
+    """
+
+    name: str
+    service_time: ServiceTimeFn
+    batcher: BatcherConfig = dataclasses.field(default_factory=BatcherConfig)
+    instances: int = 1
+    preprocess_model: str | None = None
+    #: Optional failure process (see :mod:`repro.serving.faults`).
+    fault_model: object | None = None
+    #: Retries per request at this stage before it fails outright.
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("instance count must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleConfig:
+    """A shared-preprocessing fan-out entry.
+
+    "A single request may trigger multiple backend calls to support
+    different downstream tasks, which can reuse shared preprocessing
+    steps when applicable" (Section 3): one request preprocesses once,
+    then every consumer model runs on the shared result; the response
+    completes when all consumers have finished.
+    """
+
+    name: str
+    preprocess_model: str
+    consumers: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.consumers:
+            raise ValueError("an ensemble needs at least one consumer")
+        if len(set(self.consumers)) != len(self.consumers):
+            raise ValueError("duplicate consumers in ensemble")
+
+
+class TritonLikeServer:
+    """The serving frontend + scheduler."""
+
+    def __init__(self, sim: Simulator | None = None):
+        self.sim = sim if sim is not None else Simulator()
+        self._models: dict[str, ModelConfig] = {}
+        self._ensembles: dict[str, EnsembleConfig] = {}
+        self._batchers: dict[str, DynamicBatcher] = {}
+        self._instances: dict[str, list[BackendInstance]] = {}
+        self._timer_pending: set[str] = set()
+        self._pending_fanout: dict[int, int] = {}
+        self._degraded_fanout: set[int] = set()
+        self.responses: list[Response] = []
+        self._on_response: Callable[[Response], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Repository management
+    # ------------------------------------------------------------------
+    def register(self, config: ModelConfig) -> None:
+        """Load a model into the repository."""
+        if config.name in self._models:
+            raise ValueError(f"model {config.name!r} already registered")
+        if (config.preprocess_model is not None
+                and config.preprocess_model not in self._models):
+            raise ValueError(
+                f"preprocess model {config.preprocess_model!r} must be "
+                "registered before its consumer")
+        self._models[config.name] = config
+        self._batchers[config.name] = DynamicBatcher(config.batcher)
+        self._instances[config.name] = [
+            BackendInstance(f"{config.name}#{i}", config.service_time,
+                            self.sim, fault_model=config.fault_model)
+            for i in range(config.instances)
+        ]
+
+    def register_ensemble(self, config: EnsembleConfig) -> None:
+        """Load a shared-preprocessing ensemble.
+
+        The preprocessing model and every consumer must already be
+        registered; the ensemble name must not collide with a model.
+        """
+        if config.name in self._models or config.name in self._ensembles:
+            raise ValueError(f"name {config.name!r} already registered")
+        for member in (config.preprocess_model, *config.consumers):
+            if member not in self._models:
+                raise ValueError(
+                    f"ensemble member {member!r} is not a registered "
+                    "model")
+        self._ensembles[config.name] = config
+
+    def model_names(self) -> list[str]:
+        """Models loaded in the repository."""
+        return sorted(self._models)
+
+    def on_response(self, callback: Callable[[Response], None]) -> None:
+        """Register a completion callback (e.g. closed-loop clients)."""
+        self._on_response = callback
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Accept a frontend request at the current virtual time."""
+        request.arrival_time = self.sim.now
+        if request.model_name in self._ensembles:
+            ensemble = self._ensembles[request.model_name]
+            self._enqueue(ensemble.preprocess_model, request)
+            return
+        if request.model_name not in self._models:
+            raise KeyError(
+                f"unknown model {request.model_name!r}; loaded: "
+                f"{self.model_names()} + ensembles "
+                f"{sorted(self._ensembles)}")
+        config = self._models[request.model_name]
+        first_stage = config.preprocess_model or request.model_name
+        self._enqueue(first_stage, request)
+
+    def _enqueue(self, stage: str, request: Request) -> None:
+        try:
+            self._batchers[stage].enqueue(request, self.sim.now)
+        except QueueFullError:
+            self._reject(stage, request)
+            return
+        self._pump(stage)
+
+    def _reject(self, stage: str, request: Request) -> None:
+        """Backpressure path; fan-out branches degrade rather than hang."""
+        remaining = self._pending_fanout.get(request.request_id)
+        if remaining is None:
+            self._respond(request, status="rejected")
+            return
+        # One ensemble branch rejected: account it as done and mark the
+        # request degraded; the response status reflects it at the end.
+        self._degraded_fanout.add(request.request_id)
+        if remaining <= 1:
+            del self._pending_fanout[request.request_id]
+            self._degraded_fanout.discard(request.request_id)
+            self._respond(request, status="rejected")
+        else:
+            self._pending_fanout[request.request_id] = remaining - 1
+
+    def _pump(self, stage: str) -> None:
+        """Dispatch ready batches to free instances; arm the delay timer."""
+        batcher = self._batchers[stage]
+        while batcher.ready(self.sim.now):
+            instance = self._free_instance(stage)
+            if instance is None:
+                return  # all instances busy; completion will re-pump
+            batch = batcher.form_batch()
+            instance.execute(
+                batch,
+                lambda done, s=stage: self._stage_complete(s, done),
+                on_failure=lambda failed, s=stage: self._stage_failed(
+                    s, failed))
+        self._arm_timer(stage)
+
+    def _arm_timer(self, stage: str) -> None:
+        """Wake up when the oldest queued request's delay budget expires."""
+        batcher = self._batchers[stage]
+        deadline = batcher.next_deadline()
+        if deadline is None or stage in self._timer_pending:
+            return
+        self._timer_pending.add(stage)
+
+        def fire() -> None:
+            self._timer_pending.discard(stage)
+            self._pump(stage)
+
+        self.sim.schedule(max(0.0, deadline - self.sim.now), fire)
+
+    def _free_instance(self, stage: str) -> BackendInstance | None:
+        for instance in self._instances[stage]:
+            if not instance.busy:
+                return instance
+        return None
+
+    def _stage_complete(self, stage: str, batch: list[Request]) -> None:
+        for request in batch:
+            for next_stage in self._next_stages(stage, request):
+                self._enqueue(next_stage, request)
+        self._pump(stage)  # the freed instance can take more work
+
+    def _next_stages(self, stage: str, request: Request) -> list[str]:
+        """Route a request after ``stage``; emits the response when done."""
+        ensemble = self._ensembles.get(request.model_name)
+        if ensemble is not None:
+            if stage == ensemble.preprocess_model:
+                # Shared preprocessing done: fan out to every consumer.
+                self._pending_fanout[request.request_id] = len(
+                    ensemble.consumers)
+                return list(ensemble.consumers)
+            if request.request_id not in self._pending_fanout:
+                # The request already terminated (a sibling branch
+                # failed past its retry budget); drop the late result.
+                return []
+            remaining = self._pending_fanout[request.request_id] - 1
+            if remaining:
+                self._pending_fanout[request.request_id] = remaining
+                return []
+            del self._pending_fanout[request.request_id]
+            degraded = request.request_id in self._degraded_fanout
+            self._degraded_fanout.discard(request.request_id)
+            self._respond(request,
+                          status="rejected" if degraded else "ok")
+            return []
+
+        config = self._models[request.model_name]
+        if (config.preprocess_model is not None
+                and stage == config.preprocess_model):
+            return [request.model_name]
+        self._respond(request)
+        return []
+
+    def _stage_failed(self, stage: str, batch: list[Request]) -> None:
+        """Retry failed executions; exhaust the budget -> failed status."""
+        config = self._models[stage]
+        for request in batch:
+            attempts = request.stage_times.get(f"{stage}:retries", 0) + 1
+            request.stage_times[f"{stage}:retries"] = attempts
+            if attempts <= config.max_retries:
+                self._enqueue(stage, request)
+            else:
+                pending = self._pending_fanout.pop(request.request_id,
+                                                   None)
+                if pending is not None:
+                    self._degraded_fanout.discard(request.request_id)
+                self._respond(request, status="failed")
+        self._pump(stage)  # the instance is free again
+
+    def _respond(self, request: Request, status: str = "ok") -> None:
+        response = Response(request, self.sim.now, status=status)
+        self.responses.append(response)
+        if self._on_response is not None:
+            self._on_response(response)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> list[Response]:
+        """Drive the simulation; returns all responses so far."""
+        self.sim.run(until=until)
+        return self.responses
+
+    def instance_stats(self, model: str) -> list:
+        """Per-instance utilization records for a model."""
+        return [inst.stats for inst in self._instances[model]]
+
+    def reconfigure_batcher(self, model: str,
+                            config: BatcherConfig) -> None:
+        """Swap a model's batching policy live (queued work is kept)."""
+        if model not in self._batchers:
+            raise KeyError(f"unknown model {model!r}")
+        self._batchers[model].config = config
+        self._pump(model)
+
+    def batcher_config(self, model: str) -> BatcherConfig:
+        """The live batching policy of a model."""
+        if model not in self._batchers:
+            raise KeyError(f"unknown model {model!r}")
+        return self._batchers[model].config
+
+    def inject_faults(self, model: str, fault_model) -> None:
+        """Attach a :class:`~repro.serving.faults.FaultModel` to a
+        loaded model's instances (chaos testing of a live repository)."""
+        if model not in self._models:
+            raise KeyError(f"unknown model {model!r}")
+        self._models[model].fault_model = fault_model
+        for instance in self._instances[model]:
+            instance.fault_model = fault_model
+
+    def queued_images(self, model: str | None = None) -> int:
+        """Images waiting in queue (one model, or all when None)."""
+        if model is not None:
+            return self._batchers[model].queued_images
+        return sum(b.queued_images for b in self._batchers.values())
+
+    def busy_instances(self, model: str | None = None) -> int:
+        """Backend instances currently executing."""
+        names = [model] if model is not None else list(self._instances)
+        return sum(1 for name in names
+                   for inst in self._instances[name] if inst.busy)

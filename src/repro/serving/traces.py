@@ -1,0 +1,150 @@
+"""Arrival-trace generation and replay.
+
+Farm inference demand is not Poisson-at-a-constant-rate: scouting flights
+land batches of imagery mid-morning, ground vehicles stream during field
+hours, and nights are quiet.  This module generates such traces
+(deterministic, seeded) and replays them into a server or load balancer:
+
+* :func:`diurnal_trace` — a field-hours demand curve (cosine bump over
+  daylight) sampled as a non-homogeneous Poisson process via thinning;
+* :func:`burst_trace` — idle background load with survey-upload bursts
+  (the offline scenario's arrival pattern seen from the cluster);
+* :class:`TraceReplayer` — schedules a trace against any ``submit``-able
+  target on the simulator clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.serving.request import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalTrace:
+    """A sequence of request arrival times (seconds from start)."""
+
+    name: str
+    arrival_times: tuple[float, ...]
+    duration: float
+
+    def __post_init__(self) -> None:
+        times = self.arrival_times
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("arrival times must be nondecreasing")
+        if times and times[-1] > self.duration:
+            raise ValueError("arrivals extend past the trace duration")
+
+    def __len__(self) -> int:
+        return len(self.arrival_times)
+
+    @property
+    def mean_rate(self) -> float:
+        """Average arrivals per second over the trace."""
+        return len(self.arrival_times) / self.duration
+
+    def rate_histogram(self, bins: int = 24) -> list[float]:
+        """Requests/second per time bin (for reports and tests)."""
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        edges = np.linspace(0.0, self.duration, bins + 1)
+        counts, _ = np.histogram(self.arrival_times, bins=edges)
+        width = self.duration / bins
+        return [float(c) / width for c in counts]
+
+
+def _thinning(rate_fn, peak_rate: float, duration: float,
+              rng: np.random.Generator) -> list[float]:
+    """Sample a non-homogeneous Poisson process by thinning."""
+    times = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= duration:
+            break
+        if rng.random() < rate_fn(t) / peak_rate:
+            times.append(t)
+    return times
+
+
+def diurnal_trace(duration: float = 86400.0, peak_rate: float = 50.0,
+                  base_rate: float = 0.5,
+                  daylight: tuple[float, float] = (6 * 3600, 20 * 3600),
+                  seed: int = 0) -> ArrivalTrace:
+    """Field-hours demand: a cosine bump between dawn and dusk.
+
+    ``peak_rate`` requests/s at solar noon, ``base_rate`` overnight.
+    """
+    if peak_rate <= base_rate:
+        raise ValueError("peak rate must exceed the base rate")
+    dawn, dusk = daylight
+    if not 0 <= dawn < dusk <= duration:
+        raise ValueError("daylight window must fit inside the trace")
+
+    def rate(t: float) -> float:
+        if not dawn <= t <= dusk:
+            return base_rate
+        phase = (t - dawn) / (dusk - dawn)  # 0..1 across daylight
+        return base_rate + (peak_rate - base_rate) * \
+            math.sin(math.pi * phase)
+
+    rng = np.random.default_rng(seed)
+    times = _thinning(rate, peak_rate, duration, rng)
+    return ArrivalTrace("diurnal", tuple(times), duration)
+
+
+def burst_trace(duration: float = 3600.0, background_rate: float = 1.0,
+                bursts: int = 4, burst_rate: float = 200.0,
+                burst_seconds: float = 30.0,
+                seed: int = 0) -> ArrivalTrace:
+    """Survey-upload pattern: quiet background plus dense bursts."""
+    if bursts < 0 or burst_seconds <= 0:
+        raise ValueError("bad burst parameters")
+    rng = np.random.default_rng(seed)
+    starts = np.sort(rng.uniform(0, duration - burst_seconds,
+                                 size=bursts))
+
+    def rate(t: float) -> float:
+        for s in starts:
+            if s <= t < s + burst_seconds:
+                return burst_rate
+        return background_rate
+
+    times = _thinning(rate, burst_rate, duration, rng)
+    return ArrivalTrace("burst", tuple(times), duration)
+
+
+class TraceReplayer:
+    """Schedules a trace's requests against a serving target.
+
+    ``target`` is anything with ``submit(request)`` and a ``sim``
+    attribute (:class:`TritonLikeServer` or
+    :class:`~repro.scale.balancer.LoadBalancer`).
+    """
+
+    def __init__(self, target, model_name: str,
+                 images_per_request: int = 1,
+                 time_scale: float = 1.0):
+        if images_per_request < 1:
+            raise ValueError("images_per_request must be >= 1")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.target = target
+        self.model_name = model_name
+        self.images_per_request = images_per_request
+        self.time_scale = time_scale
+        self.submitted = 0
+
+    def schedule(self, trace: ArrivalTrace) -> None:
+        """Arm every arrival on the simulator (scaled by time_scale)."""
+        for t in trace.arrival_times:
+            self.target.sim.schedule_at(
+                t * self.time_scale, self._submit_one)
+
+    def _submit_one(self) -> None:
+        self.submitted += 1
+        self.target.submit(Request(self.model_name,
+                                   num_images=self.images_per_request))

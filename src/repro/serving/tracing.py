@@ -1,0 +1,121 @@
+"""Request tracing: per-stage span timelines.
+
+Every request accumulates stage timestamps as it moves through backends;
+this module turns them into spans (the OpenTelemetry-style view), a text
+Gantt rendering for terminals, and aggregate per-stage breakdowns — the
+tool for answering "where did the 30 ms go?" (Section 3.1's latency
+decomposition: dataset preprocessing, model preprocessing, inference).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.serving.request import Response
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One backend execution within a request's lifetime."""
+
+    stage: str          # instance name, e.g. "vit_small#0"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestTrace:
+    """The full timeline of one request."""
+
+    request_id: int
+    arrival: float
+    completion: float
+    status: str
+    spans: tuple[Span, ...]
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds from arrival to completion."""
+        return self.completion - self.arrival
+
+    @property
+    def queued_seconds(self) -> float:
+        """Time not inside any span (queueing + scheduling)."""
+        return self.latency - sum(s.duration for s in self.spans)
+
+
+def trace_of(response: Response) -> RequestTrace:
+    """Extract the span timeline from a completed response."""
+    request = response.request
+    spans = []
+    for key, start in request.stage_times.items():
+        if not key.endswith(":start"):
+            continue
+        stage = key[: -len(":start")]
+        end = request.stage_times.get(f"{stage}:end")
+        if end is None:
+            continue  # stage failed/retried without completing
+        spans.append(Span(stage, start, end))
+    spans.sort(key=lambda s: (s.start, s.stage))
+    return RequestTrace(
+        request_id=request.request_id,
+        arrival=request.arrival_time,
+        completion=response.completion_time,
+        status=response.status,
+        spans=tuple(spans),
+    )
+
+
+def render_gantt(trace: RequestTrace, width: int = 60) -> str:
+    """ASCII Gantt chart of one request's spans."""
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    total = max(trace.latency, 1e-12)
+    lines = [f"request {trace.request_id} ({trace.status}): "
+             f"{trace.latency * 1e3:.2f} ms "
+             f"(queued {trace.queued_seconds * 1e3:.2f} ms)"]
+    for span in trace.spans:
+        lead = int((span.start - trace.arrival) / total * width)
+        bar = max(1, int(span.duration / total * width))
+        lines.append(f"  {span.stage:20s} "
+                     f"{'.' * lead}{'#' * bar}"
+                     f" {span.duration * 1e3:.2f} ms")
+    return "\n".join(lines)
+
+
+def stage_breakdown(responses: list[Response]) -> dict[str, dict]:
+    """Aggregate per-stage time across requests.
+
+    Stage keys collapse instance indices (``vit_small#0`` →
+    ``vit_small``).  Returns {stage: {count, total_seconds,
+    mean_seconds}} plus a ``"queued"`` pseudo-stage.
+    """
+    if not responses:
+        raise ValueError("no responses to aggregate")
+    totals: dict[str, list[float]] = {}
+    queued: list[float] = []
+    for response in responses:
+        trace = trace_of(response)
+        queued.append(trace.queued_seconds)
+        for span in trace.spans:
+            stage = span.stage.split("#")[0]
+            totals.setdefault(stage, []).append(span.duration)
+    out = {
+        stage: {
+            "count": len(values),
+            "total_seconds": sum(values),
+            "mean_seconds": sum(values) / len(values),
+        }
+        for stage, values in totals.items()
+    }
+    out["queued"] = {
+        "count": len(queued),
+        "total_seconds": sum(queued),
+        "mean_seconds": sum(queued) / len(queued),
+    }
+    return out

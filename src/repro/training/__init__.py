@@ -1,0 +1,43 @@
+"""Farm-localized fine-tuning (the HARVEST-2.0 training lifecycle).
+
+The paper's framework "provides farmers with an end-to-end AI training
+and deployment platform, enabling landholders to easily train localized
+AI models with their own data" with "semi-supervised learning techniques
+[that] mitigate the time and expert effort required for labeling".
+This package supplies that lifecycle's inference-adjacent half — the
+fast, farm-side adaptation path (frozen backbone + trained head), which
+is also what makes the paper's central *accuracy-latency trade-off*
+measurable in this reproduction:
+
+* :mod:`repro.training.features` — frozen-backbone embedding extraction;
+* :mod:`repro.training.linear_probe` — softmax-regression heads trained
+  with full-batch gradient descent (real NumPy backprop);
+* :mod:`repro.training.pseudo_label` — semi-supervised self-training:
+  confident pseudo-labels recruit the unlabeled pool;
+* :mod:`repro.training.tradeoff` — the accuracy-vs-latency frontier
+  across the model zoo on a platform, the quantity "model selection"
+  trades over.
+"""
+
+from repro.training.features import FeatureExtractor
+from repro.training.linear_probe import (
+    LinearProbe,
+    ProbeResult,
+    train_test_split,
+)
+from repro.training.pseudo_label import SelfTrainingResult, self_training
+from repro.training.tradeoff import (
+    FrontierPoint,
+    accuracy_latency_frontier,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "LinearProbe",
+    "ProbeResult",
+    "train_test_split",
+    "SelfTrainingResult",
+    "self_training",
+    "FrontierPoint",
+    "accuracy_latency_frontier",
+]

@@ -1,0 +1,105 @@
+"""The accuracy-latency frontier: the paper's model-selection axis.
+
+"Flexible deployment enables diverse applications but complicates model
+selection due to the accuracy latency trade off."  With the training
+substrate the trade-off is measurable: train a linear probe on each
+backbone's frozen features over the same synthetic farm task, then place
+each model on the (accuracy, latency) plane for a target platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.synthetic import synth_labeled_images
+from repro.engine.latency import LatencyModel
+from repro.engine.oom import max_batch_size
+from repro.hardware.platform import PlatformSpec
+from repro.models.zoo import get_model
+from repro.training.features import FeatureExtractor
+from repro.training.linear_probe import LinearProbe, train_test_split
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierPoint:
+    """One model placed on the accuracy-latency plane."""
+
+    model: str
+    feature_dim: int
+    test_accuracy: float
+    latency_seconds: float      # per-request at the operating batch
+    throughput: float
+    batch_size: int
+    training_seconds_estimate: float
+
+
+
+def accuracy_latency_frontier(
+    platform: PlatformSpec,
+    model_names: tuple[str, ...] = ("vit_tiny", "vit_small", "resnet50"),
+    classes: int = 4,
+    samples: int = 240,
+    image_size: int = 48,
+    signal_strength: float = 0.6,
+    batch_size: int | None = None,
+    seed: int = 0,
+) -> list[FrontierPoint]:
+    """Measure the frontier on a synthetic farm task.
+
+    ``image_size`` is the raw capture size (preprocessing resizes to
+    each model's input); defaults keep the run laptop-fast.  ViT Base is
+    excluded from the default list purely for runtime (224² NumPy
+    forward passes over hundreds of images); pass it explicitly when
+    budget allows.
+    """
+    rng = np.random.default_rng(seed)
+    images, labels = synth_labeled_images(samples, classes, image_size,
+                                          rng,
+                                          signal_strength=signal_strength)
+    points = []
+    for name in model_names:
+        extractor = FeatureExtractor(name, seed=seed)
+        features = extractor.extract(list(images))
+        x_train, y_train, x_test, y_test = train_test_split(
+            features, labels, test_fraction=0.3,
+            rng=np.random.default_rng(seed + 1))
+        probe = LinearProbe(extractor.feature_dim, classes, seed=seed)
+        result = probe.fit(x_train, y_train, x_test, y_test)
+
+        graph = get_model(name).graph
+        operating = (batch_size if batch_size is not None
+                     else min(64, max_batch_size(graph, platform)))
+        latency_model = LatencyModel(graph, platform)
+
+        # Head-training cost on the platform: feature extraction is one
+        # inference pass over the training set; GD epochs on the head
+        # are negligible next to it.
+        extract_seconds = x_train.shape[0] / latency_model.throughput(
+            operating)
+        points.append(FrontierPoint(
+            model=name,
+            feature_dim=extractor.feature_dim,
+            test_accuracy=result.test_accuracy,
+            latency_seconds=latency_model.latency(operating),
+            throughput=latency_model.throughput(operating),
+            batch_size=operating,
+            training_seconds_estimate=extract_seconds,
+        ))
+    return points
+
+
+def pareto_front(points: list[FrontierPoint]) -> list[FrontierPoint]:
+    """Models not dominated on (higher accuracy, lower latency)."""
+    front = []
+    for p in points:
+        dominated = any(
+            q.test_accuracy >= p.test_accuracy
+            and q.latency_seconds <= p.latency_seconds
+            and (q.test_accuracy > p.test_accuracy
+                 or q.latency_seconds < p.latency_seconds)
+            for q in points)
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.latency_seconds)

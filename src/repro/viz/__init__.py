@@ -1,0 +1,25 @@
+"""Result visualization (the HARVEST-2.0 "visualization components").
+
+A dependency-free SVG renderer so the reproduced figures can be *drawn*,
+not just tabulated: :mod:`repro.viz.svg` is a minimal chart toolkit
+(line/bar charts, log axes, legends) and :mod:`repro.viz.charts` turns
+:class:`~repro.analysis.figures.FigureSeries` lists into Fig. 5-8 style
+SVG documents, plus a field heatmap renderer for the offline workflow.
+"""
+
+from repro.viz.svg import SvgCanvas, LineChart, BarChart, Axis
+from repro.viz.charts import (
+    render_figure_svg,
+    render_heatmap_svg,
+    save_all_figures,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "LineChart",
+    "BarChart",
+    "Axis",
+    "render_figure_svg",
+    "render_heatmap_svg",
+    "save_all_figures",
+]

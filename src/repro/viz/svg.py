@@ -1,0 +1,236 @@
+"""Minimal SVG chart toolkit (no plotting dependencies).
+
+Just enough vector drawing to render the paper's figure styles: line
+charts with optional log axes and dashed series (Figs. 5/6), grouped bar
+charts (Figs. 7/8), and a legend.  Output is a valid standalone SVG
+document (tests parse it back with ``xml.etree``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from xml.sax.saxutils import escape
+
+#: A color cycle distinguishable in grayscale print, like the paper's.
+PALETTE = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+           "#8c564b", "#e377c2", "#7f7f7f")
+
+
+@dataclasses.dataclass
+class Axis:
+    """One chart axis."""
+
+    label: str
+    log: bool = False
+
+    def transform(self, value: float, lo: float, hi: float) -> float:
+        """Map a data value to [0, 1] along this axis."""
+        if self.log:
+            if value <= 0 or lo <= 0:
+                raise ValueError("log axis requires positive values")
+            return (math.log10(value) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo))
+        return (value - lo) / (hi - lo)
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes the document."""
+
+    def __init__(self, width: int = 640, height: int = 420):
+        if width < 1 or height < 1:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = "#000", width: float = 1.0,
+             dashed: bool = False) -> None:
+        """Draw a straight line segment."""
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{color}" '
+            f'stroke-width="{width}"{dash}/>')
+
+    def polyline(self, points: list[tuple[float, float]],
+                 color: str = "#000", width: float = 1.5,
+                 dashed: bool = False) -> None:
+        """Draw a connected line through the points."""
+        if len(points) < 2:
+            raise ValueError("a polyline needs at least two points")
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"{dash}/>')
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "#888") -> None:
+        """Draw a filled rectangle."""
+        self._elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}"/>')
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             anchor: str = "start", rotate: float | None = None) -> None:
+        """Draw a text label."""
+        transform = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+                     if rotate is not None else "")
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" '
+            f'font-family="sans-serif"{transform}>'
+            f"{escape(content)}</text>")
+
+    def to_svg(self) -> str:
+        """Serialize the document to SVG text."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n')
+
+
+@dataclasses.dataclass
+class Series:
+    """One chart series."""
+
+    name: str
+    x: list[float]
+    y: list[float]
+    dashed: bool = False
+
+
+_MARGIN = 60
+
+
+class LineChart:
+    """Multi-series line chart with optional log axes."""
+
+    def __init__(self, title: str, x_axis: Axis, y_axis: Axis,
+                 width: int = 640, height: int = 420):
+        self.title = title
+        self.x_axis = x_axis
+        self.y_axis = y_axis
+        self.canvas = SvgCanvas(width, height)
+        self.series: list[Series] = []
+
+    def add(self, name: str, x, y, dashed: bool = False) -> None:
+        """Add one line series."""
+        x, y = list(map(float, x)), list(map(float, y))
+        if len(x) != len(y):
+            raise ValueError("x and y lengths differ")
+        if len(x) < 2:
+            raise ValueError("a series needs at least two points")
+        self.series.append(Series(name, x, y, dashed))
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        return min(xs), max(xs), min(ys), max(ys)
+
+    def _to_px(self, x: float, y: float, bounds) -> tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        w = self.canvas.width - 2 * _MARGIN
+        h = self.canvas.height - 2 * _MARGIN
+        px = _MARGIN + self.x_axis.transform(x, x_lo, x_hi) * w
+        py = self.canvas.height - _MARGIN - \
+            self.y_axis.transform(y, y_lo, y_hi) * h
+        return px, py
+
+    def render(self) -> str:
+        """Render the chart to SVG text."""
+        if not self.series:
+            raise ValueError("nothing to draw")
+        bounds = self._bounds()
+        c = self.canvas
+        # Frame + labels.
+        c.text(c.width / 2, 24, self.title, size=15, anchor="middle")
+        c.line(_MARGIN, c.height - _MARGIN, c.width - _MARGIN,
+               c.height - _MARGIN)
+        c.line(_MARGIN, _MARGIN, _MARGIN, c.height - _MARGIN)
+        c.text(c.width / 2, c.height - 16, self.x_axis.label, size=12,
+               anchor="middle")
+        c.text(18, c.height / 2, self.y_axis.label, size=12,
+               anchor="middle", rotate=-90)
+        # Series + legend.
+        for i, series in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            points = [self._to_px(x, y, bounds)
+                      for x, y in zip(series.x, series.y)]
+            c.polyline(points, color=color, dashed=series.dashed)
+            ly = _MARGIN + 16 * i
+            c.line(c.width - _MARGIN - 110, ly, c.width - _MARGIN - 90,
+                   ly, color=color, width=2, dashed=series.dashed)
+            c.text(c.width - _MARGIN - 84, ly + 4, series.name, size=10)
+        return c.to_svg()
+
+
+class BarChart:
+    """Grouped bar chart: categories on x, one bar per series member."""
+
+    def __init__(self, title: str, y_label: str, width: int = 720,
+                 height: int = 420, log_y: bool = False):
+        self.title = title
+        self.y_axis = Axis(y_label, log=log_y)
+        self.canvas = SvgCanvas(width, height)
+        self.categories: list[str] = []
+        self.groups: list[tuple[str, list[float]]] = []
+
+    def set_categories(self, categories: list[str]) -> None:
+        """Define the x-axis categories."""
+        if not categories:
+            raise ValueError("need at least one category")
+        self.categories = list(categories)
+
+    def add_group(self, name: str, values: list[float]) -> None:
+        """Add one bar group (a value per category)."""
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"group {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories")
+        self.groups.append((name, list(map(float, values))))
+
+    def render(self) -> str:
+        """Render the chart to SVG text."""
+        if not self.groups:
+            raise ValueError("nothing to draw")
+        c = self.canvas
+        values = [v for _, vs in self.groups for v in vs]
+        positive = [v for v in values if v > 0]
+        y_lo = (min(positive) * 0.5 if self.y_axis.log else 0.0)
+        y_hi = max(values) * 1.05
+        c.text(c.width / 2, 24, self.title, size=15, anchor="middle")
+        c.text(18, c.height / 2, self.y_axis.label, size=12,
+               anchor="middle", rotate=-90)
+        c.line(_MARGIN, c.height - _MARGIN, c.width - _MARGIN,
+               c.height - _MARGIN)
+
+        plot_w = c.width - 2 * _MARGIN
+        plot_h = c.height - 2 * _MARGIN
+        slot = plot_w / len(self.categories)
+        bar_w = slot * 0.8 / len(self.groups)
+        for ci, category in enumerate(self.categories):
+            c.text(_MARGIN + slot * (ci + 0.5), c.height - _MARGIN + 16,
+                   category, size=9, anchor="middle")
+            for gi, (name, values) in enumerate(self.groups):
+                value = values[ci]
+                if value <= 0 and self.y_axis.log:
+                    continue
+                frac = self.y_axis.transform(max(value, y_lo or value),
+                                             y_lo or value, y_hi) \
+                    if self.y_axis.log else value / y_hi
+                h = max(0.0, frac) * plot_h
+                x = _MARGIN + slot * ci + slot * 0.1 + gi * bar_w
+                c.rect(x, c.height - _MARGIN - h, bar_w * 0.92, h,
+                       fill=PALETTE[gi % len(PALETTE)])
+        for gi, (name, _) in enumerate(self.groups):
+            ly = _MARGIN + 16 * gi
+            c.rect(c.width - _MARGIN - 110, ly - 8, 18, 10,
+                   fill=PALETTE[gi % len(PALETTE)])
+            c.text(c.width - _MARGIN - 86, ly, name, size=10)
+        return c.to_svg()

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Model graphs are session-scoped (they're immutable and building ResNet50's
+layer list repeatedly is the slowest part of the analytic tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.platform import A100, JETSON, V100
+from repro.models.resnet import build_resnet50
+from repro.models.vit import build_vit
+
+
+@pytest.fixture(scope="session")
+def vit_tiny():
+    return build_vit("vit_tiny")
+
+
+@pytest.fixture(scope="session")
+def vit_small():
+    return build_vit("vit_small")
+
+
+@pytest.fixture(scope="session")
+def vit_base():
+    return build_vit("vit_base")
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return build_resnet50()
+
+
+@pytest.fixture(scope="session")
+def all_models(vit_tiny, vit_small, vit_base, resnet50):
+    return [vit_tiny, vit_small, vit_base, resnet50]
+
+
+@pytest.fixture(scope="session")
+def platforms():
+    return [A100, V100, JETSON]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,136 @@
+"""Tests for repro.analysis.figures and tables — artifact regeneration."""
+
+import pytest
+
+from repro.analysis.figures import fig4, fig5, fig6, fig7, fig8
+from repro.analysis.tables import table1, table2, table3
+
+
+class TestTables:
+    def test_table1_optionally_measures_host(self):
+        table = table1(real_host_run=True)
+        assert table.rows[-1]["platform"] == "host (measured)"
+        assert table.rows[-1]["practical_tflops"] > 0
+
+    def test_table2_and_3_shapes(self):
+        assert len(table2().rows) == 6
+        assert len(table3().rows) == 4
+
+
+class TestFig4:
+    def test_series_per_dataset(self):
+        series = fig4(samples=2000)
+        assert len(series) == 6
+
+    def test_uniform_datasets_are_points(self):
+        series = {s.panel: s for s in fig4(samples=2000)}
+        assert series["plant_village"].meta["uniform"]
+        assert series["plant_village"].meta["mode_label"] == "256x256"
+
+    def test_variable_datasets_have_density(self):
+        series = {s.panel: s for s in fig4(samples=8000)}
+        weed = series["weed_soybean"]
+        assert not weed.meta["uniform"]
+        assert max(weed.meta["density"]) == pytest.approx(1.0)
+
+    def test_mode_labels_near_paper_values(self):
+        series = {s.panel: s for s in fig4(samples=30000)}
+        w, h = map(int, series["weed_soybean"].meta["mode_label"].split("x"))
+        assert w == pytest.approx(233, rel=0.15)
+        w2, _ = map(int, series["spittle_bug"].meta["mode_label"].split("x"))
+        assert w2 == pytest.approx(61, abs=12)
+
+
+class TestFig5:
+    def test_panels_and_legends(self):
+        series = fig5("a100")
+        names = {s.name for s in series}
+        assert {"theoretical", "practical_bound", "ViT Tiny", "ResNet50"
+                } <= names
+
+    def test_achieved_below_dashed_lines(self):
+        series = fig5("v100")
+        practical = next(s for s in series if s.name == "practical_bound")
+        for s in series:
+            if s.name in ("theoretical", "practical_bound"):
+                continue
+            assert max(s.y) < practical.y[0]
+
+    def test_legend_throughputs_match_anchors(self):
+        from repro.engine.calibration import anchor_for
+
+        series = fig5("jetson")
+        tiny = next(s for s in series if s.name == "ViT Tiny")
+        batch, thr = anchor_for("jetson", "vit_tiny")
+        assert tiny.meta["max_batch"] == batch
+        assert tiny.meta["throughput_at_max"] == pytest.approx(thr,
+                                                               rel=0.001)
+
+    def test_all_platforms_by_default(self):
+        panels = {s.panel for s in fig5()}
+        assert panels == {"A100", "V100", "Jetson"}
+
+
+class TestFig6:
+    def test_threshold_series_present(self):
+        series = fig6("a100")
+        threshold = next(s for s in series if s.name == "60qps_threshold")
+        assert all(y == pytest.approx(1000 / 60) for y in threshold.y)
+
+    def test_model_series_carry_theoretical_latency(self):
+        series = fig6("a100")
+        base = next(s for s in series if s.name == "ViT Base")
+        assert len(base.meta["theoretical_ms"]) == len(base.y)
+        assert all(t < a for t, a in zip(base.meta["theoretical_ms"],
+                                         base.y))
+
+    def test_latency_monotone_in_batch(self):
+        for s in fig6("v100"):
+            if s.name == "60qps_threshold":
+                continue
+            assert list(s.y) == sorted(s.y)
+
+
+class TestFig7:
+    def test_latency_and_throughput_series_per_framework(self):
+        series = fig7("a100")
+        names = {s.name for s in series}
+        assert "DALI 32 latency" in names
+        assert "DALI 32 throughput" in names
+        assert "CV2 latency" in names
+
+    def test_throughput_inverse_of_per_image_latency(self):
+        series = fig7("jetson")
+        lat = next(s for s in series if s.name == "DALI 96 latency")
+        thr = next(s for s in series if s.name == "DALI 96 throughput")
+        batch = lat.meta["batch_size"]
+        for l_ms, t in zip(lat.y, thr.y):
+            assert t == pytest.approx(batch / (l_ms / 1e3), rel=1e-6)
+
+
+class TestFig8:
+    def test_batch_labels_in_series_names(self):
+        series = fig8("jetson")
+        names = {s.name for s in series}
+        assert "vit_base@BS2 latency" in names
+        assert "vit_small@BS32 throughput" in names
+
+    def test_bottleneck_metadata(self):
+        series = fig8("a100")
+        thr = next(s for s in series
+                   if s.name == "vit_base@BS64 throughput")
+        assert set(thr.meta["bottlenecks"]) <= {"preprocess", "engine"}
+
+    def test_x_axis_is_datasets(self):
+        series = fig8("v100")
+        thr = next(s for s in series if "throughput" in s.name)
+        assert "plant_village" in thr.x
+        assert "crsa" not in thr.x  # excluded from Fig. 8
+
+
+class TestSeriesValidation:
+    def test_mismatched_xy_rejected(self):
+        from repro.analysis.figures import FigureSeries
+
+        with pytest.raises(ValueError, match="lengths"):
+            FigureSeries("f", "p", "n", x=(1, 2), y=(1,))

@@ -1,0 +1,57 @@
+"""Tests for repro.analysis.report and repro.analysis.compare."""
+
+import pytest
+
+from repro.analysis.compare import (
+    paper_comparison,
+    render_comparison,
+)
+from repro.analysis.report import full_report, render_report
+
+
+class TestRenderReport:
+    @pytest.mark.parametrize("artifact", [
+        "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8"])
+    def test_every_artifact_renders(self, artifact):
+        text = render_report(artifact)
+        assert len(text) > 50
+
+    def test_unknown_artifact_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            render_report("fig9")
+
+    def test_full_report_contains_all_sections(self):
+        text = full_report()
+        for marker in ("Table 1", "Table 2", "Table 3", "fig5", "fig6",
+                       "fig7", "fig8"):
+            assert marker in text
+
+
+class TestPaperComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return paper_comparison()
+
+    def test_covers_all_experiment_families(self, rows):
+        assert {r.experiment for r in rows} == {"table1", "table3",
+                                                "sec4", "fig5"}
+
+    def test_every_anchor_within_tolerance(self, rows):
+        # The headline reproduction check: every printed number in the
+        # paper is matched within 2% (conv share within 1 point).
+        for row in rows:
+            tolerance = 0.02
+            assert row.relative_error < tolerance or \
+                abs(row.model - row.paper) < 1.0, \
+                f"{row.quantity}: paper={row.paper} model={row.model}"
+
+    def test_fig5_anchors_essentially_exact(self, rows):
+        fig5_rows = [r for r in rows if r.experiment == "fig5"]
+        assert len(fig5_rows) == 12
+        for row in fig5_rows:
+            assert row.relative_error < 0.002, row.quantity
+
+    def test_render_comparison(self, rows):
+        text = render_comparison(rows)
+        assert "rel_err_pct" in text
+        assert "ViT Tiny" in text or "vit_tiny" in text

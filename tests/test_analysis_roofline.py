@@ -1,0 +1,81 @@
+"""Tests for the per-layer roofline analysis and energy-aware advice."""
+
+import pytest
+
+from repro.analysis.layer_roofline import (
+    model_layer_roofline,
+    roofline_summary,
+)
+from repro.core.guidance import TuningAdvisor
+from repro.hardware.platform import A100, JETSON
+
+
+class TestLayerRoofline:
+    def test_time_fractions_sum_to_one(self, resnet50):
+        points = model_layer_roofline(resnet50, A100, batch_size=64)
+        assert sum(p.time_fraction for p in points) == pytest.approx(1.0)
+
+    def test_batching_raises_compute_bound_share(self, vit_tiny):
+        # The Fig. 5 mechanism from first principles: batch amortizes
+        # weight traffic, moving matmuls toward the compute roof.
+        small = roofline_summary(vit_tiny, A100, batch_size=1)
+        large = roofline_summary(vit_tiny, A100, batch_size=256)
+        assert large["compute_bound_time_fraction"] > \
+            small["compute_bound_time_fraction"]
+
+    def test_resnet_time_dominated_by_convs(self, resnet50):
+        summary = roofline_summary(resnet50, A100, batch_size=64)
+        by_cat = summary["time_by_category"]
+        assert by_cat["conv"] == max(by_cat.values())
+
+    def test_vit_time_dominated_by_linear(self, vit_small):
+        summary = roofline_summary(vit_small, A100, batch_size=64)
+        by_cat = summary["time_by_category"]
+        assert by_cat["linear"] == max(by_cat.values())
+
+    def test_normalization_layers_are_bandwidth_bound(self, vit_small):
+        points = model_layer_roofline(vit_small, A100, batch_size=64)
+        norms = [p for p in points if p.category == "norm"]
+        assert norms
+        assert all(not p.compute_bound for p in norms)
+
+    def test_edge_device_more_compute_bound(self, resnet50):
+        # The Jetson's compute/bandwidth ratio is lower, so more layers
+        # hit its (lower) compute roof at the same batch.
+        cloud = roofline_summary(resnet50, A100, batch_size=64)
+        edge = roofline_summary(resnet50, JETSON, batch_size=64)
+        assert edge["compute_bound_time_fraction"] >= \
+            cloud["compute_bound_time_fraction"]
+
+    def test_invalid_batch_rejected(self, vit_tiny):
+        with pytest.raises(ValueError):
+            model_layer_roofline(vit_tiny, A100, batch_size=0)
+
+
+class TestEnergyAwareAdvice:
+    def test_energy_choice_is_latency_feasible(self, resnet50):
+        advisor = TuningAdvisor(JETSON, latency_target_seconds=0.05)
+        rec = advisor.recommend_batch_energy_aware(resnet50)
+        assert rec.meets_target
+        assert rec.expected_latency_seconds <= 0.05
+
+    def test_energy_choice_minimizes_joules(self, resnet50):
+        from repro.engine.calibration import batch_grid
+        from repro.engine.latency import LatencyModel
+        from repro.engine.oom import max_batch_size
+        from repro.hardware.power import EnergyModel
+
+        advisor = TuningAdvisor(JETSON, latency_target_seconds=0.05)
+        rec = advisor.recommend_batch_energy_aware(resnet50)
+        energy = EnergyModel(resnet50, JETSON)
+        model = LatencyModel(resnet50, JETSON)
+        limit = max_batch_size(resnet50, JETSON)
+        chosen = energy.point(rec.batch_size).joules_per_image
+        for b in batch_grid("jetson"):
+            if b <= limit and model.latency(b) <= 0.05:
+                assert chosen <= energy.point(b).joules_per_image + 1e-12
+
+    def test_unreachable_target_reported(self, vit_base):
+        advisor = TuningAdvisor(JETSON, latency_target_seconds=1e-5)
+        rec = advisor.recommend_batch_energy_aware(vit_base)
+        assert not rec.meets_target

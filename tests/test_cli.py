@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_single_artifact(self, capsys):
+        assert main(["report", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Plant Village" in out
+
+    def test_figure_artifact(self, capsys):
+        assert main(["report", "fig5"]) == 0
+        assert "ViT Tiny" in capsys.readouterr().out
+
+    def test_invalid_artifact_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["report", "fig9"])
+
+
+class TestCompare:
+    def test_prints_anchor_table(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "rel_err_pct" in out
+
+
+class TestAdvise:
+    def test_ranks_models(self, capsys):
+        assert main(["advise", "--platform", "a100",
+                     "--dataset", "plant_village"]) == 0
+        out = capsys.readouterr().out
+        assert "vit_base" in out and "meets target" in out
+
+    def test_unknown_platform_is_an_error_exit(self, capsys):
+        assert main(["advise", "--platform", "h100",
+                     "--dataset", "plant_village"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_expectation_report(self, capsys):
+        assert main(["predict", "--model", "vit_tiny",
+                     "--platform", "jetson"]) == 0
+        out = capsys.readouterr().out
+        assert "max_batch: 196" in out
+
+    def test_unknown_model_error(self, capsys):
+        assert main(["predict", "--model", "bert",
+                     "--platform", "a100"]) == 2
+
+
+class TestFigures:
+    def test_writes_svgs(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("*.svg"))) == 12
+
+
+class TestBacktest:
+    def test_prints_errors(self, capsys):
+        assert main(["backtest", "--platform", "v100",
+                     "--donor", "a100"]) == 0
+        out = capsys.readouterr().out
+        assert "mean relative error" in out
+
+    def test_same_platform_error(self, capsys):
+        assert main(["backtest", "--platform", "a100",
+                     "--donor", "a100"]) == 2

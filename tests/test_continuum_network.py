@@ -1,0 +1,67 @@
+"""Tests for repro.continuum.network."""
+
+import pytest
+
+from repro.continuum.network import LINKS, NetworkLink, get_link
+
+
+class TestNetworkLink:
+    def test_transfer_time_components(self):
+        link = NetworkLink("t", bandwidth_bps=8e6, round_trip_seconds=0.1,
+                           overhead_factor=1.0)
+        # 1 MB at 8 Mbps = 1 s serialization + 50 ms half-RTT.
+        assert link.transfer_seconds(1e6) == pytest.approx(1.05)
+
+    def test_overhead_factor_inflates_payload(self):
+        base = NetworkLink("a", 8e6, 0.0, overhead_factor=1.0)
+        lossy = NetworkLink("b", 8e6, 0.0, overhead_factor=1.5)
+        assert lossy.transfer_seconds(1e6) == pytest.approx(
+            1.5 * base.transfer_seconds(1e6))
+
+    def test_request_response_includes_both_directions(self):
+        link = get_link("farm_wifi")
+        rr = link.request_response_seconds(1e6)
+        assert rr > link.transfer_seconds(1e6)
+
+    def test_sustainable_rate(self):
+        link = NetworkLink("t", bandwidth_bps=80e6, round_trip_seconds=0.0,
+                           overhead_factor=1.0)
+        # 100 KB images at 80 Mbps -> 100 images/s.
+        assert link.sustainable_images_per_second(1e5) == pytest.approx(
+            100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink("x", bandwidth_bps=0, round_trip_seconds=0.0)
+        with pytest.raises(ValueError):
+            NetworkLink("x", bandwidth_bps=1, round_trip_seconds=-1)
+        with pytest.raises(ValueError):
+            NetworkLink("x", bandwidth_bps=1, round_trip_seconds=0,
+                        overhead_factor=0.9)
+        with pytest.raises(ValueError):
+            get_link("farm_wifi").transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            get_link("farm_wifi").sustainable_images_per_second(0)
+
+
+class TestPresets:
+    def test_four_presets(self):
+        assert set(LINKS) == {"field_lte", "farm_wifi",
+                              "station_ethernet", "local"}
+
+    def test_bandwidth_ordering(self):
+        assert (get_link("field_lte").bandwidth_bps
+                < get_link("farm_wifi").bandwidth_bps
+                < get_link("station_ethernet").bandwidth_bps
+                < get_link("local").bandwidth_bps)
+
+    def test_lte_cannot_sustain_60fps_4k_raw(self):
+        # The online-scenario transmission challenge: raw 4K frames
+        # (24.9 MB) cannot stream at camera rate over field LTE.
+        lte = get_link("field_lte")
+        frame_bytes = 3840 * 2160 * 3
+        assert lte.sustainable_images_per_second(frame_bytes) < 1.0
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_link("5g")

@@ -1,0 +1,92 @@
+"""Tests for repro.continuum.offload — edge/cloud placement decisions."""
+
+import pytest
+
+from repro.continuum.network import NetworkLink, get_link
+from repro.continuum.offload import OffloadPolicy, Placement
+from repro.hardware.platform import A100, JETSON
+
+
+@pytest.fixture(scope="module")
+def policy(vit_base):
+    return OffloadPolicy(vit_base, JETSON, A100, get_link("farm_wifi"))
+
+
+class TestDecisions:
+    def test_small_payloads_offload_to_cloud(self, policy):
+        decision = policy.decide(10e3)  # 10 kB thumbnail
+        assert decision.placement is Placement.CLOUD
+        assert decision.cloud_latency_seconds < \
+            decision.edge_latency_seconds
+
+    def test_large_payloads_stay_on_edge(self, policy):
+        decision = policy.decide(25e6)  # raw 4K frame
+        assert decision.placement is Placement.EDGE
+
+    def test_chosen_latency_is_the_minimum(self, policy):
+        for payload in (1e3, 1e5, 1e7):
+            decision = policy.decide(payload)
+            assert decision.chosen_latency_seconds == pytest.approx(min(
+                decision.edge_latency_seconds,
+                decision.cloud_latency_seconds))
+            assert decision.margin_seconds >= 0
+
+    def test_crossover_separates_the_regimes(self, policy):
+        crossover = policy.crossover_image_bytes()
+        assert crossover is not None
+        below = policy.decide(crossover * 0.5)
+        above = policy.decide(crossover * 2.0)
+        assert below.placement is Placement.CLOUD
+        assert above.placement is Placement.EDGE
+
+    def test_at_crossover_latencies_match(self, policy):
+        crossover = policy.crossover_image_bytes()
+        decision = policy.decide(crossover)
+        assert decision.edge_latency_seconds == pytest.approx(
+            decision.cloud_latency_seconds, rel=1e-6)
+
+
+class TestRegimeStructure:
+    def test_slow_link_kills_the_cloud_option(self, vit_base):
+        dialup = NetworkLink("dialup", bandwidth_bps=56e3,
+                             round_trip_seconds=0.2)
+        policy = OffloadPolicy(vit_base, JETSON, A100, dialup)
+        assert policy.crossover_image_bytes() is None
+        assert policy.decide(1e3).placement is Placement.EDGE
+
+    def test_fast_model_on_edge_shrinks_the_cloud_window(self, vit_tiny,
+                                                         vit_base):
+        link = get_link("farm_wifi")
+        heavy = OffloadPolicy(vit_base, JETSON, A100, link)
+        light = OffloadPolicy(vit_tiny, JETSON, A100, link)
+        heavy_cross = heavy.crossover_image_bytes()
+        light_cross = light.crossover_image_bytes()
+        # The light model runs fast locally, so uploading pays off only
+        # for smaller payloads (if at all).
+        assert light_cross is None or light_cross < heavy_cross
+
+    def test_better_link_grows_the_cloud_window(self, vit_base):
+        wifi = OffloadPolicy(vit_base, JETSON, A100,
+                             get_link("farm_wifi"))
+        ether = OffloadPolicy(vit_base, JETSON, A100,
+                              get_link("station_ethernet"))
+        assert ether.crossover_image_bytes() > \
+            wifi.crossover_image_bytes()
+
+    def test_sustainable_rate_is_the_uplink_ceiling(self, policy):
+        rate = policy.sustainable_offload_rate(100e3)
+        assert rate == pytest.approx(
+            get_link("farm_wifi").sustainable_images_per_second(100e3))
+
+
+class TestValidation:
+    def test_bad_batches_rejected(self, vit_base):
+        with pytest.raises(ValueError):
+            OffloadPolicy(vit_base, JETSON, A100, get_link("farm_wifi"),
+                          edge_batch=0)
+
+    def test_negative_payload_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.cloud_latency(-1.0)
+        with pytest.raises(ValueError):
+            policy.sustainable_offload_rate(0.0)

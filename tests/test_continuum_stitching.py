@@ -1,0 +1,131 @@
+"""Tests for repro.continuum.stitching — the offline drone front end."""
+
+import numpy as np
+import pytest
+
+from repro.continuum.stitching import (
+    StitchCostModel,
+    TilePlacement,
+    plan_survey,
+    stitch_mosaic,
+    tile_mosaic,
+)
+from repro.data.synthetic import synth_image
+
+
+class TestPlanSurvey:
+    def test_covers_field_corners(self):
+        origins = plan_survey(200, 100, 80, 60, overlap=0.3)
+        assert (0, 0) in origins
+        assert (200 - 80, 100 - 60) in origins
+
+    def test_overlap_increases_capture_count(self):
+        sparse = plan_survey(300, 300, 100, 100, overlap=0.1)
+        dense = plan_survey(300, 300, 100, 100, overlap=0.6)
+        assert len(dense) > len(sparse)
+
+    def test_every_pixel_covered(self):
+        origins = plan_survey(150, 90, 50, 40, overlap=0.25)
+        covered = np.zeros((90, 150), bool)
+        for x, y in origins:
+            covered[y:y + 40, x:x + 50] = True
+        assert covered.all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_survey(100, 100, 200, 50)
+        with pytest.raises(ValueError):
+            plan_survey(100, 100, 50, 50, overlap=1.0)
+
+
+class TestStitchMosaic:
+    def test_single_capture_reproduces_itself(self, rng):
+        img = synth_image(40, 30, rng)
+        mosaic = stitch_mosaic([TilePlacement(img, 0, 0)], 40, 30)
+        # Feathered single placement: interior pixels match exactly.
+        np.testing.assert_allclose(mosaic[5:-5, 5:-5].astype(int),
+                                   img[5:-5, 5:-5].astype(int), atol=1)
+
+    def test_constant_tiles_blend_to_constant(self):
+        tile = np.full((30, 40, 3), 100, np.uint8)
+        placements = [TilePlacement(tile, x, 0) for x in (0, 20, 40)]
+        mosaic = stitch_mosaic(placements, 80, 30)
+        covered = mosaic.sum(axis=2) > 0
+        assert np.all(mosaic[covered] == 100)
+
+    def test_uncovered_regions_stay_black(self, rng):
+        img = synth_image(20, 20, rng)
+        mosaic = stitch_mosaic([TilePlacement(img, 0, 0)], 100, 100)
+        assert mosaic[50:, 50:].sum() == 0
+
+    def test_off_canvas_placement_rejected(self, rng):
+        img = synth_image(20, 20, rng)
+        with pytest.raises(ValueError, match="canvas"):
+            stitch_mosaic([TilePlacement(img, 90, 90)], 100, 100)
+
+    def test_empty_placements_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_mosaic([], 10, 10)
+
+    def test_negative_placement_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TilePlacement(synth_image(10, 10, rng), -1, 0)
+
+    def test_full_survey_roundtrip(self, rng):
+        # Survey -> stitch covers the whole canvas.
+        origins = plan_survey(120, 80, 50, 40, overlap=0.3)
+        placements = [TilePlacement(synth_image(50, 40, rng), x, y)
+                      for x, y in origins]
+        mosaic = stitch_mosaic(placements, 120, 80)
+        assert (mosaic.sum(axis=2) > 0).mean() > 0.99
+
+
+class TestTileMosaic:
+    def test_exact_tiling(self, rng):
+        mosaic = synth_image(128, 64, rng)
+        tiles = tile_mosaic(mosaic, 32)
+        assert len(tiles) == (128 // 32) * (64 // 32)
+        for x, y, tile in tiles:
+            assert tile.shape == (32, 32, 3)
+            np.testing.assert_array_equal(tile, mosaic[y:y + 32, x:x + 32])
+
+    def test_partial_tiles_padded(self, rng):
+        mosaic = synth_image(100, 50, rng)
+        tiles = tile_mosaic(mosaic, 32)
+        # 4 x 2 grid including padded edges.
+        assert len(tiles) == 8
+        corner = next(t for x, y, t in tiles if x == 96 and y == 32)
+        assert corner.shape == (32, 32, 3)
+        assert corner[20:, :].sum() == 0  # padding
+
+    def test_drop_partial(self, rng):
+        mosaic = synth_image(100, 50, rng)
+        tiles = tile_mosaic(mosaic, 32, drop_partial=True)
+        assert len(tiles) == 3  # only fully-covered tiles
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            tile_mosaic(np.zeros((10, 10)), 4)
+        with pytest.raises(ValueError):
+            tile_mosaic(synth_image(10, 10, rng), 0)
+
+
+class TestStitchCostModel:
+    def test_scales_with_pixels_and_cores(self):
+        model = StitchCostModel(fixed_overhead_seconds=0.0)
+        base = model.stitch_seconds(1e9, cpu_cores=1)
+        assert model.stitch_seconds(2e9, cpu_cores=1) == pytest.approx(
+            2 * base)
+        assert model.stitch_seconds(1e9, cpu_cores=4) == pytest.approx(
+            base / 4)
+
+    def test_fixed_overhead_floor(self):
+        model = StitchCostModel(fixed_overhead_seconds=30.0)
+        assert model.stitch_seconds(0.0, cpu_cores=128) == 30.0
+
+    def test_validation(self):
+        model = StitchCostModel()
+        with pytest.raises(ValueError):
+            model.stitch_seconds(-1, 1)
+        with pytest.raises(ValueError):
+            model.stitch_seconds(1, 0)

@@ -1,0 +1,95 @@
+"""Tests for repro.core.guidance — the tuning advisor."""
+
+import pytest
+
+from repro.core.guidance import TuningAdvisor
+from repro.data.datasets import get_dataset
+from repro.hardware.platform import A100, JETSON, V100
+
+
+class TestBatchRecommendation:
+    def test_a100_vit_tiny_needs_batch_over_16(self, vit_tiny):
+        # Section 4.1: "On A100 hardware, this requires batch sizes
+        # exceeding 16."
+        rec = TuningAdvisor(A100, saturation_fraction=0.8).recommend_batch(
+            vit_tiny)
+        assert rec.meets_target
+        assert rec.batch_size >= 16
+
+    def test_v100_smaller_batch_suffices(self, vit_tiny):
+        # "on V100, batch size 8 suffices" (saturation comes earlier).
+        a100 = TuningAdvisor(A100, saturation_fraction=0.8)
+        v100 = TuningAdvisor(V100, saturation_fraction=0.8)
+        assert (v100.recommend_batch(vit_tiny).batch_size
+                <= a100.recommend_batch(vit_tiny).batch_size)
+
+    def test_latency_within_target(self, all_models):
+        advisor = TuningAdvisor(A100)
+        for graph in all_models:
+            rec = advisor.recommend_batch(graph)
+            if rec.meets_target:
+                assert rec.expected_latency_seconds <= advisor.latency_target
+
+    def test_multi_instance_suggested_when_headroom(self, vit_tiny):
+        # A saturated small model on a large-memory GPU leaves room for a
+        # second instance (the paper's multi-instance recommendation).
+        rec = TuningAdvisor(A100).recommend_batch(vit_tiny)
+        assert rec.memory_limited_batch >= 2 * (rec.batch_size or 1)
+        assert rec.multi_instance_suggested
+
+    def test_jetson_vit_base_cannot_meet_60qps(self, vit_base):
+        # The Jetson's "considerably narrower operating margins": ViT
+        # Base misses the 16.7 ms line even at batch 1, and the advisor
+        # reports that honestly instead of recommending a batch.
+        rec = TuningAdvisor(JETSON).recommend_batch(vit_base)
+        assert not rec.meets_target
+        assert rec.batch_size is None
+        assert rec.memory_limited_batch == 8
+
+    def test_jetson_fallback_with_relaxed_target(self, vit_base):
+        # With a 50 ms budget the advisor falls back to the largest
+        # latency-feasible batch below the OOM limit.
+        rec = TuningAdvisor(JETSON,
+                            latency_target_seconds=0.05).recommend_batch(
+            vit_base)
+        assert rec.meets_target
+        assert rec.batch_size is not None
+        assert rec.batch_size <= 8
+
+    def test_impossible_target_reports_failure(self, vit_base):
+        advisor = TuningAdvisor(JETSON, latency_target_seconds=1e-5)
+        rec = advisor.recommend_batch(vit_base)
+        assert not rec.meets_target
+        assert rec.batch_size is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuningAdvisor(A100, latency_target_seconds=0)
+        with pytest.raises(ValueError):
+            TuningAdvisor(A100, saturation_fraction=1.5)
+
+
+class TestModelRecommendation:
+    def test_rankings_cover_zoo(self):
+        recs = TuningAdvisor(A100).recommend_model(
+            get_dataset("plant_village"))
+        assert len(recs) == 4
+
+    def test_target_meeting_models_ranked_by_capacity(self):
+        recs = TuningAdvisor(A100, latency_target_seconds=0.1
+                             ).recommend_model(get_dataset("plant_village"))
+        meeting = [r for r in recs if r.meets_target]
+        assert meeting, "A100 should meet a 100 ms budget"
+        # Largest capable model first: ViT Base ranks top when feasible.
+        assert meeting[0].model == "vit_base"
+
+    def test_failed_models_ranked_after_meeting(self):
+        recs = TuningAdvisor(JETSON, latency_target_seconds=0.05
+                             ).recommend_model(get_dataset("fruits_360"))
+        flags = [r.meets_target for r in recs]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_recommendations_carry_bottleneck(self):
+        recs = TuningAdvisor(V100).recommend_model(
+            get_dataset("plant_village"))
+        assert all(r.bottleneck in ("preprocess", "engine") for r in recs)

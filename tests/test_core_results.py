@@ -1,0 +1,64 @@
+"""Tests for repro.core.results."""
+
+import pytest
+
+from repro.core.results import ResultTable, render_table
+
+
+class TestResultTable:
+    def test_columns_from_first_row(self):
+        table = ResultTable("t", [{"a": 1, "b": 2}])
+        assert table.columns == ["a", "b"]
+
+    def test_heterogeneous_rows_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            ResultTable("t", [{"a": 1}, {"b": 2}])
+
+    def test_column_extraction(self):
+        table = ResultTable("t", [{"a": 1}, {"a": 3}])
+        assert table.column("a") == [1, 3]
+
+    def test_missing_column_raises(self):
+        table = ResultTable("t", [{"a": 1}])
+        with pytest.raises(KeyError, match="available"):
+            table.column("z")
+
+    def test_where_filters(self):
+        table = ResultTable("t", [
+            {"p": "A100", "v": 1}, {"p": "V100", "v": 2},
+            {"p": "A100", "v": 3}])
+        filtered = table.where(p="A100")
+        assert filtered.column("v") == [1, 3]
+
+    def test_where_multiple_conditions(self):
+        table = ResultTable("t", [
+            {"p": "A", "m": "x", "v": 1}, {"p": "A", "m": "y", "v": 2}])
+        assert table.where(p="A", m="y").column("v") == [2]
+
+    def test_empty_table_columns(self):
+        assert ResultTable("t", []).columns == []
+
+
+class TestRenderTable:
+    def test_contains_title_and_headers(self):
+        text = render_table("My Table", [{"col": 1.5}])
+        assert "== My Table ==" in text
+        assert "col" in text
+        assert "1.50" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table("empty", [])
+
+    def test_boolean_formatting(self):
+        text = render_table("t", [{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_large_floats_use_scientific(self):
+        text = render_table("t", [{"v": 1.23456e8}])
+        assert "1.23e+08" in text
+
+    def test_alignment_consistent(self):
+        text = render_table("t", [{"name": "a", "v": 1},
+                                  {"name": "longer", "v": 22}])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])  # separator matches rows

@@ -1,0 +1,64 @@
+"""Tests for repro.core.study — the full reproduction driver."""
+
+import pytest
+
+from repro.core.study import CharacterizationStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CharacterizationStudy()
+
+
+@pytest.fixture(scope="module")
+def report(study):
+    return study.run()
+
+
+class TestIndividualTables:
+    def test_table1_rows(self, study):
+        table = study.table1()
+        assert table.column("platform") == ["A100", "V100", "Jetson"]
+        a100 = table.where(platform="A100").rows[0]
+        assert a100["theory_tflops"] == 312.0
+        assert a100["practical_tflops"] == pytest.approx(236.3, rel=0.02)
+
+    def test_table2_rows(self, study):
+        assert len(study.table2().rows) == 6
+
+    def test_table3_rows(self, study):
+        table = study.table3()
+        assert len(table.rows) == 4
+        assert "upper_bound_jetson" in table.columns
+
+    def test_engine_scaling_covers_grid(self, study):
+        table = study.engine_scaling()
+        a100_tiny = table.where(platform="A100", model="vit_tiny")
+        assert a100_tiny.column("batch_size")[-1] == 1024
+        jetson_base = table.where(platform="Jetson", model="vit_base")
+        assert jetson_base.column("batch_size")[-1] == 8
+
+    def test_preprocessing_cells(self, study):
+        table = study.preprocessing()
+        assert len(table.rows) == 3 * 24
+
+    def test_end_to_end_cells(self, study):
+        table = study.end_to_end()
+        assert len(table.rows) == 3 * 20
+        assert set(table.column("bottleneck")) <= {"preprocess", "engine"}
+
+
+class TestFullRun:
+    def test_all_artifacts_present(self, report):
+        assert set(report.tables) == {
+            "table1", "table2", "table3", "fig5_6_engine",
+            "fig7_preprocessing", "fig8_end_to_end"}
+
+    def test_getitem(self, report):
+        assert report["table1"].rows
+
+    def test_render_produces_text(self, report):
+        text = report.render()
+        assert "Table 1" in text
+        assert "Fig 8" in text
+        assert len(text) > 1000

@@ -1,0 +1,78 @@
+"""Tests for repro.core.sweeps."""
+
+import pytest
+
+from repro.core.sweeps import (
+    default_grid,
+    e2e_sweep,
+    engine_sweep,
+    preprocessing_sweep,
+)
+from repro.hardware.platform import A100, JETSON
+
+
+class TestDefaultGrid:
+    def test_paper_dimensions(self):
+        grid = default_grid()
+        assert len(grid.platforms) == 3
+        assert len(grid.models) == 4
+        assert len(grid.datasets) == 6
+        assert len(grid.frameworks) == 5
+
+    def test_batch_sizes_delegate_to_calibration(self):
+        grid = default_grid()
+        assert grid.batch_sizes(A100)[-1] == 1024
+        assert grid.batch_sizes(JETSON)[-1] == 196
+
+
+class TestEngineSweep:
+    def test_cloud_sweep_covers_full_grid(self, vit_tiny):
+        points = engine_sweep(vit_tiny, A100)
+        assert points[0].batch_size == 1
+        assert points[-1].batch_size == 1024
+
+    def test_jetson_sweep_stops_at_oom(self, vit_base):
+        points = engine_sweep(vit_base, JETSON)
+        assert points[-1].batch_size == 8  # Fig. 5c boundary
+
+    def test_custom_grid(self, vit_tiny):
+        points = engine_sweep(vit_tiny, A100, batch_sizes=(2, 8, 32))
+        assert [p.batch_size for p in points] == [2, 8, 32]
+
+
+class TestPreprocessingSweep:
+    def test_fig7_cell_conventions(self):
+        estimates = preprocessing_sweep(A100)
+        cv2_cells = [e for e in estimates if e.framework == "CV2"]
+        assert [c.dataset for c in cv2_cells] == ["crsa"]
+        pytorch_cells = [e for e in estimates if e.framework == "PyTorch"]
+        assert "crsa" not in {c.dataset for c in pytorch_cells}
+
+    def test_dali_covers_all_datasets(self):
+        estimates = preprocessing_sweep(A100)
+        dali224 = {e.dataset for e in estimates
+                   if e.framework == "DALI 224"}
+        assert len(dali224) == 6
+
+    def test_total_cell_count(self):
+        # 3 DALI x 6 + PyTorch x 5 + CV2 x 1 = 24 cells per platform.
+        assert len(preprocessing_sweep(A100)) == 24
+
+
+class TestE2ESweep:
+    def test_covers_models_and_non_crsa_datasets(self):
+        results = e2e_sweep(A100)
+        assert len(results) == 4 * 5
+        assert {r.model for r in results} == {
+            "vit_tiny", "vit_small", "vit_base", "resnet50"}
+
+    def test_batch_labels_match_paper(self):
+        results = e2e_sweep(JETSON)
+        by_model = {r.model: r.batch_size for r in results}
+        assert by_model == {"vit_tiny": 64, "vit_small": 32,
+                            "vit_base": 2, "resnet50": 32}
+
+    def test_throughputs_positive(self):
+        for result in e2e_sweep(JETSON):
+            assert result.throughput > 0
+            assert result.latency_seconds > 0

@@ -1,0 +1,97 @@
+"""Tests for repro.data.datasets — the Table 2 inventory."""
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    ImageFormat,
+    get_dataset,
+    list_datasets,
+    table2_rows,
+)
+
+
+class TestTable2Inventory:
+    def test_six_datasets(self):
+        assert len(DATASETS) == 6
+
+    @pytest.mark.parametrize("name,classes,samples", [
+        ("plant_village", 39, 43430),
+        ("weed_soybean", 4, 10635),
+        ("spittle_bug", 2, 10100),
+        ("fruits_360", 81, 40998),
+        ("corn_growth", 23, 52198),
+        ("crsa", None, 992),
+    ])
+    def test_classes_and_samples(self, name, classes, samples):
+        spec = get_dataset(name)
+        assert spec.classes == classes
+        assert spec.samples == samples
+
+    @pytest.mark.parametrize("name,mode", [
+        ("plant_village", (256, 256)),
+        ("weed_soybean", (233, 233)),
+        ("spittle_bug", (61, 61)),
+        ("fruits_360", (100, 100)),
+        ("corn_growth", (224, 224)),
+        ("crsa", (3840, 2160)),
+    ])
+    def test_modal_sizes(self, name, mode):
+        assert get_dataset(name).mode_size == mode
+
+    def test_uniform_vs_variable(self):
+        assert get_dataset("plant_village").size_distribution.is_uniform
+        assert not get_dataset("weed_soybean").size_distribution.is_uniform
+        assert not get_dataset("spittle_bug").size_distribution.is_uniform
+
+    def test_weed_soybean_ships_as_tiff(self):
+        # The format difference the paper credits for PyTorch variance.
+        assert get_dataset("weed_soybean").image_format is ImageFormat.TIFF
+
+    def test_crsa_is_raw_with_dataset_preprocessing(self):
+        crsa = get_dataset("crsa")
+        assert crsa.image_format is ImageFormat.RAW
+        assert crsa.dataset_specific_preprocessing
+
+    def test_only_crsa_needs_dataset_preprocessing(self):
+        flagged = [d.name for d in list_datasets()
+                   if d.dataset_specific_preprocessing]
+        assert flagged == ["crsa"]
+
+
+class TestImageFormat:
+    def test_tiff_larger_than_jpeg_per_pixel(self):
+        assert (ImageFormat.TIFF.bytes_per_pixel
+                > ImageFormat.JPEG.bytes_per_pixel)
+
+    def test_raw_is_three_bytes_per_pixel(self):
+        assert ImageFormat.RAW.bytes_per_pixel == 3.0
+
+    def test_jpeg_decode_is_most_expensive_per_byte(self):
+        assert ImageFormat.JPEG.decode_cost_per_byte == max(
+            f.decode_cost_per_byte for f in ImageFormat)
+
+    def test_encoded_bytes_at_mode(self):
+        pv = get_dataset("plant_village")
+        assert pv.encoded_bytes_at_mode() == pytest.approx(
+            256 * 256 * 0.45)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("CRSA").name == "crsa"
+
+    def test_unknown_dataset_raises_with_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_dataset("imagenet")
+
+    def test_list_order_matches_table2(self):
+        assert [d.name for d in list_datasets()] == list(DATASET_ORDER)
+
+    def test_table2_rows_render_sizes(self):
+        rows = {r["dataset"]: r for r in table2_rows()}
+        assert rows["Plant Village"]["image_size"] == "256x256"
+        assert "mode 233x233" in rows["Weed Detection in Soybean"][
+            "image_size"]
+        assert rows["CRSA"]["classes"] == "-"

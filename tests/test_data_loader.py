@@ -1,0 +1,67 @@
+"""Tests for repro.data.loader."""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.data.loader import DataLoader
+
+
+class TestDataLoader:
+    def test_batch_count_rounds_up(self):
+        loader = DataLoader(get_dataset("fruits_360"), batch_size=4,
+                            epoch_size=10)
+        assert len(loader) == 3
+
+    def test_final_batch_is_short(self):
+        loader = DataLoader(get_dataset("fruits_360"), batch_size=4,
+                            epoch_size=10)
+        batches = list(loader)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_epoch_defaults_to_table2_samples(self):
+        loader = DataLoader(get_dataset("spittle_bug"), batch_size=101)
+        assert len(loader) == 100  # 10100 / 101
+
+    def test_samples_carry_encoded_size(self):
+        loader = DataLoader(get_dataset("plant_village"), batch_size=1,
+                            epoch_size=1)
+        [batch] = list(loader)
+        sample = batch[0]
+        assert sample.encoded_nbytes == pytest.approx(256 * 256 * 0.45)
+        assert sample.pixels == 256 * 256
+
+    def test_labels_in_class_range(self):
+        loader = DataLoader(get_dataset("spittle_bug"), batch_size=8,
+                            epoch_size=8, scale=0.5)
+        [batch] = list(loader)
+        assert all(s.label in (0, 1) for s in batch)
+
+    def test_scale_keeps_relative_statistics(self):
+        full = DataLoader(get_dataset("weed_soybean"), batch_size=1,
+                          epoch_size=1).size_statistics(256)
+        half = DataLoader(get_dataset("weed_soybean"), batch_size=1,
+                          epoch_size=1, scale=0.5).size_statistics(256)
+        assert half["mean_width"] == pytest.approx(
+            full["mean_width"] / 2, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = DataLoader(get_dataset("fruits_360"), batch_size=2,
+                       epoch_size=2, seed=9)
+        b = DataLoader(get_dataset("fruits_360"), batch_size=2,
+                       epoch_size=2, seed=9)
+        [batch_a], [batch_b] = list(a), list(b)
+        assert batch_a[0].label == batch_b[0].label
+        assert (batch_a[0].image == batch_b[0].image).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataLoader(get_dataset("crsa"), batch_size=0)
+        with pytest.raises(ValueError):
+            DataLoader(get_dataset("crsa"), batch_size=1, epoch_size=0)
+
+    def test_size_statistics_keys(self):
+        stats = DataLoader(get_dataset("fruits_360"),
+                           batch_size=1).size_statistics(64)
+        assert set(stats) == {"mean_width", "mean_height", "mean_pixels",
+                              "p95_pixels"}
+        assert stats["mean_pixels"] == pytest.approx(100 * 100)

@@ -1,0 +1,99 @@
+"""Tests for repro.data.synthetic — procedural imagery."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.data.synthetic import (
+    SyntheticSampler,
+    synth_crsa_frame,
+    synth_image,
+)
+
+
+class TestSynthImage:
+    def test_shape_and_dtype(self, rng):
+        img = synth_image(120, 80, rng)
+        assert img.shape == (80, 120, 3)
+        assert img.dtype == np.uint8
+
+    def test_vegetation_channel_balance(self, rng):
+        # Green dominates red dominates blue on average.
+        img = synth_image(64, 64, rng).astype(float)
+        r, g, b = img[..., 0].mean(), img[..., 1].mean(), img[..., 2].mean()
+        assert g > r > b
+
+    def test_single_channel(self, rng):
+        assert synth_image(10, 10, rng, channels=1).shape == (10, 10, 1)
+
+    def test_deterministic_given_seed(self):
+        a = synth_image(16, 16, np.random.default_rng(3))
+        b = synth_image(16, 16, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_dims_rejected(self, rng):
+        with pytest.raises(ValueError):
+            synth_image(0, 10, rng)
+
+    def test_not_constant(self, rng):
+        img = synth_image(32, 32, rng)
+        assert img.std() > 1.0
+
+
+class TestCRSAFrame:
+    def test_default_is_4k(self):
+        # Full 4K generation is slow; check the small path and the default
+        # parameters separately.
+        frame = synth_crsa_frame(384, 216)
+        assert frame.shape == (216, 384, 3)
+
+    def test_grid_lines_present(self):
+        frame = synth_crsa_frame(400, 200, grid_spacing=100)
+        # Grid pixels carry the row color (30, 110, 40).
+        mask = (frame[..., 1] == 110) & (frame[..., 0] == 30)
+        assert mask.sum() > 200
+
+    def test_rows_converge_toward_top(self):
+        # Perspective: the spread of marked columns shrinks higher up.
+        frame = synth_crsa_frame(600, 300, grid_spacing=120)
+        mask = (frame[..., 1] == 110) & (frame[..., 0] == 30)
+        top_cols = np.where(mask[10])[0]
+        bottom_cols = np.where(mask[-10])[0]
+        assert len(top_cols) > 0 and len(bottom_cols) > 0
+        assert (top_cols.max() - top_cols.min()
+                < bottom_cols.max() - bottom_cols.min())
+
+    def test_too_small_frame_rejected(self):
+        with pytest.raises(ValueError):
+            synth_crsa_frame(4, 4)
+
+
+class TestSyntheticSampler:
+    def test_classification_samples_have_labels(self):
+        sampler = SyntheticSampler(get_dataset("fruits_360"), seed=1)
+        samples = sampler.sample(5)
+        assert len(samples) == 5
+        for img, label in samples:
+            assert img.shape == (100, 100, 3)
+            assert 0 <= label < 81
+
+    def test_crsa_samples_unlabelled(self):
+        sampler = SyntheticSampler(get_dataset("crsa"), seed=1, scale=0.05)
+        [(img, label)] = sampler.sample(1)
+        assert label is None
+        assert img.shape[2] == 3
+
+    def test_variable_sizes_vary(self):
+        sampler = SyntheticSampler(get_dataset("spittle_bug"), seed=1)
+        sizes = sampler.sample_sizes(50)
+        assert len(np.unique(sizes[:, 0])) > 5
+
+    def test_scale_shrinks_dimensions(self):
+        full = SyntheticSampler(get_dataset("plant_village"), seed=1)
+        half = SyntheticSampler(get_dataset("plant_village"), seed=1,
+                                scale=0.5)
+        assert half.sample_sizes(1)[0, 0] == full.sample_sizes(1)[0, 0] // 2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSampler(get_dataset("crsa"), scale=0.0)

@@ -1,0 +1,122 @@
+"""Documentation coverage: every public item carries a doc comment.
+
+Deliverable (e) enforced mechanically: all public modules, classes, and
+functions under ``repro`` must have docstrings, and the repo-level
+documents must exist and reference what they claim to.
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parent.parent.parent
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstringCoverage:
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in ALL_MODULES
+                        if not (m.__doc__ or "").strip()]
+        assert not undocumented
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in ALL_MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in ALL_MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing
+
+    def test_every_public_method_documented(self):
+        # A method counts as documented if it, or the base-class
+        # contract it implements (MRO), carries a docstring.
+        def doc_of(cls, name):
+            for klass in cls.__mro__:
+                member = klass.__dict__.get(name)
+                func = None
+                if inspect.isfunction(member):
+                    func = member
+                elif isinstance(member, property) and member.fget:
+                    func = member.fget
+                if func is not None and (func.__doc__ or "").strip():
+                    return func.__doc__
+            return None
+
+        missing = []
+        for module in ALL_MODULES:
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if cls.__module__ != module.__name__:
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_"):
+                        continue
+                    is_callable = (inspect.isfunction(member)
+                                   or isinstance(member, property))
+                    if is_callable and doc_of(cls, name) is None:
+                        missing.append(
+                            f"{module.__name__}.{cls_name}.{name}")
+        assert not missing, sorted(missing)
+
+
+class TestRepoDocuments:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/architecture.md", "docs/calibration.md",
+        "docs/extending.md"])
+    def test_document_exists_and_substantial(self, name):
+        path = REPO_ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 1500, name
+
+    def test_design_lists_every_figure_and_table(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        for artifact in ("Table 1", "Table 2", "Table 3", "Fig 4",
+                         "Fig 5", "Fig 6", "Fig 7", "Fig 8"):
+            assert artifact in text, artifact
+
+    def test_experiments_records_paper_vs_measured(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "22,879" in text or "22879" in text  # a Fig 5 anchor
+        assert "Known" in text or "deviation" in text.lower()
+
+    def test_readme_quickstart_is_runnable_code(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "from repro import CharacterizationStudy" in text
+        # The quickstart snippet's imports must actually work.
+        from repro import (  # noqa: F401
+            JETSON,
+            CharacterizationStudy,
+            TuningAdvisor,
+            get_model,
+        )

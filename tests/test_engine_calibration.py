@@ -1,0 +1,75 @@
+"""Tests for repro.engine.calibration — the paper's anchor data."""
+
+import pytest
+
+from repro.engine import calibration
+from repro.engine.calibration import anchor_for, batch_grid
+
+
+class TestBatchGrids:
+    def test_cloud_grid_reaches_1024(self):
+        assert batch_grid("a100")[-1] == 1024
+        assert batch_grid("v100")[-1] == 1024
+
+    def test_jetson_grid_stops_at_196(self):
+        assert batch_grid("jetson")[-1] == 196
+
+    def test_grids_are_increasing(self):
+        for name in ("a100", "v100", "jetson"):
+            grid = batch_grid(name)
+            assert list(grid) == sorted(set(grid))
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            batch_grid("h100")
+
+    def test_case_insensitive(self):
+        assert batch_grid("A100") == batch_grid("a100")
+
+
+class TestAnchors:
+    def test_twelve_anchors(self):
+        assert len(calibration.THROUGHPUT_ANCHORS) == 12
+
+    @pytest.mark.parametrize("platform,model,batch,thr", [
+        ("a100", "vit_tiny", 1024, 22879.3),
+        ("a100", "resnet50", 1024, 16230.7),
+        ("v100", "vit_base", 1024, 1482.6),
+        ("jetson", "vit_tiny", 196, 1170.1),
+        ("jetson", "vit_small", 64, 469.4),
+        ("jetson", "vit_base", 8, 201.0),
+        ("jetson", "resnet50", 64, 842.9),
+    ])
+    def test_fig5_legend_values(self, platform, model, batch, thr):
+        assert anchor_for(platform, model) == (batch, thr)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            anchor_for("a100", "alexnet")
+
+    def test_anchor_batches_lie_on_the_grid(self):
+        for (plat, _), (batch, _) in calibration.THROUGHPUT_ANCHORS.items():
+            assert batch in batch_grid(plat)
+
+
+class TestJetsonMemoryAnchors:
+    def test_fig5c_max_batches(self):
+        assert calibration.JETSON_MAX_BATCH == {
+            "vit_tiny": 196, "vit_small": 64, "vit_base": 8,
+            "resnet50": 64}
+
+    def test_fig8_e2e_batches(self):
+        assert calibration.E2E_BATCH_SIZES[("jetson", "vit_base")] == 2
+        assert calibration.E2E_BATCH_SIZES[("v100", "vit_small")] == 32
+        assert calibration.E2E_BATCH_SIZES[("a100", "resnet50")] == 64
+
+    def test_e2e_budget_below_engine_budget(self):
+        from repro.hardware.platform import JETSON
+
+        assert (calibration.JETSON_E2E_ENGINE_BUDGET_BYTES
+                < JETSON.usable_gpu_memory_bytes)
+
+    def test_latency_threshold_is_60qps(self):
+        assert calibration.TARGET_QPS == 60.0
+        assert calibration.LATENCY_TARGET_SECONDS == pytest.approx(
+            1 / 60, abs=1e-9)

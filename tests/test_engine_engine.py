@@ -1,0 +1,98 @@
+"""Tests for repro.engine.engine — the InferenceEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.hardware.memory import OutOfMemoryError
+from repro.hardware.platform import A100, JETSON, V100
+from repro.hardware.precision import Precision
+from repro.models.vit import build_vit
+
+
+@pytest.fixture(scope="module")
+def tiny_engine():
+    return InferenceEngine(build_vit("vit_tiny"), A100)
+
+
+class TestConstruction:
+    def test_default_precision_matches_platform(self, tiny_engine):
+        assert tiny_engine.precision is Precision.BF16
+
+    def test_v100_engine_uses_fp16(self):
+        engine = InferenceEngine(build_vit("vit_tiny"), V100)
+        assert engine.precision is Precision.FP16
+
+    def test_build_time_oom_check(self, vit_base):
+        with pytest.raises(OutOfMemoryError):
+            InferenceEngine(vit_base, JETSON, memory_budget_bytes=1e6)
+
+    def test_repr(self, tiny_engine):
+        assert "vit_tiny" in repr(tiny_engine)
+        assert "A100" in repr(tiny_engine)
+
+
+class TestSimulatedInference:
+    def test_integer_batch_returns_latency_only(self, tiny_engine):
+        result = tiny_engine.infer(64)
+        assert result.batch_size == 64
+        assert result.outputs is None
+        assert result.latency_seconds > 0
+        assert result.throughput == pytest.approx(
+            64 / result.latency_seconds)
+
+    def test_latency_matches_model(self, tiny_engine):
+        result = tiny_engine.infer(32)
+        assert result.latency_seconds == pytest.approx(
+            tiny_engine.latency_model.latency(32))
+
+    def test_batch_beyond_profile_rejected(self, tiny_engine):
+        with pytest.raises(ValueError, match="profile"):
+            tiny_engine.infer(4096)
+
+    def test_oom_batch_rejected_on_jetson(self, vit_base):
+        engine = InferenceEngine(vit_base, JETSON, max_batch_size=1024)
+        with pytest.raises(OutOfMemoryError):
+            engine.infer(16)
+        assert engine.infer(8).latency_seconds > 0
+
+    def test_predict_point_validates_memory(self, vit_base):
+        engine = InferenceEngine(vit_base, JETSON, max_batch_size=1024)
+        point = engine.predict_point(8)
+        assert point.batch_size == 8
+        with pytest.raises(OutOfMemoryError):
+            engine.predict_point(32)
+
+    def test_memory_bytes_exposed(self, tiny_engine):
+        assert engine_bytes_positive(tiny_engine)
+
+
+def engine_bytes_positive(engine):
+    return engine.memory_bytes(1) > 0
+
+
+class TestFunctionalInference:
+    def test_real_forward_produces_logits(self):
+        engine = InferenceEngine(build_vit("vit_tiny"), A100,
+                                 functional=True)
+        x = np.zeros((2, 3, 32, 32), np.float32)
+        result = engine.infer(x)
+        assert result.outputs is not None
+        assert result.outputs.shape == (2, 39)
+        assert np.isfinite(result.outputs).all()
+
+    def test_wrong_input_shape_rejected(self):
+        engine = InferenceEngine(build_vit("vit_tiny"), A100,
+                                 functional=True)
+        with pytest.raises(ValueError, match="per-image shape"):
+            engine.infer(np.zeros((1, 3, 16, 16), np.float32))
+
+    def test_wrong_rank_rejected(self, tiny_engine):
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            tiny_engine.infer(np.zeros((3, 32, 32), np.float32))
+
+    def test_array_input_without_functional_mode_gives_no_outputs(
+            self, tiny_engine):
+        result = tiny_engine.infer(np.zeros((1, 3, 32, 32), np.float32))
+        assert result.outputs is None
+        assert result.batch_size == 1

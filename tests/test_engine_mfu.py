@@ -1,0 +1,115 @@
+"""Tests for repro.engine.mfu — the Fig. 5 utilization model."""
+
+import pytest
+
+from repro.engine.calibration import anchor_for
+from repro.engine.mfu import MFUModel
+from repro.hardware.platform import A100, JETSON, V100
+from repro.models.vit import ViTConfig, build_vit
+
+
+class TestAnchorReproduction:
+    @pytest.mark.parametrize("platform", [A100, V100, JETSON],
+                             ids=lambda p: p.name)
+    @pytest.mark.parametrize("model", ["vit_tiny", "vit_small",
+                                       "vit_base", "resnet50"])
+    def test_throughput_at_anchor_batch(self, platform, model, all_models):
+        graph = next(g for g in all_models if g.name == model)
+        mfu_model = MFUModel(graph, platform)
+        batch, paper_thr = anchor_for(platform.name, model)
+        thr = (platform.practical_flops * mfu_model.mfu(batch)
+               / graph.flops_per_image())
+        assert thr == pytest.approx(paper_thr, rel=0.001)
+
+
+class TestCurveShape:
+    def test_mfu_monotonically_increases(self, vit_tiny):
+        model = MFUModel(vit_tiny, A100)
+        values = [model.mfu(b) for b in (1, 2, 4, 8, 16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_diminishing_returns(self, vit_tiny):
+        # "increasing batch size demonstrates diminishing returns".
+        model = MFUModel(vit_tiny, A100)
+        gain_small = model.mfu(8) - model.mfu(4)
+        gain_large = model.mfu(512) - model.mfu(256)
+        assert gain_large < gain_small
+
+    def test_mfu_bounded_by_peak(self, vit_base):
+        model = MFUModel(vit_base, A100)
+        assert model.mfu(4096) <= model.mfu_peak <= 1.0
+
+    def test_larger_models_saturate_at_smaller_batches(self, vit_tiny,
+                                                       vit_base):
+        # "deploying larger models similarly improves MFU".
+        tiny = MFUModel(vit_tiny, A100)
+        base = MFUModel(vit_base, A100)
+        assert base.b_sat < tiny.b_sat
+        assert base.mfu(8) / base.mfu_peak > tiny.mfu(8) / tiny.mfu_peak
+
+    def test_invalid_batch_rejected(self, vit_tiny):
+        with pytest.raises(ValueError):
+            MFUModel(vit_tiny, A100).mfu(0)
+
+
+class TestPaperMFUClaims:
+    def test_resnet_beats_vit_small_mfu_despite_fewer_flops(
+            self, vit_small, resnet50):
+        # "While ViT-Small exhibits higher computational demand than
+        # ResNet50 (5.47 vs. 4.09 GFLOPs/image), ResNet achieves superior
+        # MFU."
+        assert vit_small.reported_gflops() > resnet50.reported_gflops()
+        for platform in (A100, V100, JETSON):
+            vit = MFUModel(vit_small, platform)
+            res = MFUModel(resnet50, platform)
+            assert res.mfu_peak > vit.mfu_peak
+
+    def test_substantial_gap_to_practical_bound(self, all_models):
+        # "a substantial gap exists between the MFU and the practical
+        # upper bound": even at max batch, utilization stays below ~45%.
+        for graph in all_models:
+            model = MFUModel(graph, A100)
+            assert model.mfu(1024) < 0.45
+
+    def test_achieved_tflops_below_practical(self, vit_base):
+        model = MFUModel(vit_base, A100)
+        assert model.achieved_tflops(1024) < A100.practical_tflops
+
+
+class TestNearSaturation:
+    def test_near_saturation_batch_increases_with_fraction(self, vit_tiny):
+        model = MFUModel(vit_tiny, A100)
+        assert (model.near_saturation_batch(0.95)
+                > model.near_saturation_batch(0.5))
+
+    def test_fraction_bounds_validated(self, vit_tiny):
+        model = MFUModel(vit_tiny, A100)
+        with pytest.raises(ValueError):
+            model.near_saturation_batch(1.0)
+
+    def test_mfu_at_near_saturation_batch(self, vit_small):
+        model = MFUModel(vit_small, V100)
+        b = model.near_saturation_batch(0.9)
+        assert model.mfu(b) >= 0.9 * model.mfu_peak
+
+
+class TestUnanchoredModels:
+    def test_custom_model_interpolates_peak(self):
+        # A ViT variant between Tiny and Small in GFLOPs gets a peak
+        # between their calibrated peaks.
+        cfg = ViTConfig("vit_mid", img_size=32, patch_size=2, dim=256,
+                        depth=12, heads=4)
+        mid = build_vit(cfg)
+        tiny = MFUModel(build_vit("vit_tiny"), A100)
+        small = MFUModel(build_vit("vit_small"), A100)
+        model = MFUModel(mid, A100)
+        low, high = sorted([tiny.mfu_peak, small.mfu_peak])
+        assert low <= model.mfu_peak <= high
+
+    def test_tiny_custom_model_clamps_to_smallest_anchor(self):
+        cfg = ViTConfig("vit_nano", img_size=16, patch_size=2, dim=96,
+                        depth=6, heads=3)
+        nano = build_vit(cfg)
+        model = MFUModel(nano, A100)
+        tiny = MFUModel(build_vit("vit_tiny"), A100)
+        assert model.mfu_peak == pytest.approx(tiny.mfu_peak)

@@ -1,0 +1,107 @@
+"""Tests for repro.engine.oom — the memory model behind Figs. 5c/8c."""
+
+import pytest
+
+from repro.engine.calibration import (
+    JETSON_E2E_ENGINE_BUDGET_BYTES,
+    JETSON_MAX_BATCH,
+    batch_grid,
+)
+from repro.engine.oom import EngineMemoryModel, max_batch_size
+from repro.hardware.memory import OutOfMemoryError
+from repro.hardware.platform import A100, JETSON, V100
+from repro.hardware.precision import Precision
+
+
+class TestCloudPlatformsFitFullGrid:
+    """Fig. 5a/5b: every model reaches BS 1024 on A100 and V100."""
+
+    @pytest.mark.parametrize("platform", [A100, V100],
+                             ids=lambda p: p.name)
+    def test_all_models_reach_1024(self, platform, all_models):
+        for graph in all_models:
+            assert max_batch_size(graph, platform) == 1024
+
+
+class TestJetsonOOMBoundaries:
+    """Fig. 5c: ViT Tiny 196, ViT Small 64, ResNet50 64, ViT Base 8."""
+
+    @pytest.mark.parametrize("model,expected",
+                             sorted(JETSON_MAX_BATCH.items()))
+    def test_engine_only_limits(self, model, expected, all_models):
+        graph = next(g for g in all_models if g.name == model)
+        assert max_batch_size(graph, JETSON) == expected
+
+    def test_e2e_budget_limits(self, all_models):
+        # Fig. 8c: with preprocessing co-resident the limits shrink to
+        # Tiny 64, Small 32, Base 2, ResNet 32.
+        expected = {"vit_tiny": 64, "vit_small": 32, "vit_base": 2,
+                    "resnet50": 32}
+        for graph in all_models:
+            limit = max_batch_size(
+                graph, JETSON,
+                budget_bytes=JETSON_E2E_ENGINE_BUDGET_BYTES)
+            assert limit == expected[graph.name], graph.name
+
+
+class TestEngineMemoryModel:
+    def test_memory_linear_in_batch(self, vit_small):
+        model = EngineMemoryModel(vit_small, JETSON)
+        m1, m2 = model.engine_bytes(1), model.engine_bytes(2)
+        assert m2 - m1 == pytest.approx(model.activation_bytes_per_image)
+
+    def test_jetson_uses_calibrated_footprints(self, vit_base):
+        model = EngineMemoryModel(vit_base, JETSON)
+        assert model.activation_bytes_per_image == 480e6
+
+    def test_cloud_uses_analytic_ping_pong(self, vit_base):
+        model = EngineMemoryModel(vit_base, A100)
+        expected = vit_base.activation_bytes_per_image(
+            Precision.BF16.bytes, reuse=True)
+        assert model.activation_bytes_per_image == pytest.approx(expected)
+
+    def test_unanchored_model_on_jetson_scales_analytic(self):
+        from repro.models.vit import ViTConfig, build_vit
+
+        cfg = ViTConfig("custom", img_size=32, patch_size=2, dim=128,
+                        depth=6, heads=4)
+        graph = build_vit(cfg)
+        model = EngineMemoryModel(graph, JETSON)
+        analytic = graph.activation_bytes_per_image(2, reuse=True)
+        assert model.activation_bytes_per_image == pytest.approx(
+            25.0 * analytic)
+
+    def test_fits_and_require_agree(self, resnet50):
+        model = EngineMemoryModel(resnet50, JETSON)
+        assert model.fits(64)
+        assert not model.fits(128)
+        model.require(64)
+        with pytest.raises(OutOfMemoryError):
+            model.require(128)
+
+    def test_weight_bytes_follow_precision(self, vit_tiny):
+        fp16 = EngineMemoryModel(vit_tiny, V100, Precision.FP16)
+        assert fp16.weight_bytes == pytest.approx(
+            2 * vit_tiny.total_params())
+
+    def test_unsupported_precision_rejected(self, vit_tiny):
+        with pytest.raises(ValueError):
+            EngineMemoryModel(vit_tiny, V100, Precision.BF16)
+
+    def test_invalid_batch_rejected(self, vit_tiny):
+        with pytest.raises(ValueError):
+            EngineMemoryModel(vit_tiny, A100).engine_bytes(0)
+
+
+class TestMaxBatchSize:
+    def test_custom_grid_respected(self, vit_small):
+        assert max_batch_size(vit_small, JETSON,
+                              batch_sizes=(1, 10, 50)) == 50
+
+    def test_nothing_fits_raises_oom(self, vit_base):
+        with pytest.raises(OutOfMemoryError):
+            max_batch_size(vit_base, JETSON, budget_bytes=1e6)
+
+    def test_default_grid_is_platform_grid(self, vit_tiny):
+        limit = max_batch_size(vit_tiny, JETSON)
+        assert limit in batch_grid("jetson")

@@ -1,0 +1,51 @@
+"""Smoke tests: the fast examples run end to end as scripts.
+
+The slower examples (training, farm day, drone survey) are exercised by
+the benchmark suite; these keep the quickstart-class scripts honest.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Table 1: evaluated platforms" in out
+        assert "Paper vs model" in out
+        assert "Tuning advisor" in out
+
+    def test_model_selection_advisor(self):
+        out = run_example("model_selection_advisor.py")
+        assert "A100" in out and "Jetson" in out
+        assert "deploy" in out
+
+    def test_online_cloud_serving(self):
+        out = run_example("online_cloud_serving.py")
+        assert "uplink" in out
+        assert "SLO" in out
+
+    def test_examples_directory_complete(self):
+        names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert names == [
+            "farm_day_simulation.py",
+            "farm_localized_training.py",
+            "model_selection_advisor.py",
+            "offline_drone_survey.py",
+            "online_cloud_serving.py",
+            "quickstart.py",
+            "realtime_ground_vehicle.py",
+        ]

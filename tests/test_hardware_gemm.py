@@ -1,0 +1,98 @@
+"""Tests for repro.hardware.gemm — the Table 1 methodology."""
+
+import pytest
+
+from repro.hardware.gemm import GemmBenchmark, gemm_flops
+from repro.hardware.platform import A100, JETSON, V100
+
+
+class TestGemmFlops:
+    def test_square_gemm_flop_count(self):
+        assert gemm_flops(4, 4, 4) == 2 * 64
+
+    def test_rectangular(self):
+        assert gemm_flops(2, 3, 5) == 2 * 2 * 3 * 5
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            gemm_flops(0, 4, 4)
+
+
+class TestModeledSweep:
+    @pytest.mark.parametrize("platform", [A100, V100, JETSON],
+                             ids=lambda p: p.name)
+    def test_plateau_reproduces_table1_practical(self, platform):
+        sweep = GemmBenchmark().run_modeled(platform)
+        assert sweep.practical_tflops == pytest.approx(
+            platform.practical_tflops, rel=0.02)
+
+    @pytest.mark.parametrize("platform", [A100, V100, JETSON],
+                             ids=lambda p: p.name)
+    def test_efficiency_matches_table1(self, platform):
+        sweep = GemmBenchmark().run_modeled(platform)
+        assert sweep.efficiency == pytest.approx(
+            platform.flops_efficiency, rel=0.03)
+
+    def test_achieved_rate_is_monotone_in_size(self):
+        sweep = GemmBenchmark().run_modeled(A100)
+        rates = [r.achieved_tflops for r in sweep.results]
+        assert rates == sorted(rates)
+
+    def test_achieved_never_exceeds_theoretical(self):
+        for platform in (A100, V100, JETSON):
+            sweep = GemmBenchmark().run_modeled(platform)
+            for result in sweep.results:
+                assert result.achieved_tflops < result.theoretical_tflops
+
+    def test_small_gemms_underutilize(self):
+        # The launch-overhead regime: a 256-square GEMM on the A100 should
+        # sit well below the plateau.
+        sweep = GemmBenchmark().run_modeled(A100)
+        small = sweep.results[0]
+        assert small.size == 256
+        assert small.achieved_tflops < 0.5 * sweep.practical_tflops
+
+    def test_seconds_consistent_with_rate(self):
+        sweep = GemmBenchmark().run_modeled(V100)
+        for result in sweep.results:
+            expected = gemm_flops(result.size, result.size, result.size) \
+                / (result.achieved_tflops * 1e12)
+            assert result.seconds == pytest.approx(expected)
+
+
+class TestHostSweep:
+    def test_real_measurement_runs(self):
+        sweep = GemmBenchmark(sizes=(128, 256), repeats=1).run_host(
+            max_size=256)
+        assert len(sweep.results) == 2
+        assert all(r.seconds > 0 for r in sweep.results)
+        assert all(r.achieved_tflops > 0 for r in sweep.results)
+
+    def test_max_size_caps_the_sweep(self):
+        sweep = GemmBenchmark(sizes=(128, 256, 4096), repeats=1).run_host(
+            max_size=256)
+        assert max(r.size for r in sweep.results) == 256
+
+    def test_explicit_theoretical_peak_propagates(self):
+        sweep = GemmBenchmark(sizes=(128,), repeats=1).run_host(
+            theoretical_tflops=100.0, max_size=128)
+        assert sweep.results[0].theoretical_tflops == 100.0
+        assert sweep.results[0].efficiency < 1.0
+
+    def test_no_sizes_within_cap_raises(self):
+        with pytest.raises(ValueError, match="max_size"):
+            GemmBenchmark(sizes=(2048,), repeats=1).run_host(max_size=256)
+
+
+class TestConstruction:
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            GemmBenchmark(sizes=())
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GemmBenchmark(sizes=(0, 128))
+
+    def test_sizes_are_sorted(self):
+        bench = GemmBenchmark(sizes=(512, 128, 256))
+        assert bench.sizes == (128, 256, 512)

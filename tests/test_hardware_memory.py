@@ -1,0 +1,115 @@
+"""Tests for repro.hardware.memory."""
+
+import pytest
+
+from repro.hardware.memory import (
+    MemoryPool,
+    OutOfMemoryError,
+    UnifiedMemoryPool,
+    pool_for_platform,
+)
+from repro.hardware.platform import A100, JETSON
+
+
+class TestMemoryPool:
+    def test_allocate_and_free_roundtrip(self):
+        pool = MemoryPool(1000)
+        alloc = pool.allocate(400, tag="weights")
+        assert pool.used_bytes == 400
+        assert pool.available_bytes == 600
+        pool.free(alloc)
+        assert pool.used_bytes == 0
+
+    def test_oom_raises_with_details(self):
+        pool = MemoryPool(100, name="test-pool")
+        pool.allocate(80)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            pool.allocate(30)
+        assert excinfo.value.requested == 30
+        assert excinfo.value.available == pytest.approx(20)
+        assert "test-pool" in str(excinfo.value)
+
+    def test_exact_fit_succeeds(self):
+        pool = MemoryPool(100)
+        pool.allocate(100)
+        assert pool.available_bytes == 0
+
+    def test_zero_byte_allocation_allowed(self):
+        pool = MemoryPool(10)
+        alloc = pool.allocate(0)
+        assert alloc.bytes == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(10).allocate(-1)
+
+    def test_double_free_raises(self):
+        pool = MemoryPool(100)
+        alloc = pool.allocate(10)
+        pool.free(alloc)
+        with pytest.raises(KeyError):
+            pool.free(alloc)
+
+    def test_can_fit(self):
+        pool = MemoryPool(100)
+        pool.allocate(60)
+        assert pool.can_fit(40)
+        assert not pool.can_fit(41)
+        assert not pool.can_fit(-1)
+
+    def test_breakdown_groups_by_tag(self):
+        pool = MemoryPool(1000)
+        pool.allocate(100, tag="weights")
+        pool.allocate(200, tag="activations")
+        pool.allocate(50, tag="weights")
+        assert pool.breakdown() == {"weights": 150, "activations": 200}
+
+    def test_live_allocations_reflect_state(self):
+        pool = MemoryPool(1000)
+        a = pool.allocate(1)
+        pool.allocate(2)
+        pool.free(a)
+        assert [x.bytes for x in pool.live_allocations()] == [2]
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+
+class TestUnifiedMemoryPool:
+    def test_host_reservation_shrinks_capacity(self):
+        pool = UnifiedMemoryPool(8e9, host_reserved_bytes=3e9)
+        assert pool.capacity_bytes == pytest.approx(5e9)
+        assert pool.total_device_bytes == pytest.approx(8e9)
+
+    def test_reservation_bounds_validated(self):
+        with pytest.raises(ValueError):
+            UnifiedMemoryPool(8e9, host_reserved_bytes=8e9)
+        with pytest.raises(ValueError):
+            UnifiedMemoryPool(8e9, host_reserved_bytes=-1)
+
+    def test_competition_between_stages(self):
+        # Preprocessing buffers and engine allocations share the pool:
+        # after preprocessing claims memory, a formerly-fitting engine
+        # allocation OOMs - the Fig. 8 Jetson dynamic.
+        pool = UnifiedMemoryPool(4e9, host_reserved_bytes=1e9)
+        assert pool.can_fit(2.5e9)
+        pool.allocate(2.0e9, tag="preprocessing")
+        assert not pool.can_fit(2.5e9)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate(2.5e9, tag="engine")
+
+
+class TestPoolForPlatform:
+    def test_discrete_platform_gets_plain_pool(self):
+        pool = pool_for_platform(A100)
+        assert type(pool) is MemoryPool
+        assert pool.capacity_bytes == pytest.approx(
+            A100.usable_gpu_memory_bytes)
+
+    def test_jetson_gets_unified_pool(self):
+        pool = pool_for_platform(JETSON)
+        assert isinstance(pool, UnifiedMemoryPool)
+        assert pool.total_device_bytes == pytest.approx(8e9)
+        assert pool.capacity_bytes == pytest.approx(
+            JETSON.usable_gpu_memory_bytes)

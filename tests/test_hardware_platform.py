@@ -1,0 +1,143 @@
+"""Tests for repro.hardware.platform — the Table 1 inventory."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.platform import (
+    A100,
+    JETSON,
+    PLATFORMS,
+    PlatformKind,
+    PlatformSpec,
+    Scenario,
+    V100,
+    get_platform,
+    list_platforms,
+)
+from repro.hardware.precision import Precision
+
+
+class TestTable1Inventory:
+    """The registry must reproduce Table 1 exactly."""
+
+    def test_three_platforms_registered(self):
+        assert len(PLATFORMS) == 3
+
+    def test_cpu_cores(self):
+        assert V100.cpu_cores == 40
+        assert A100.cpu_cores == 128
+        assert JETSON.cpu_cores == 6
+
+    def test_memory(self):
+        assert V100.host_memory_gb == 384.0
+        assert A100.host_memory_gb == 256.0
+        assert JETSON.host_memory_gb == 8.0
+
+    def test_theory_tflops(self):
+        assert V100.theoretical_tflops[Precision.FP16] == 112.0
+        assert A100.theoretical_tflops[Precision.BF16] == 312.0
+        assert JETSON.theoretical_tflops[Precision.FP16] == 17.0
+
+    def test_practical_tflops(self):
+        assert V100.practical_tflops == 92.6
+        assert A100.practical_tflops == 236.3
+        assert JETSON.practical_tflops == 11.4
+
+    def test_efficiency_range_of_cloud_platforms(self):
+        # "FLOPS efficiency achieved on each platform ranges from 75.74%
+        # to 82.68%" (the two cloud platforms).
+        assert A100.flops_efficiency == pytest.approx(0.7574, abs=1e-4)
+        assert V100.flops_efficiency == pytest.approx(0.8268, abs=1e-4)
+
+    def test_scenarios(self):
+        assert Scenario.ONLINE in A100.scenarios
+        assert Scenario.OFFLINE in V100.scenarios
+        assert JETSON.scenarios == (Scenario.REAL_TIME,)
+
+    def test_only_jetson_has_unified_memory(self):
+        assert JETSON.unified_memory
+        assert not A100.unified_memory and not V100.unified_memory
+
+    def test_jetson_power_mode(self):
+        # "Jetson platforms ... operate in 25W power mode."
+        assert JETSON.power_watts == 25.0
+
+    def test_cloud_nodes_have_two_gpus_but_one_is_used(self):
+        # "V100 and A100 experiments used only one of the two GPUs."
+        assert A100.gpu_count == 2 and V100.gpu_count == 2
+
+
+class TestDerivedQuantities:
+    def test_practical_flops_unit_conversion(self):
+        assert A100.practical_flops == pytest.approx(236.3e12)
+
+    def test_peak_flops_lookup(self):
+        assert V100.peak_flops("fp16") == pytest.approx(112e12)
+
+    def test_peak_flops_unsupported_precision_raises(self):
+        with pytest.raises(KeyError, match="does not support"):
+            V100.peak_flops(Precision.BF16)
+
+    def test_supports(self):
+        assert A100.supports("bf16")
+        assert not V100.supports("bf16")
+
+    def test_throughput_upper_bound_table3_example(self):
+        # Table 3: ViT Base on A100 -> 14,013 img/s (236.3e12 / 16.86e9).
+        bound = A100.throughput_upper_bound(16.86e9)
+        assert bound == pytest.approx(14013, rel=0.01)
+
+    def test_throughput_upper_bound_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            A100.throughput_upper_bound(0.0)
+
+    def test_min_latency_scales_linearly_with_batch(self):
+        one = A100.min_latency_seconds(4.09e9, 1)
+        many = A100.min_latency_seconds(4.09e9, 64)
+        assert many == pytest.approx(64 * one)
+
+    def test_min_latency_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            A100.min_latency_seconds(1e9, 0)
+
+    def test_usable_memory_below_physical(self):
+        for platform in list_platforms():
+            assert (platform.usable_gpu_memory_bytes
+                    < platform.gpu_memory_gb * 1e9)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_platform("A100") is A100
+        assert get_platform("jetson") is JETSON
+
+    def test_unknown_platform_raises_with_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_platform("h100")
+
+    def test_list_order_is_table1_column_order(self):
+        assert [p.name for p in list_platforms()] == ["A100", "V100",
+                                                      "Jetson"]
+
+
+class TestValidation:
+    def test_practical_cannot_exceed_theoretical(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            dataclasses.replace(A100, practical_tflops=400.0)
+
+    def test_benchmark_precision_must_be_supported(self):
+        with pytest.raises(ValueError, match="missing"):
+            dataclasses.replace(V100, benchmark_precision=Precision.BF16)
+
+    def test_nonpositive_practical_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(A100, practical_tflops=0.0)
+
+    def test_platform_kind_values(self):
+        assert A100.kind is PlatformKind.CLOUD
+        assert JETSON.kind is PlatformKind.EDGE
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            A100.cpu_cores = 1  # type: ignore[misc]

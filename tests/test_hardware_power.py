@@ -1,0 +1,100 @@
+"""Tests for repro.hardware.power — the energy models."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.power import (
+    POWER_PROFILES,
+    EnergyModel,
+    PowerProfile,
+    power_profile_for,
+)
+from repro.hardware.platform import A100, JETSON, V100
+
+
+class TestPowerProfile:
+    def test_idle_and_full_load(self):
+        profile = PowerProfile("x", idle_watts=10, board_watts=100)
+        assert profile.watts_at(0.0) == 10
+        assert profile.watts_at(1.0) == 100
+        assert profile.watts_at(0.5) == 55
+
+    def test_overhead_factor_multiplies(self):
+        profile = PowerProfile("x", idle_watts=10, board_watts=100,
+                               overhead_factor=1.4)
+        assert profile.watts_at(1.0) == pytest.approx(140)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerProfile("x", idle_watts=-1, board_watts=10)
+        with pytest.raises(ValueError):
+            PowerProfile("x", idle_watts=20, board_watts=10)
+        with pytest.raises(ValueError):
+            PowerProfile("x", idle_watts=1, board_watts=10,
+                         overhead_factor=0.5)
+        with pytest.raises(ValueError):
+            PowerProfile("x", 1, 10).watts_at(1.5)
+
+    def test_jetson_profile_is_25w_mode(self):
+        profile = power_profile_for(JETSON)
+        assert profile.board_watts == 25.0
+
+    def test_profiles_for_all_platforms(self):
+        for platform in (A100, V100, JETSON):
+            assert power_profile_for(platform).platform_name == \
+                platform.name
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            power_profile_for("tpu")
+
+
+class TestEnergyModel:
+    def test_point_consistency(self, vit_tiny):
+        model = EnergyModel(vit_tiny, JETSON)
+        point = model.point(64)
+        assert point.joules_per_image == pytest.approx(
+            point.watts / point.throughput)
+        assert point.images_per_joule == pytest.approx(
+            1.0 / point.joules_per_image)
+
+    def test_energy_per_image_improves_with_batch(self, vit_tiny):
+        # Larger batches raise utilization faster than power draw: the
+        # energy-optimal point sits at high batch.
+        model = EnergyModel(vit_tiny, JETSON)
+        assert model.point(64).joules_per_image < \
+            model.point(1).joules_per_image
+
+    def test_edge_beats_cloud_on_energy_for_small_models(self, vit_tiny):
+        # The continuum trade-off, quantified: the 25 W Jetson wins
+        # images/joule against the 460 W A100 node for ViT Tiny.
+        jetson = EnergyModel(vit_tiny, JETSON).point(64)
+        a100 = EnergyModel(vit_tiny, A100).point(64)
+        assert jetson.images_per_joule > a100.images_per_joule
+
+    def test_best_batch_minimizes_energy(self, resnet50):
+        model = EnergyModel(resnet50, JETSON)
+        grid = (1, 2, 4, 8, 16, 32, 64)
+        best = model.best_batch(grid)
+        for b in grid:
+            assert best.joules_per_image <= \
+                model.point(b).joules_per_image + 1e-12
+
+    def test_battery_planning(self, vit_tiny):
+        model = EnergyModel(vit_tiny, JETSON)
+        images = model.field_battery_images(battery_wh=100, batch_size=64)
+        point = model.point(64)
+        assert images == pytest.approx(100 * 3600 / point.joules_per_image)
+        with pytest.raises(ValueError):
+            model.field_battery_images(0, 64)
+
+    def test_sweep_matches_points(self, vit_small):
+        model = EnergyModel(vit_small, A100)
+        sweep = model.sweep((1, 8, 64))
+        assert [p.batch_size for p in sweep] == [1, 8, 64]
+
+    def test_custom_profile(self, vit_tiny):
+        profile = PowerProfile("custom", idle_watts=1, board_watts=2)
+        model = EnergyModel(vit_tiny, JETSON, profile=profile)
+        assert model.point(1).watts < 2.5

@@ -1,0 +1,70 @@
+"""Tests for repro.hardware.precision."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.precision import (
+    PRECISION_BYTES,
+    Precision,
+    parse_precision,
+)
+
+
+class TestPrecisionBytes:
+    def test_fp32_is_four_bytes(self):
+        assert Precision.FP32.bytes == 4
+
+    def test_fp16_and_bf16_are_two_bytes(self):
+        assert Precision.FP16.bytes == 2
+        assert Precision.BF16.bytes == 2
+
+    def test_int8_is_one_byte(self):
+        assert Precision.INT8.bytes == 1
+
+    def test_tf32_stores_as_four_bytes(self):
+        # TF32 is a compute format; storage stays 32-bit.
+        assert Precision.TF32.bytes == 4
+
+    def test_every_member_has_a_byte_width(self):
+        assert set(PRECISION_BYTES) == set(Precision)
+
+
+class TestNumpyDtypes:
+    def test_fp16_maps_to_native_half(self):
+        assert Precision.FP16.numpy_dtype == np.dtype(np.float16)
+
+    def test_bf16_falls_back_to_float32(self):
+        # NumPy has no bfloat16; the functional path computes in fp32.
+        assert Precision.BF16.numpy_dtype == np.dtype(np.float32)
+
+    def test_int8_fake_quantizes_in_float32(self):
+        assert Precision.INT8.numpy_dtype == np.dtype(np.float32)
+
+
+class TestIsReduced:
+    def test_fp32_is_not_reduced(self):
+        assert not Precision.FP32.is_reduced
+
+    @pytest.mark.parametrize("precision", [
+        Precision.FP16, Precision.BF16, Precision.INT8, Precision.TF32])
+    def test_everything_else_is_reduced(self, precision):
+        assert precision.is_reduced
+
+
+class TestParsePrecision:
+    def test_passthrough_of_enum(self):
+        assert parse_precision(Precision.FP16) is Precision.FP16
+
+    def test_lowercase_string(self):
+        assert parse_precision("bf16") is Precision.BF16
+
+    def test_uppercase_string(self):
+        assert parse_precision("FP16") is Precision.FP16
+
+    def test_unknown_format_raises_with_options(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            parse_precision("fp8")
+
+    def test_non_string_raises(self):
+        with pytest.raises(ValueError):
+            parse_precision(16)

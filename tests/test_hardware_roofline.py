@@ -1,0 +1,71 @@
+"""Tests for repro.hardware.roofline."""
+
+import pytest
+
+from repro.hardware.platform import A100, JETSON, V100
+from repro.hardware.roofline import RooflineModel
+
+
+class TestRoofline:
+    def test_low_intensity_is_bandwidth_bound(self):
+        model = RooflineModel(A100)
+        point = model.attainable(1.0)  # 1 FLOP/byte: far left of ridge
+        assert not point.compute_bound
+        assert point.attainable_tflops == pytest.approx(
+            A100.memory_bandwidth_gbps * 1e9 / 1e12)
+
+    def test_high_intensity_is_compute_bound(self):
+        model = RooflineModel(A100)
+        point = model.attainable(10_000.0)
+        assert point.compute_bound
+        assert point.attainable_tflops == pytest.approx(
+            A100.practical_tflops)
+
+    def test_ridge_point_separates_regimes(self):
+        model = RooflineModel(V100)
+        ridge = model.ridge_point
+        assert not model.attainable(ridge * 0.5).compute_bound
+        assert model.attainable(ridge * 2.0).compute_bound
+
+    def test_attainable_is_monotone_then_flat(self):
+        model = RooflineModel(JETSON)
+        values = [model.attainable(i).attainable_tflops
+                  for i in (1, 10, 100, 1000, 10000)]
+        assert values == sorted(values)
+        assert values[-1] == values[-2]  # plateau reached
+
+    def test_precision_scales_the_ceiling(self):
+        # INT8 peak is 2x BF16 peak on the A100; the practical ceiling
+        # scales with it.
+        bf16 = RooflineModel(A100, "bf16")
+        int8 = RooflineModel(A100, "int8")
+        assert int8.compute_ceiling_tflops == pytest.approx(
+            2.0 * bf16.compute_ceiling_tflops)
+
+    def test_unsupported_precision_raises(self):
+        with pytest.raises(KeyError):
+            RooflineModel(V100, "bf16")
+
+    def test_nonpositive_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            RooflineModel(A100).attainable(0.0)
+
+    def test_model_intensity_helper(self):
+        model = RooflineModel(A100)
+        assert model.model_intensity(100.0, 50.0) == 2.0
+        with pytest.raises(ValueError):
+            model.model_intensity(100.0, 0.0)
+
+    def test_sweep_matches_pointwise(self):
+        model = RooflineModel(A100)
+        intensities = [0.5, 5.0, 50.0]
+        swept = model.sweep(intensities)
+        assert [p.attainable_tflops for p in swept] == [
+            model.attainable(i).attainable_tflops for i in intensities]
+
+    def test_edge_device_has_lower_ridge_than_cloud(self):
+        # The Jetson's compute/bandwidth balance sits at a higher ridge
+        # (lower bandwidth relative to compute) - verify ridges computed.
+        a100 = RooflineModel(A100).ridge_point
+        jetson = RooflineModel(JETSON).ridge_point
+        assert a100 > 0 and jetson > 0

@@ -1,0 +1,98 @@
+"""Tests for repro.models.ir — the ONNX-like serialization layer."""
+
+import json
+
+import pytest
+
+from repro.models.ir import (
+    IR_VERSION,
+    IRError,
+    dumps,
+    from_ir,
+    loads,
+    to_ir,
+)
+from repro.models.resnet import build_resnet50
+from repro.models.vit import build_vit
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [
+        lambda: build_vit("vit_tiny"),
+        lambda: build_vit("vit_base"),
+        lambda: build_resnet50(img_size=64),
+    ], ids=["vit_tiny", "vit_base", "resnet50_64"])
+    def test_lossless_roundtrip(self, builder):
+        graph = builder()
+        restored = loads(dumps(graph))
+        assert restored.name == graph.name
+        assert restored.architecture == graph.architecture
+        assert restored.input_shape == graph.input_shape
+        assert restored.total_params() == graph.total_params()
+        assert restored.total_macs() == graph.total_macs()
+        assert restored.reported_gflops() == graph.reported_gflops()
+        assert [l.name for l in restored] == [l.name for l in graph]
+
+    def test_json_is_valid_and_versioned(self, vit_tiny):
+        doc = json.loads(dumps(vit_tiny))
+        assert doc["ir_version"] == IR_VERSION
+        assert doc["name"] == "vit_tiny"
+        assert len(doc["nodes"]) == len(vit_tiny)
+
+    def test_indented_output(self, vit_tiny):
+        assert "\n" in dumps(vit_tiny, indent=2)
+
+
+class TestValidation:
+    def test_invalid_json_raises(self):
+        with pytest.raises(IRError, match="invalid JSON"):
+            loads("{not json")
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(IRError, match="object"):
+            loads("[1, 2, 3]")
+
+    def test_wrong_version_rejected(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        doc["ir_version"] = 999
+        with pytest.raises(IRError, match="ir_version"):
+            from_ir(doc)
+
+    def test_missing_top_level_field_rejected(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        del doc["nodes"]
+        with pytest.raises(IRError, match="nodes"):
+            from_ir(doc)
+
+    def test_unknown_op_type_rejected(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        doc["nodes"][0]["op_type"] = "FlashAttention"
+        with pytest.raises(IRError, match="op_type"):
+            from_ir(doc)
+
+    def test_unexpected_node_field_rejected(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        doc["nodes"][0]["sparsity"] = 0.5
+        with pytest.raises(IRError, match="unexpected"):
+            from_ir(doc)
+
+    def test_missing_required_node_field_rejected(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        del doc["nodes"][0]["dim"]  # PatchEmbed.dim is required
+        with pytest.raises(IRError, match="missing"):
+            from_ir(doc)
+
+    def test_invalid_field_value_wrapped_as_ir_error(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        doc["nodes"][0]["patch_size"] = 5  # 32 not divisible by 5
+        with pytest.raises(IRError):
+            from_ir(doc)
+
+    def test_optional_fields_may_be_omitted(self, vit_tiny):
+        doc = to_ir(vit_tiny).to_dict()
+        # Linear.bias has a default; dropping it must still decode.
+        linear_node = next(n for n in doc["nodes"]
+                           if n["op_type"] == "Linear")
+        del linear_node["bias"]
+        restored = from_ir(doc)
+        assert restored.total_params() == vit_tiny.total_params()

@@ -1,0 +1,202 @@
+"""Tests for repro.models.layers — per-layer accounting."""
+
+import pytest
+
+from repro.models.layers import (
+    Activation,
+    Add,
+    AttentionMatmul,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    LayerCategory,
+    LayerNorm,
+    Linear,
+    PatchEmbed,
+    Pool2d,
+    PositionEmbedding,
+    Softmax,
+    TokenConcat,
+)
+
+
+class TestConv2d:
+    def make(self, **kw):
+        defaults = dict(name="c", in_channels=3, out_channels=8,
+                        in_hw=(16, 16), kernel_size=3, stride=1, padding=1)
+        defaults.update(kw)
+        return Conv2d(**defaults)
+
+    def test_same_padding_preserves_spatial(self):
+        assert self.make().out_hw == (16, 16)
+
+    def test_stride_halves_spatial(self):
+        assert self.make(stride=2).out_hw == (8, 8)
+
+    def test_params_without_bias(self):
+        assert self.make().params() == 8 * 3 * 9
+
+    def test_params_with_bias(self):
+        assert self.make(bias=True).params() == 8 * 3 * 9 + 8
+
+    def test_macs_formula(self):
+        conv = self.make()
+        assert conv.macs() == 8 * 16 * 16 * 3 * 9
+
+    def test_stride_reduces_macs_quadratically(self):
+        assert self.make(stride=2).macs() == self.make().macs() / 4
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            self.make(in_hw=(2, 2), kernel_size=3, padding=0)
+
+    def test_category(self):
+        assert self.make().category is LayerCategory.CONV
+
+    def test_no_elementwise_flops(self):
+        assert self.make().elementwise_flops() == 0.0
+
+
+class TestLinear:
+    def test_params(self):
+        layer = Linear("l", in_features=10, out_features=5)
+        assert layer.params() == 55
+
+    def test_params_no_bias(self):
+        layer = Linear("l", in_features=10, out_features=5, bias=False)
+        assert layer.params() == 50
+
+    def test_macs_scale_with_tokens(self):
+        one = Linear("l", 10, 5, tokens=1)
+        many = Linear("l", 10, 5, tokens=7)
+        assert many.macs() == 7 * one.macs()
+
+    def test_shapes(self):
+        layer = Linear("l", 10, 5, tokens=3)
+        assert layer.input_shape == (3, 10)
+        assert layer.output_shape == (3, 5)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Linear("l", 0, 5)
+
+
+class TestAttentionMatmul:
+    def test_macs_are_quadratic_in_tokens(self):
+        # "attention layers scale quadratically with respect to input
+        # sequence length" (Section 3.1).
+        small = AttentionMatmul("a", tokens=10, dim=8, heads=2)
+        large = AttentionMatmul("a", tokens=20, dim=8, heads=2)
+        assert large.macs() == 4 * small.macs()
+
+    def test_macs_formula(self):
+        layer = AttentionMatmul("a", tokens=5, dim=8, heads=2)
+        assert layer.macs() == 2 * 25 * 8
+
+    def test_no_params(self):
+        assert AttentionMatmul("a", tokens=5, dim=8, heads=2).params() == 0
+
+    def test_activation_includes_score_matrix(self):
+        layer = AttentionMatmul("a", tokens=5, dim=8, heads=2)
+        assert layer.activation_elements() == 2 * 25 + 5 * 8
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            AttentionMatmul("a", tokens=5, dim=9, heads=2)
+
+    def test_category_is_attention(self):
+        layer = AttentionMatmul("a", tokens=5, dim=8, heads=2)
+        assert layer.category is LayerCategory.ATTENTION
+
+
+class TestNormalizationLayers:
+    def test_batchnorm_params_are_two_per_channel(self):
+        assert BatchNorm2d("bn", channels=16, in_hw=(4, 4)).params() == 32
+
+    def test_batchnorm_has_no_macs(self):
+        assert BatchNorm2d("bn", channels=16, in_hw=(4, 4)).macs() == 0
+
+    def test_batchnorm_elementwise_flops(self):
+        bn = BatchNorm2d("bn", channels=2, in_hw=(3, 3))
+        assert bn.elementwise_flops() == 2 * 2 * 9
+
+    def test_layernorm_params(self):
+        assert LayerNorm("ln", tokens=7, dim=16).params() == 32
+
+    def test_layernorm_shape_passthrough(self):
+        ln = LayerNorm("ln", tokens=7, dim=16)
+        assert ln.input_shape == ln.output_shape == (7, 16)
+
+
+class TestActivations:
+    def test_relu_one_flop_per_element(self):
+        act = Activation("r", kind="relu", shape=(2, 3))
+        assert act.elementwise_flops() == 6
+
+    def test_gelu_costs_more_than_relu(self):
+        relu = Activation("r", kind="relu", shape=(2, 3))
+        gelu = Activation("g", kind="gelu", shape=(2, 3))
+        assert gelu.elementwise_flops() > relu.elementwise_flops()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Activation("x", kind="swish", shape=(2,))
+
+    def test_softmax_flops(self):
+        sm = Softmax("s", tokens=4, heads=2)
+        assert sm.elementwise_flops() == 3 * 2 * 16
+
+
+class TestPooling:
+    def test_maxpool_output_shape(self):
+        pool = Pool2d("p", kind="max", channels=4, in_hw=(8, 8),
+                      kernel_size=2, stride=2)
+        assert pool.output_shape == (4, 4, 4)
+
+    def test_pool_padding(self):
+        pool = Pool2d("p", kind="max", channels=1, in_hw=(7, 7),
+                      kernel_size=3, stride=2, padding=1)
+        assert pool.out_hw == (4, 4)
+
+    def test_unknown_pool_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Pool2d("p", kind="median", channels=1, in_hw=(4, 4),
+                   kernel_size=2, stride=2)
+
+    def test_global_avgpool_collapses_spatial(self):
+        pool = GlobalAvgPool("g", channels=32, in_hw=(7, 7))
+        assert pool.output_shape == (32,)
+        assert pool.elementwise_flops() == 32 * 49
+
+
+class TestEmbeddings:
+    def test_patch_embed_token_count(self):
+        pe = PatchEmbed("pe", in_channels=3, dim=8, img_hw=(16, 16),
+                        patch_size=4)
+        assert pe.num_patches == 16
+        assert pe.output_shape == (16, 8)
+
+    def test_patch_embed_params_include_bias(self):
+        pe = PatchEmbed("pe", in_channels=3, dim=8, img_hw=(16, 16),
+                        patch_size=4)
+        assert pe.params() == 8 * 3 * 16 + 8
+
+    def test_patch_embed_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            PatchEmbed("pe", in_channels=3, dim=8, img_hw=(17, 16),
+                       patch_size=4)
+
+    def test_token_concat_adds_one_token(self):
+        tc = TokenConcat("cls", tokens=16, dim=8)
+        assert tc.output_shape == (17, 8)
+        assert tc.params() == 8
+        assert tc.macs() == 0
+
+    def test_position_embedding_params(self):
+        pe = PositionEmbedding("pos", tokens=17, dim=8)
+        assert pe.params() == 17 * 8
+
+    def test_residual_add(self):
+        add = Add("res", shape=(17, 8))
+        assert add.params() == 0
+        assert add.elementwise_flops() == 17 * 8

@@ -1,0 +1,91 @@
+"""Tests for repro.models.resnet — the Table 3 CNN anchors."""
+
+import pytest
+
+from repro.models.layers import Conv2d, LayerCategory
+from repro.models.resnet import STAGES, BottleneckConfig, build_resnet50
+
+
+class TestTable3Anchors:
+    def test_parameter_count(self, resnet50):
+        # Table 3: 25.56M (the torchvision ImageNet-1k count, 25,557,032).
+        assert resnet50.total_params() == 25_557_032
+
+    def test_gflops_per_image(self, resnet50):
+        # Table 3: 4.09 GFLOPs/image at 224x224.
+        assert resnet50.reported_gflops() == pytest.approx(4.09, rel=0.01)
+
+    def test_input_size(self, resnet50):
+        assert resnet50.input_shape == (3, 224, 224)
+
+    def test_architecture_label(self, resnet50):
+        assert resnet50.architecture == "cnn"
+
+    def test_convolution_dominates_compute(self, resnet50):
+        # Section 4.0.2: "convolution operations account for 99.5% of
+        # ResNet50's overall computational intensity."
+        breakdown = resnet50.compute_breakdown()
+        assert breakdown[LayerCategory.CONV] > 0.985
+
+
+class TestTopology:
+    def test_stage_structure_is_3463(self):
+        assert [blocks for blocks, _ in STAGES] == [3, 4, 6, 3]
+
+    def test_bottleneck_expansion_is_four(self):
+        cfg = BottleneckConfig(in_channels=64, width=64, stride=1,
+                               in_hw=(56, 56))
+        assert cfg.out_channels == 256
+
+    def test_first_block_of_each_later_stage_downsamples(self):
+        cfg = BottleneckConfig(in_channels=256, width=128, stride=2,
+                               in_hw=(56, 56))
+        assert cfg.has_downsample
+        assert cfg.out_hw == (28, 28)
+
+    def test_identity_block_has_no_downsample(self):
+        cfg = BottleneckConfig(in_channels=256, width=64, stride=1,
+                               in_hw=(56, 56))
+        assert not cfg.has_downsample
+
+    def test_conv_layer_count(self, resnet50):
+        # 1 stem + 16 blocks x 3 convs + 4 downsample convs = 53 convs
+        # (the "50" counts convs + fc differently; torchvision has 53
+        # conv layers).
+        convs = [l for l in resnet50.layers if isinstance(l, Conv2d)]
+        assert len(convs) == 53
+
+    def test_final_feature_width(self, resnet50):
+        fc = resnet50.layers[-1]
+        assert fc.in_features == 2048
+
+    def test_spatial_reduction_chain(self, resnet50):
+        # 224 -> 7 after five stride-2 reductions.
+        from repro.models.layers import GlobalAvgPool
+
+        gap = next(l for l in resnet50.layers
+                   if isinstance(l, GlobalAvgPool))
+        assert gap.in_hw == (7, 7)
+
+
+class TestBuilderOptions:
+    def test_custom_classes_shrink_head_only(self, resnet50):
+        small_head = build_resnet50(num_classes=10)
+        delta = resnet50.total_params() - small_head.total_params()
+        assert delta == 990 * 2048 + 990
+
+    def test_smaller_input_size(self):
+        graph = build_resnet50(img_size=64)
+        assert graph.input_shape == (3, 64, 64)
+        assert graph.reported_gflops() < 4.09
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ValueError, match="divisible by 32"):
+            build_resnet50(img_size=100)
+
+    def test_flops_scale_with_input_area(self, resnet50):
+        half = build_resnet50(img_size=128)
+        ratio = resnet50.reported_gflops() / half.reported_gflops()
+        # Conv FLOPs scale with output area: (224/128)^2 ~= 3.06 (fc is
+        # area-independent so the ratio is slightly below).
+        assert ratio == pytest.approx((224 / 128) ** 2, rel=0.05)

@@ -1,0 +1,96 @@
+"""Tests for repro.models.trt — the TensorRT-like engine builder."""
+
+import pytest
+
+from repro.hardware.platform import A100, JETSON, V100
+from repro.hardware.precision import Precision
+from repro.models.trt import TRTEngineBuilder
+
+
+class TestPrecisionSelection:
+    def test_defaults_to_platform_benchmark_precision(self):
+        assert TRTEngineBuilder(A100).precision is Precision.BF16
+        assert TRTEngineBuilder(V100).precision is Precision.FP16
+
+    def test_unsupported_precision_rejected_at_build(self):
+        # Like trtexec: requesting BF16 on a V100 fails.
+        with pytest.raises(ValueError, match="lacks hardware support"):
+            TRTEngineBuilder(V100, "bf16")
+
+    def test_explicit_precision_accepted(self):
+        builder = TRTEngineBuilder(A100, "int8")
+        assert builder.precision is Precision.INT8
+
+
+class TestFusion:
+    def test_conv_bn_relu_fuses_to_one_layer(self, resnet50):
+        fused = TRTEngineBuilder(A100).fuse(resnet50)
+        # The stem's conv+bn+relu become one layer.
+        stem = fused[0]
+        assert stem.source_layers == ("stem.conv", "stem.bn", "stem.relu")
+
+    def test_fusion_reduces_layer_count(self, resnet50):
+        fused = TRTEngineBuilder(A100).fuse(resnet50)
+        assert len(fused) < len(resnet50.layers)
+
+    def test_fusion_preserves_total_macs(self, resnet50):
+        fused = TRTEngineBuilder(A100).fuse(resnet50)
+        assert sum(f.macs for f in fused) == pytest.approx(
+            resnet50.total_macs())
+
+    def test_bn_folding_removes_norm_flops(self, resnet50):
+        # Folded BN disappears; fused ReLU flops survive.
+        fused = TRTEngineBuilder(A100).fuse(resnet50)
+        stem = fused[0]
+        relu_flops = 64 * 112 * 112  # one flop per stem output element
+        assert stem.elementwise_flops == pytest.approx(relu_flops)
+
+    def test_linear_gelu_fuses_in_vit(self, vit_tiny):
+        fused = TRTEngineBuilder(A100).fuse(vit_tiny)
+        fc1 = next(f for f in fused if "fc1" in f.name)
+        assert any("gelu" in s for s in fc1.source_layers)
+
+    def test_attention_matmuls_not_fused(self, vit_tiny):
+        fused = TRTEngineBuilder(A100).fuse(vit_tiny)
+        attn = [f for f in fused if f.category.value == "attention"]
+        assert len(attn) == 12
+
+
+class TestBuild:
+    def test_spec_fields(self, vit_tiny):
+        spec = TRTEngineBuilder(A100).build(vit_tiny, max_batch_size=256)
+        assert spec.model_name == "vit_tiny"
+        assert spec.platform_name == "A100"
+        assert spec.max_batch_size == 256
+        assert spec.flops_per_image == pytest.approx(
+            vit_tiny.flops_per_image())
+
+    def test_weight_bytes_scale_with_precision(self, vit_tiny):
+        fp16 = TRTEngineBuilder(A100, "fp16").build(vit_tiny)
+        int8 = TRTEngineBuilder(A100, "int8").build(vit_tiny)
+        assert fp16.weight_bytes == pytest.approx(2 * int8.weight_bytes)
+
+    def test_memory_grows_linearly_with_batch(self, vit_tiny):
+        spec = TRTEngineBuilder(A100).build(vit_tiny)
+        m1 = spec.memory_bytes(1)
+        m64 = spec.memory_bytes(64)
+        act = spec.activation_bytes_per_image
+        assert m64 - m1 == pytest.approx(63 * act)
+
+    def test_memory_outside_profile_rejected(self, vit_tiny):
+        spec = TRTEngineBuilder(A100).build(vit_tiny, max_batch_size=8)
+        with pytest.raises(ValueError, match="profile"):
+            spec.memory_bytes(16)
+
+    def test_build_with_memory_cap_can_fail(self, vit_base):
+        with pytest.raises(ValueError, match="does not fit"):
+            TRTEngineBuilder(JETSON).build(
+                vit_base, available_memory_bytes=1e6)
+
+    def test_invalid_max_batch_rejected(self, vit_tiny):
+        with pytest.raises(ValueError):
+            TRTEngineBuilder(A100).build(vit_tiny, max_batch_size=0)
+
+    def test_num_layers_property(self, vit_tiny):
+        spec = TRTEngineBuilder(A100).build(vit_tiny)
+        assert spec.num_layers == len(spec.fused_layers)

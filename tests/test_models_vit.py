@@ -1,0 +1,105 @@
+"""Tests for repro.models.vit — the Table 3 transformer anchors."""
+
+import pytest
+
+from repro.models.layers import LayerCategory
+from repro.models.vit import VIT_CONFIGS, ViTConfig, build_vit
+
+
+class TestTable3Anchors:
+    """Parameter counts and GFLOPs must land on the paper's values."""
+
+    @pytest.mark.parametrize("name,params_m", [
+        ("vit_tiny", 5.39), ("vit_small", 21.40), ("vit_base", 85.80)])
+    def test_parameter_counts(self, name, params_m):
+        graph = build_vit(name)
+        assert graph.total_params() / 1e6 == pytest.approx(params_m,
+                                                           rel=0.005)
+
+    @pytest.mark.parametrize("name,gflops", [
+        ("vit_tiny", 1.37), ("vit_small", 5.47), ("vit_base", 16.86)])
+    def test_gflops_per_image(self, name, gflops):
+        graph = build_vit(name)
+        assert graph.reported_gflops() == pytest.approx(gflops, rel=0.01)
+
+    @pytest.mark.parametrize("name,size", [
+        ("vit_tiny", 32), ("vit_small", 32), ("vit_base", 224)])
+    def test_input_sizes(self, name, size):
+        assert build_vit(name).input_shape == (3, size, size)
+
+    def test_vit_tiny_mlp_attention_split(self):
+        # Section 4.0.2: 81.73% MLP / 18.23% attention for ViT Tiny.
+        mlp, attn = build_vit("vit_tiny").mlp_attention_split()
+        assert mlp * 100 == pytest.approx(81.73, abs=0.25)
+        assert attn * 100 == pytest.approx(18.23, abs=0.25)
+
+    def test_all_variants_are_transformers(self):
+        for name in VIT_CONFIGS:
+            assert build_vit(name).architecture == "transformer"
+
+
+class TestConfig:
+    def test_token_count_includes_cls(self):
+        assert VIT_CONFIGS["vit_tiny"].tokens == 257
+        assert VIT_CONFIGS["vit_base"].tokens == 197
+
+    def test_mlp_hidden_is_four_x(self):
+        cfg = VIT_CONFIGS["vit_small"]
+        assert cfg.mlp_hidden == 4 * cfg.dim
+
+    def test_indivisible_patch_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ViTConfig("bad", img_size=30, patch_size=4, dim=64, depth=2,
+                      heads=2)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ViTConfig("bad", img_size=32, patch_size=4, dim=65, depth=2,
+                      heads=2)
+
+
+class TestBuilder:
+    def test_unknown_variant_raises_with_options(self):
+        with pytest.raises(KeyError, match="available"):
+            build_vit("vit_giant")
+
+    def test_custom_config_accepted(self):
+        cfg = ViTConfig("mini", img_size=16, patch_size=4, dim=32,
+                        depth=2, heads=2, num_classes=5)
+        graph = build_vit(cfg)
+        assert graph.name == "mini"
+        assert graph.layers[-1].out_features == 5
+
+    def test_num_classes_override(self):
+        default = build_vit("vit_tiny")
+        two_class = build_vit("vit_tiny", num_classes=2)
+        # Head shrinks by (39 - 2) weights (+ biases).
+        assert (default.total_params() - two_class.total_params()
+                == 37 * 192 + 37)
+
+    def test_depth_controls_block_count(self):
+        cfg = ViTConfig("d3", img_size=16, patch_size=4, dim=32, depth=3,
+                        heads=2)
+        graph = build_vit(cfg)
+        blocks = {l.name.split(".")[0] for l in graph.layers
+                  if l.name.startswith("block")}
+        assert blocks == {"block0", "block1", "block2"}
+
+    def test_attention_layers_present_per_block(self):
+        graph = build_vit("vit_tiny")
+        attn = [l for l in graph.layers
+                if l.category is LayerCategory.ATTENTION]
+        assert len(attn) == 12
+
+    def test_macs_dominated_by_blocks_not_embeddings(self):
+        graph = build_vit("vit_tiny")
+        embed_macs = sum(l.macs() for l in graph.layers
+                         if l.name in ("patch_embed", "cls_token",
+                                       "pos_embed"))
+        assert embed_macs < 0.01 * graph.total_macs()
+
+    def test_larger_variant_needs_more_flops(self):
+        tiny = build_vit("vit_tiny").reported_gflops()
+        small = build_vit("vit_small").reported_gflops()
+        base = build_vit("vit_base").reported_gflops()
+        assert tiny < small < base

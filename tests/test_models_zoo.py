@@ -1,0 +1,87 @@
+"""Tests for repro.models.zoo and the Table 3 harness."""
+
+import pytest
+
+from repro.models.zoo import (
+    MODEL_ORDER,
+    MODEL_ZOO,
+    get_model,
+    list_models,
+    table3_rows,
+)
+
+
+class TestRegistry:
+    def test_four_models(self):
+        assert set(MODEL_ZOO) == {"vit_tiny", "vit_small", "vit_base",
+                                  "resnet50"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("ViT_Tiny").name == "vit_tiny"
+
+    def test_unknown_model_raises_with_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_model("efficientnet")
+
+    def test_list_order_matches_table3(self):
+        assert [e.name for e in list_models()] == list(MODEL_ORDER)
+
+    def test_graph_is_cached(self):
+        entry = get_model("vit_tiny")
+        assert entry.graph is entry.graph
+
+    def test_display_names(self):
+        assert get_model("resnet50").display_name == "ResNet50"
+        assert get_model("vit_base").display_name == "ViT Base"
+
+
+class TestZooAgainstPaper:
+    @pytest.mark.parametrize("name", list(MODEL_ORDER))
+    def test_built_params_match_paper_column(self, name):
+        entry = get_model(name)
+        assert entry.graph.total_params() / 1e6 == pytest.approx(
+            entry.paper_params_millions, rel=0.005)
+
+    @pytest.mark.parametrize("name", list(MODEL_ORDER))
+    def test_built_gflops_match_paper_column(self, name):
+        entry = get_model(name)
+        assert entry.graph.reported_gflops() == pytest.approx(
+            entry.paper_gflops_per_image, rel=0.01)
+
+    @pytest.mark.parametrize("name", list(MODEL_ORDER))
+    def test_input_size_matches_paper(self, name):
+        entry = get_model(name)
+        assert entry.graph.input_shape[1] == entry.paper_input_size
+
+
+class TestTable3Rows:
+    def test_row_per_model(self):
+        rows = table3_rows()
+        assert [r["model"] for r in rows] == [
+            "ViT Tiny", "ViT Small", "ViT Base", "ResNet50"]
+
+    def test_upper_bounds_reproduce_paper(self):
+        # Table 3 "Throughput UpperBound images/sec".
+        paper = {
+            ("ViT Tiny", "upper_bound_a100"): 172_508,
+            ("ViT Small", "upper_bound_a100"): 43_214,
+            ("ViT Base", "upper_bound_a100"): 14_013,
+            ("ResNet50", "upper_bound_a100"): 57_775,
+            ("ViT Tiny", "upper_bound_v100"): 67_602,
+            ("ViT Small", "upper_bound_v100"): 16_935,
+            ("ViT Base", "upper_bound_v100"): 5_491,
+            ("ResNet50", "upper_bound_v100"): 22_641,
+            ("ViT Tiny", "upper_bound_jetson"): 8_322,
+            ("ViT Small", "upper_bound_jetson"): 2_085,
+            ("ViT Base", "upper_bound_jetson"): 676,
+            ("ResNet50", "upper_bound_jetson"): 2_787,
+        }
+        rows = {r["model"]: r for r in table3_rows()}
+        for (model, column), expected in paper.items():
+            assert rows[model][column] == pytest.approx(expected, rel=0.015), \
+                f"{model} {column}"
+
+    def test_rows_carry_paper_reference_values(self):
+        row = table3_rows()[0]
+        assert row["paper_params_millions"] == 5.39
+        assert row["paper_gflops_per_image"] == 1.37

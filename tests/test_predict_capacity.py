@@ -1,0 +1,100 @@
+"""Tests for repro.predict.capacity and validation."""
+
+import pytest
+
+from repro.hardware.platform import A100, JETSON, V100
+from repro.predict.capacity import CapacityPlanner, WorkloadSpec
+from repro.predict.validation import backtest_platform, backtest_summary
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(images_per_second=0, latency_slo_seconds=0.1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(images_per_second=1, latency_slo_seconds=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(images_per_second=1, latency_slo_seconds=1,
+                         duty_cycle=0)
+
+
+class TestCapacityPlanner:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return WorkloadSpec(images_per_second=5000,
+                            latency_slo_seconds=1 / 60,
+                            duty_cycle=0.5)
+
+    def test_plan_meets_demand(self, workload, resnet50):
+        plan = CapacityPlanner(workload).plan(resnet50, A100)
+        assert plan.meets_slo
+        assert plan.total_throughput >= workload.images_per_second
+        assert plan.latency_seconds <= workload.latency_slo_seconds
+
+    def test_per_device_capped_at_compute_bound(self, workload, vit_tiny):
+        plan = CapacityPlanner(workload).plan(vit_tiny, A100)
+        cap = A100.throughput_upper_bound(vit_tiny.flops_per_image())
+        assert plan.throughput_per_device <= cap + 1e-6
+
+    def test_edge_needs_more_devices_than_cloud(self, workload, resnet50):
+        planner = CapacityPlanner(workload)
+        cloud = planner.plan(resnet50, A100)
+        edge = planner.plan(resnet50, JETSON)
+        assert edge.devices > cloud.devices
+
+    def test_infeasible_slo_reported(self, vit_base):
+        workload = WorkloadSpec(images_per_second=100,
+                                latency_slo_seconds=1e-5)
+        plan = CapacityPlanner(workload).plan(vit_base, JETSON)
+        assert not plan.meets_slo
+        assert plan.devices == 0
+
+    def test_compare_orders_feasible_first(self, workload, resnet50):
+        plans = CapacityPlanner(workload).compare(
+            resnet50, [JETSON, V100, A100])
+        flags = [p.meets_slo for p in plans]
+        assert flags == sorted(flags, reverse=True)
+        feasible = [p for p in plans if p.meets_slo]
+        devices = [p.devices for p in feasible]
+        assert devices == sorted(devices)
+
+    def test_energy_accounting_positive(self, workload, resnet50):
+        plan = CapacityPlanner(workload).plan(resnet50, JETSON)
+        assert plan.watt_hours_per_day is not None
+        assert plan.watt_hours_per_day > 0
+
+    def test_duty_cycle_reduces_energy(self, resnet50):
+        def energy(duty):
+            workload = WorkloadSpec(images_per_second=500,
+                                    latency_slo_seconds=1 / 30,
+                                    duty_cycle=duty)
+            return CapacityPlanner(workload).plan(resnet50,
+                                                  A100).watt_hours_per_day
+
+        assert energy(0.25) < energy(1.0)
+
+
+class TestBacktest:
+    def test_cross_platform_errors_bounded(self):
+        # The predictor's portability assumption costs < 25% on the
+        # paper's own anchors — the toolkit's honest error bar.
+        summary = backtest_summary()
+        assert set(summary) == {"v100<-a100", "a100<-v100",
+                                "jetson<-a100", "a100<-jetson"}
+        for pairing, error in summary.items():
+            assert error < 0.25, pairing
+
+    def test_backtest_rows_cover_zoo(self):
+        results = backtest_platform("v100", "a100")
+        assert {r.model for r in results} == {
+            "vit_tiny", "vit_small", "vit_base", "resnet50"}
+        for r in results:
+            assert r.predicted_images_per_second > 0
+
+    def test_same_platform_rejected(self):
+        with pytest.raises(ValueError):
+            backtest_platform("a100", "a100")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            backtest_platform("h100", "a100")

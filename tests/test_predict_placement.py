@@ -1,0 +1,85 @@
+"""Tests for repro.predict.placement — fleet bin packing."""
+
+import pytest
+
+from repro.hardware.platform import A100, JETSON
+from repro.models.zoo import get_model
+from repro.predict.placement import (
+    ModelDemand,
+    PlacementPlanner,
+    PlacementPlan,
+)
+
+
+def demand(name, batch=64, load=1000.0):
+    return ModelDemand(get_model(name).graph, batch, load)
+
+
+class TestPlacement:
+    def test_whole_zoo_fits_two_a100s(self):
+        planner = PlacementPlanner(A100, max_devices=2)
+        demands = [demand("vit_tiny", load=5000),
+                   demand("vit_small", load=4000),
+                   demand("vit_base", load=2000),
+                   demand("resnet50", load=6000)]
+        plan = planner.place(demands)
+        assert not plan.unplaced
+        assert plan.device_count <= 2
+        placed = [m for d in plan.devices for m in d.models]
+        assert sorted(placed) == ["resnet50", "vit_base", "vit_small",
+                                  "vit_tiny"]
+
+    def test_memory_budget_respected(self):
+        planner = PlacementPlanner(A100, max_devices=4)
+        plan = planner.place([demand("vit_base", load=1000)
+                              for _ in range(3)])
+        # Duplicate names end up on devices but memory stays in budget.
+        for device in plan.devices:
+            assert device.memory_bytes <= A100.usable_gpu_memory_bytes
+
+    def test_compute_cap_forces_spreading(self):
+        planner = PlacementPlanner(A100, max_devices=4, compute_cap=0.5)
+        # Each demand claims ~all of half a device's ViT-Tiny capacity.
+        capacity = 20000.0
+        demands = [demand("vit_tiny", load=0.45 * capacity)
+                   for _ in range(3)]
+        plan = planner.place(demands)
+        assert plan.device_count >= 2
+        for device in plan.devices:
+            assert device.compute_fraction <= 0.5 + 1e-9
+
+    def test_fleet_cap_leaves_demands_unplaced(self):
+        planner = PlacementPlanner(A100, max_devices=1, compute_cap=0.5)
+        demands = [demand("vit_tiny", load=9500) for _ in range(3)]
+        plan = planner.place(demands)
+        assert plan.unplaced
+
+    def test_oversized_engine_reported_unplaced(self):
+        planner = PlacementPlanner(JETSON, max_devices=4)
+        # ViT Base @BS16 exceeds the Jetson's memory (Fig. 5c boundary).
+        plan = planner.place([ModelDemand(get_model("vit_base").graph,
+                                          16, 100.0)])
+        assert plan.unplaced == ("vit_base",)
+        assert plan.device_count == 0
+
+    def test_overdemand_single_model_unplaced(self):
+        planner = PlacementPlanner(A100, compute_cap=0.8)
+        # Offered load above a whole device's capacity for that model.
+        plan = planner.place([demand("vit_base", load=1e6)])
+        assert plan.unplaced == ("vit_base",)
+
+    def test_device_of_lookup(self):
+        planner = PlacementPlanner(A100, max_devices=2)
+        plan = planner.place([demand("vit_tiny"), demand("resnet50")])
+        assert plan.device_of("vit_tiny") is not None
+        assert plan.device_of("missing") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementPlanner(A100, max_devices=0)
+        with pytest.raises(ValueError):
+            PlacementPlanner(A100, compute_cap=0.0)
+        with pytest.raises(ValueError):
+            ModelDemand(get_model("vit_tiny").graph, 0, 1.0)
+        with pytest.raises(ValueError):
+            ModelDemand(get_model("vit_tiny").graph, 1, -1.0)

@@ -1,0 +1,93 @@
+"""Tests for repro.predict.predictor and whatif."""
+
+import pytest
+
+from repro.hardware.platform import A100, JETSON, PlatformKind
+from repro.predict.predictor import PerformancePredictor
+from repro.predict.whatif import define_platform, preview_platform
+
+
+class TestCalibratedPrediction:
+    def test_matches_engine_models_on_measured_platform(self, vit_small):
+        from repro.engine.latency import LatencyModel
+
+        predictor = PerformancePredictor(A100)
+        prediction = predictor.predict(vit_small, 64)
+        reference = LatencyModel(vit_small, A100)
+        assert prediction.calibrated
+        assert prediction.throughput == pytest.approx(
+            reference.throughput(64))
+        assert prediction.latency_seconds == pytest.approx(
+            reference.latency(64))
+
+    def test_oom_limit_enforced(self, vit_base):
+        predictor = PerformancePredictor(JETSON)
+        with pytest.raises(ValueError, match="OOM"):
+            predictor.predict(vit_base, 64)
+
+    def test_sweep_stops_at_limit(self, vit_base):
+        predictor = PerformancePredictor(JETSON)
+        sweep = predictor.sweep(vit_base)
+        assert sweep[-1].batch_size == 8
+
+    def test_expectation_report_fields(self, resnet50):
+        report = PerformancePredictor(A100).expectation_report(resnet50)
+        assert report["max_batch"] == 1024
+        assert report["peak_throughput"] == pytest.approx(16230.7,
+                                                          rel=0.001)
+        assert report["recommended_batch"] <= report["max_batch"]
+        assert report["joules_per_image"] > 0
+
+    def test_energy_included_when_profile_known(self, vit_tiny):
+        prediction = PerformancePredictor(JETSON).predict(vit_tiny, 64)
+        assert prediction.joules_per_image is not None
+
+
+class TestWhatIfPlatforms:
+    @pytest.fixture(scope="class")
+    def orin_nx(self):
+        return define_platform(
+            "OrinNX", "edge", peak_tflops=50.0, precision="fp16",
+            gpu_memory_gb=16, memory_bandwidth_gbps=102, cpu_cores=8,
+            unified_memory=True)
+
+    def test_tier_efficiency_applied(self, orin_nx):
+        assert orin_nx.practical_tflops == pytest.approx(
+            50.0 * 0.67, rel=0.01)
+
+    def test_measured_practical_overrides(self):
+        platform = define_platform(
+            "X", "cloud", peak_tflops=100, precision="bf16",
+            gpu_memory_gb=24, memory_bandwidth_gbps=900, cpu_cores=32,
+            measured_practical_tflops=81.0)
+        assert platform.practical_tflops == 81.0
+
+    def test_edge_platform_properties(self, orin_nx):
+        assert orin_nx.kind is PlatformKind.EDGE
+        assert orin_nx.unified_memory
+        assert orin_nx.usable_memory_fraction == 0.52
+
+    def test_prediction_transfers_from_tier_donor(self, orin_nx,
+                                                  vit_tiny):
+        predictor = PerformancePredictor(orin_nx)
+        prediction = predictor.predict(vit_tiny, 64)
+        assert not prediction.calibrated
+        # More compute than the Jetson donor -> higher throughput.
+        donor = PerformancePredictor(JETSON).predict(vit_tiny, 64)
+        assert prediction.throughput > donor.throughput
+
+    def test_preview_covers_zoo_with_speedups(self, orin_nx):
+        rows = preview_platform(orin_nx)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["speedup_vs_jetson"] > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            define_platform("bad", "cloud", peak_tflops=0,
+                            precision="fp16", gpu_memory_gb=1,
+                            memory_bandwidth_gbps=1, cpu_cores=1)
+        with pytest.raises(ValueError):
+            define_platform("bad", "host", peak_tflops=1,
+                            precision="fp16", gpu_memory_gb=1,
+                            memory_bandwidth_gbps=1, cpu_cores=1)

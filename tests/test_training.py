@@ -1,0 +1,202 @@
+"""Tests for repro.training — probes, self-training, the frontier."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synth_labeled_images
+from repro.training.features import FeatureExtractor
+from repro.training.linear_probe import (
+    LinearProbe,
+    train_test_split,
+)
+from repro.training.pseudo_label import self_training
+from repro.training.tradeoff import FrontierPoint, pareto_front
+
+
+def gaussian_blobs(n, classes, dim, separation, rng):
+    """Fast synthetic features: class-centered gaussians."""
+    centers = rng.standard_normal((classes, dim)) * separation
+    labels = rng.integers(0, classes, size=n)
+    x = centers[labels] + rng.standard_normal((n, dim))
+    return x.astype(np.float64), labels
+
+
+class TestTrainTestSplit:
+    def test_partition_covers_everything(self, rng):
+        x, y = gaussian_blobs(50, 3, 4, 2.0, rng)
+        xtr, ytr, xte, yte = train_test_split(x, y, 0.2, rng)
+        assert xtr.shape[0] + xte.shape[0] == 50
+        assert ytr.shape[0] == xtr.shape[0]
+
+    def test_validation(self, rng):
+        x, y = gaussian_blobs(10, 2, 4, 2.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(x, y, 0.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(x, y[:5], 0.3, rng)
+
+
+class TestLinearProbe:
+    def test_learns_separable_blobs(self, rng):
+        x, y = gaussian_blobs(300, 4, 16, 4.0, rng)
+        xtr, ytr, xte, yte = train_test_split(x, y, 0.3, rng)
+        probe = LinearProbe(16, 4, epochs=300)
+        result = probe.fit(xtr, ytr, xte, yte)
+        assert result.test_accuracy > 0.95
+
+    def test_chance_level_on_pure_noise(self, rng):
+        x = rng.standard_normal((400, 8))
+        y = rng.integers(0, 4, size=400)
+        xtr, ytr, xte, yte = train_test_split(x, y, 0.5, rng)
+        probe = LinearProbe(8, 4, epochs=100)
+        result = probe.fit(xtr, ytr, xte, yte)
+        assert result.test_accuracy < 0.5  # near 0.25 chance
+
+    def test_loss_decreases(self, rng):
+        x, y = gaussian_blobs(200, 3, 8, 2.0, rng)
+        probe = LinearProbe(8, 3, epochs=50)
+        probe.fit(x, y)
+        assert probe.loss_history[-1] < probe.loss_history[0]
+
+    def test_early_stopping_on_plateau(self, rng):
+        x, y = gaussian_blobs(100, 2, 4, 10.0, rng)
+        probe = LinearProbe(4, 2, epochs=5000)
+        result = probe.fit(x, y, tolerance=1e-5)
+        assert result.epochs_run < 5000
+
+    def test_deterministic(self, rng):
+        x, y = gaussian_blobs(100, 3, 8, 2.0, rng)
+        a = LinearProbe(8, 3, seed=5)
+        b = LinearProbe(8, 3, seed=5)
+        a.fit(x, y)
+        b.fit(x, y)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        x, y = gaussian_blobs(50, 3, 8, 2.0, rng)
+        probe = LinearProbe(8, 3, epochs=10)
+        probe.fit(x, y)
+        np.testing.assert_allclose(probe.predict_proba(x).sum(axis=1),
+                                   1.0, rtol=1e-9)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        x, y = gaussian_blobs(200, 3, 8, 3.0, rng)
+        free = LinearProbe(8, 3, weight_decay=0.0, epochs=200)
+        decayed = LinearProbe(8, 3, weight_decay=0.1, epochs=200)
+        free.fit(x, y)
+        decayed.fit(x, y)
+        assert np.linalg.norm(decayed.weight) < np.linalg.norm(
+            free.weight)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LinearProbe(0, 3)
+        with pytest.raises(ValueError):
+            LinearProbe(4, 1)
+        probe = LinearProbe(4, 3)
+        x, y = gaussian_blobs(10, 3, 4, 2.0, rng)
+        with pytest.raises(ValueError, match="features"):
+            probe.fit(x[:, :2], y)
+        with pytest.raises(ValueError, match="class range"):
+            probe.fit(x, y + 5)
+
+
+class TestSelfTraining:
+    def _task(self, rng, separation=2.2):
+        x, y = gaussian_blobs(500, 3, 12, separation, rng)
+        return (x[:15], y[:15],          # tiny labeled set
+                x[15:350], y[15:350],    # unlabeled pool (truth held)
+                x[350:], y[350:])        # test set
+
+    def test_pseudo_labels_improve_a_weak_baseline(self):
+        rng = np.random.default_rng(7)
+        x_l, y_l, x_u, y_u, x_t, y_t = self._task(rng)
+        result = self_training(x_l, y_l, x_u, x_t, y_t, classes=3,
+                               y_unlabeled_true=y_u, confidence=0.85)
+        assert result.pseudo_labels_used > 50
+        assert result.final_accuracy >= result.baseline_accuracy - 0.02
+        assert result.pseudo_label_precision > 0.7
+
+    def test_no_confident_samples_stops_early(self):
+        rng = np.random.default_rng(8)
+        # Pure noise with a strongly regularized (underfit) head: the
+        # posterior stays near uniform, so nothing crosses the bar.
+        x = rng.standard_normal((200, 8))
+        y = rng.integers(0, 4, size=200)
+        result = self_training(
+            x[:20], y[:20], x[20:150], x[150:], y[150:], classes=4,
+            confidence=0.95,
+            probe_kwargs={"weight_decay": 5.0, "epochs": 50})
+        assert result.pseudo_labels_used == 0
+        assert result.rounds_run == 0
+
+    def test_validation(self, rng):
+        x, y = gaussian_blobs(30, 2, 4, 2.0, rng)
+        with pytest.raises(ValueError):
+            self_training(x[:5], y[:5], x[5:20], x[20:], y[20:], 2,
+                          confidence=0.3)
+        with pytest.raises(ValueError):
+            self_training(x[:5], y[:5], x[5:20], x[20:], y[20:], 2,
+                          rounds=0)
+
+
+class TestFeatureExtractor:
+    def test_embeddings_standardized(self, rng):
+        images, _ = synth_labeled_images(8, 2, 32, rng)
+        extractor = FeatureExtractor("vit_tiny")
+        features = extractor.extract(list(images))
+        assert features.shape == (8, 192)
+        np.testing.assert_allclose(features.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_feature_dims_match_architecture(self):
+        assert FeatureExtractor("vit_tiny").feature_dim == 192
+        assert FeatureExtractor("vit_small").feature_dim == 384
+
+    def test_preprocessing_resizes_arbitrary_captures(self, rng):
+        images, _ = synth_labeled_images(2, 2, 56, rng)
+        extractor = FeatureExtractor("vit_tiny")
+        batch = extractor.preprocess(list(images))
+        assert batch.shape == (2, 3, 32, 32)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor("vit_tiny").extract([])
+
+    def test_features_separate_synthetic_classes(self, rng):
+        # The end-to-end claim behind the fine-tuning story: frozen
+        # random-backbone features keep the synthetic class signal
+        # linearly separable.
+        images, labels = synth_labeled_images(48, 2, 32, rng,
+                                              signal_strength=1.0)
+        features = FeatureExtractor("vit_tiny").extract(list(images))
+        xtr, ytr, xte, yte = train_test_split(
+            features, labels, 0.33, np.random.default_rng(3))
+        probe = LinearProbe(192, 2, epochs=300)
+        result = probe.fit(xtr, ytr, xte, yte)
+        assert result.test_accuracy >= 0.75
+
+
+class TestParetoFront:
+    def _point(self, model, acc, lat):
+        return FrontierPoint(model, 0, acc, lat, 1.0 / lat, 1, 0.0)
+
+    def test_dominated_points_removed(self):
+        points = [
+            self._point("fast_bad", acc=0.6, lat=0.01),
+            self._point("slow_good", acc=0.9, lat=0.10),
+            self._point("dominated", acc=0.5, lat=0.20),
+        ]
+        front = pareto_front(points)
+        assert [p.model for p in front] == ["fast_bad", "slow_good"]
+
+    def test_single_point_is_the_front(self):
+        points = [self._point("only", 0.8, 0.05)]
+        assert pareto_front(points) == points
+
+    def test_front_sorted_by_latency(self):
+        points = [
+            self._point("b", acc=0.9, lat=0.2),
+            self._point("a", acc=0.7, lat=0.1),
+        ]
+        front = pareto_front(points)
+        assert [p.model for p in front] == ["a", "b"]

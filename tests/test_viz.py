@@ -1,0 +1,127 @@
+"""Tests for repro.viz — the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.charts import (
+    render_figure_svg,
+    render_heatmap_svg,
+    save_all_figures,
+)
+from repro.viz.svg import Axis, BarChart, LineChart, SvgCanvas
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "hello")
+        root = parse(canvas.to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "100"
+        tags = [child.tag for child in root]
+        assert f"{SVG_NS}line" in tags
+        assert f"{SVG_NS}text" in tags
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas()
+        canvas.text(0, 0, "a < b & c")
+        root = parse(canvas.to_svg())  # parse fails if unescaped
+
+    def test_polyline_needs_points(self):
+        with pytest.raises(ValueError):
+            SvgCanvas().polyline([(0, 0)])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+
+class TestAxis:
+    def test_linear_transform(self):
+        axis = Axis("x")
+        assert axis.transform(5, 0, 10) == 0.5
+
+    def test_log_transform(self):
+        axis = Axis("x", log=True)
+        assert axis.transform(10, 1, 100) == pytest.approx(0.5)
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Axis("x", log=True).transform(0, 1, 10)
+
+
+class TestLineChart:
+    def test_renders_series_and_legend(self):
+        chart = LineChart("t", Axis("x", log=True), Axis("y"))
+        chart.add("a", [1, 10, 100], [1, 2, 3])
+        chart.add("b", [1, 10, 100], [3, 2, 1], dashed=True)
+        root = parse(chart.render())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        assert any(p.get("stroke-dasharray") for p in polylines)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "a" in texts and "b" in texts
+
+    def test_empty_chart_rejected(self):
+        chart = LineChart("t", Axis("x"), Axis("y"))
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_mismatched_series_rejected(self):
+        chart = LineChart("t", Axis("x"), Axis("y"))
+        with pytest.raises(ValueError):
+            chart.add("a", [1, 2], [1])
+
+
+class TestBarChart:
+    def test_renders_bars_per_group(self):
+        chart = BarChart("t", "img/s")
+        chart.set_categories(["d1", "d2", "d3"])
+        chart.add_group("g1", [1, 2, 3])
+        chart.add_group("g2", [3, 2, 1])
+        root = parse(chart.render())
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) == 1 + 6 + 2
+
+    def test_group_length_validated(self):
+        chart = BarChart("t", "y")
+        chart.set_categories(["a", "b"])
+        with pytest.raises(ValueError, match="values"):
+            chart.add_group("g", [1.0])
+
+
+class TestFigureRendering:
+    @pytest.mark.parametrize("figure", ["fig5", "fig6", "fig7", "fig8"])
+    def test_every_figure_parses(self, figure):
+        root = parse(render_figure_svg(figure, "A100"))
+        assert len(list(root)) > 5
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            render_figure_svg("fig9", "A100")
+
+    def test_heatmap_skips_uncovered_cells(self):
+        grid = np.array([[0, 1], [-1, 2]])
+        root = parse(render_heatmap_svg(grid))
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 1 + 3  # background + covered cells
+
+    def test_heatmap_validates_rank(self):
+        with pytest.raises(ValueError):
+            render_heatmap_svg(np.zeros(3))
+
+    def test_save_all_figures(self, tmp_path):
+        paths = save_all_figures(tmp_path)
+        assert len(paths) == 12
+        for path in paths:
+            parse(path.read_text())
