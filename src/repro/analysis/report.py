@@ -57,3 +57,57 @@ def full_report() -> str:
 def render_rows(title: str, rows: list[dict]) -> str:
     """Convenience re-export of the core renderer."""
     return render_table(title, rows)
+
+
+def registry_stage_breakdown(registry) -> dict[str, dict]:
+    """Per-stage time summary from a live metrics registry.
+
+    The same shape as :func:`repro.serving.tracing.stage_breakdown` —
+    {stage: {count, total_seconds, mean_seconds, retried_attempts}}
+    plus the ``"queued"`` pseudo-stage — but computed from the
+    registry's ``execution_seconds`` / ``queue_wait_seconds``
+    histograms instead of re-walking completed response traces, so it
+    works mid-run and at production request volumes.  One difference in
+    granularity: stage counts here are *batch executions* (what an
+    instance actually ran), while the tracing view counts per-request
+    spans; queue waits are per request in both.
+    """
+    out: dict[str, dict] = {}
+    exec_hist = registry.get("execution_seconds")
+    retries = registry.get("retries_total")
+    if exec_hist is not None:
+        for key, series in exec_hist.items():
+            stage = dict(key).get("stage", "")
+            out[stage] = {
+                "count": series.count,
+                "total_seconds": series.sum,
+                "mean_seconds": (series.sum / series.count
+                                 if series.count else 0.0),
+                "retried_attempts": (int(retries.value(stage=stage))
+                                     if retries is not None else 0),
+            }
+    wait_hist = registry.get("queue_wait_seconds")
+    if wait_hist is not None:
+        count = sum(s.count for _, s in wait_hist.items())
+        total = sum(s.sum for _, s in wait_hist.items())
+        out["queued"] = {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+            "retried_attempts": 0,
+        }
+    return out
+
+
+def render_stage_breakdown(breakdown: dict[str, dict]) -> str:
+    """Text table for a stage breakdown (tracing- or registry-built)."""
+    lines = [f"{'stage':<16s} {'count':>7s} {'total s':>10s} "
+             f"{'mean ms':>9s} {'retried':>8s}"]
+    for stage in sorted(breakdown):
+        row = breakdown[stage]
+        lines.append(
+            f"{stage:<16s} {row['count']:7d} "
+            f"{row['total_seconds']:10.4f} "
+            f"{row['mean_seconds'] * 1e3:9.3f} "
+            f"{row.get('retried_attempts', 0):8d}")
+    return "\n".join(lines) + "\n"

@@ -8,6 +8,8 @@ Commands
 ``predict``             expectation report for a (model, platform) pair
 ``figures``             write the Fig 5-8 panels as SVG files
 ``backtest``            leave-one-platform-out predictor validation
+``metrics``             run a serving scenario; print its live time
+                        series, stage breakdown, and metrics scrape
 """
 
 from __future__ import annotations
@@ -121,6 +123,50 @@ def _cmd_backtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.report import (
+        registry_stage_breakdown,
+        render_stage_breakdown,
+    )
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.client import OpenLoopClient
+    from repro.serving.exporter import export_metrics
+    from repro.serving.observability import TimeSeriesSampler
+    from repro.serving.server import ModelConfig, TritonLikeServer
+
+    if args.rate <= 0:
+        raise ValueError("--rate must be positive")
+    server = TritonLikeServer()
+    server.register(ModelConfig(
+        "preprocess", lambda n: 0.0008 * n,
+        batcher=BatcherConfig(max_batch_size=16,
+                              max_queue_delay=0.002)))
+    server.register(ModelConfig(
+        "infer", lambda n: 0.004 + 0.0012 * n,
+        batcher=BatcherConfig(max_batch_size=32,
+                              max_queue_delay=0.005,
+                              max_queue_size=args.queue_limit),
+        instances=args.instances,
+        preprocess_model="preprocess"))
+    client = OpenLoopClient(server, "infer", rate_per_second=args.rate,
+                            num_requests=args.requests, seed=args.seed)
+    sampler = TimeSeriesSampler(server, interval=args.interval)
+    client.start()
+    sampler.start()
+    server.run()
+
+    print(f"scenario: preprocess->infer, {args.requests} requests @ "
+          f"{args.rate:g} rps, sampled every {args.interval:g} s")
+    print("== timeline ==")
+    print(sampler.render_timeline(), end="")
+    print("== stage breakdown ==")
+    breakdown = registry_stage_breakdown(server.metrics)
+    print(render_stage_breakdown(breakdown), end="")
+    print("== scrape ==")
+    print(export_metrics(server), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -160,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", required=True)
     p.add_argument("--donor", required=True)
     p.set_defaults(func=_cmd_backtest)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a serving scenario and print its observability view")
+    p.add_argument("--rate", type=float, default=80.0,
+                   help="open-loop arrival rate (requests/s)")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--interval", type=float, default=0.05,
+                   help="time-series sampling interval (s)")
+    p.add_argument("--instances", type=int, default=1,
+                   help="inference instance-group size")
+    p.add_argument("--queue-limit", type=int, default=0,
+                   help="bound the infer queue (images; 0 = unbounded)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_metrics)
     return parser
 
 

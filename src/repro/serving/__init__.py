@@ -18,7 +18,10 @@ deterministic discrete-event core:
 * :mod:`repro.serving.client` — open-loop (Poisson) and closed-loop load
   generators;
 * :mod:`repro.serving.metrics` — latency percentiles and throughput
-  accounting.
+  accounting;
+* :mod:`repro.serving.observability` — live Prometheus-style registry
+  (counters/gauges/histograms on the simulator clock) and the
+  time-series sampler driving queue-depth/utilization timelines.
 """
 
 from repro.serving.events import Simulator, Event
@@ -47,7 +50,19 @@ from repro.serving.traces import (
     burst_trace,
     diurnal_trace,
 )
-from repro.serving.exporter import export_metrics, parse_metrics
+from repro.serving.exporter import (
+    export_metrics,
+    export_registry,
+    parse_metrics,
+)
+from repro.serving.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SamplePoint,
+    TimeSeriesSampler,
+)
 from repro.serving.tracing import (
     RequestTrace,
     Span,
@@ -81,7 +96,14 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "export_metrics",
+    "export_registry",
     "parse_metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SamplePoint",
+    "TimeSeriesSampler",
     "RequestTrace",
     "Span",
     "render_gantt",

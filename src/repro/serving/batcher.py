@@ -71,11 +71,33 @@ class QueuedRequest:
 
 
 class DynamicBatcher:
-    """The queue + batch-forming policy for one model."""
+    """The queue + batch-forming policy for one model.
 
-    def __init__(self, config: BatcherConfig):
+    With ``metrics`` bound (the server passes its registry and the
+    model name as ``stage``), the batcher emits enqueue counters, a
+    queue-wait histogram, and a dispatched-batch-size histogram; left
+    unbound (direct construction in tests) it stays silent.
+    """
+
+    #: Image-count buckets for the dispatched-batch-size histogram.
+    SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(self, config: BatcherConfig, metrics=None,
+                 stage: str | None = None):
         self.config = config
         self._queue: deque[QueuedRequest] = deque()
+        self._stage = stage if stage is not None else ""
+        if metrics is not None:
+            self._c_enqueued = metrics.counter(
+                "batcher_enqueued_total", "Requests queued per stage.")
+            self._h_wait = metrics.histogram(
+                "queue_wait_seconds",
+                "Enqueue-to-dispatch wait per stage.")
+            self._h_size = metrics.histogram(
+                "batch_size_images", "Dispatched batch size per stage.",
+                buckets=self.SIZE_BUCKETS)
+        else:
+            self._c_enqueued = self._h_wait = self._h_size = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -91,6 +113,8 @@ class DynamicBatcher:
         if limit and self.queued_images + request.num_images > limit:
             raise QueueFullError(request.model_name, limit)
         self._queue.append(QueuedRequest(request, now))
+        if self._c_enqueued is not None:
+            self._c_enqueued.inc(stage=self._stage)
 
     def oldest_enqueue_time(self) -> float | None:
         """Enqueue time of the oldest queued request, or None."""
@@ -117,12 +141,13 @@ class DynamicBatcher:
             return None
         return self._queue[0].enqueue_time + self.config.max_queue_delay
 
-    def form_batch(self) -> list[Request]:
+    def form_batch(self, now: float | None = None) -> list[Request]:
         """Pop the next batch (requests never split across batches).
 
         Dequeue order is (priority desc, arrival) — Triton's priority
         levels: urgent real-time requests jump queued offline work, FIFO
-        within a level.
+        within a level.  Pass ``now`` (the server does) to record each
+        popped request's queue wait into the metrics registry.
         """
         if not self._queue:
             raise RuntimeError("form_batch on an empty queue")
@@ -142,6 +167,13 @@ class DynamicBatcher:
                 picked.append(index)
                 images += request.num_images
         batch = [self._queue[i].request for i in picked]
+        if now is not None and self._h_wait is not None:
+            for index in picked:
+                self._h_wait.observe(
+                    now - self._queue[index].enqueue_time,
+                    stage=self._stage)
+            self._h_size.observe(
+                sum(r.num_images for r in batch), stage=self._stage)
         for index in sorted(picked, reverse=True):
             del self._queue[index]
         return batch

@@ -30,6 +30,9 @@ class OpenLoopClient:
         self.server = server
         self.model_name = model_name
         self.images_per_request = images_per_request
+        self._c_issued = server.metrics.counter(
+            "client_requests_issued_total",
+            "Requests issued by load generators, by client kind.")
         rng = np.random.default_rng(seed)
         gaps = rng.exponential(1.0 / rate_per_second, size=num_requests)
         self.arrival_times = np.cumsum(gaps)
@@ -37,11 +40,12 @@ class OpenLoopClient:
     def start(self) -> None:
         """Schedule every arrival on the server's simulator."""
         for t in self.arrival_times:
-            self.server.sim.schedule_at(
-                float(t),
-                lambda: self.server.submit(
-                    Request(self.model_name,
-                            num_images=self.images_per_request)))
+            self.server.sim.schedule_at(float(t), self._issue)
+
+    def _issue(self) -> None:
+        self._c_issued.inc(client="open_loop", model=self.model_name)
+        self.server.submit(Request(self.model_name,
+                                   num_images=self.images_per_request))
 
 
 class ClosedLoopClient:
@@ -60,6 +64,9 @@ class ClosedLoopClient:
         self.images_per_request = images_per_request
         self._remaining = num_requests
         self.completed: list[Response] = []
+        self._c_issued = server.metrics.counter(
+            "client_requests_issued_total",
+            "Requests issued by load generators, by client kind.")
 
     def start(self) -> None:
         """Prime the window and chain re-issues on completions."""
@@ -71,6 +78,7 @@ class ClosedLoopClient:
         if self._remaining <= 0:
             return
         self._remaining -= 1
+        self._c_issued.inc(client="closed_loop", model=self.model_name)
         self.server.submit(Request(self.model_name,
                                    num_images=self.images_per_request))
 

@@ -5,12 +5,22 @@ Triton exposes a ``/metrics`` endpoint; operations teams alert on it.
 :class:`~repro.serving.server.TritonLikeServer` in the Prometheus text
 exposition format (parse-able by the real toolchain), and
 :func:`parse_metrics` reads it back — used by tests and the monitoring
-example.
+example.  :func:`export_registry` renders the live
+:class:`~repro.serving.observability.MetricsRegistry` the serving layer
+emits into — including histogram bucket series — and
+``export_metrics`` appends it, so one scrape carries both the summary
+and the live-instrumented views.
 """
 
 from __future__ import annotations
 
 from repro.serving.metrics import summarize_responses
+from repro.serving.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.serving.server import TritonLikeServer
 
 
@@ -19,6 +29,42 @@ def _line(name: str, labels: dict[str, str], value: float) -> str:
         rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
         return f"{name}{{{rendered}}} {value:g}"
     return f"{name} {value:g}"
+
+
+def _bound_label(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+def export_registry(registry: MetricsRegistry,
+                    prefix: str = "harvest") -> str:
+    """Render a :class:`MetricsRegistry` as exposition text.
+
+    Counters and gauges render one sample per label set; histograms
+    render the full Prometheus triplet — cumulative ``_bucket{le=...}``
+    series ending in ``+Inf``, ``_sum``, and ``_count``.
+    """
+    lines: list[str] = []
+    for metric in registry.collect():
+        name = f"{prefix}_{metric.name}"
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric.items():
+                lines.append(_line(name, dict(key), value))
+        elif isinstance(metric, Histogram):
+            for key, series in metric.items():
+                labels = dict(key)
+                for bound, cumulative in metric.cumulative_buckets(
+                        **labels):
+                    lines.append(_line(
+                        f"{name}_bucket",
+                        {**labels, "le": _bound_label(bound)},
+                        cumulative))
+                lines.append(_line(f"{name}_sum", labels, series.sum))
+                lines.append(_line(f"{name}_count", labels,
+                                   series.count))
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def export_metrics(server: TritonLikeServer,
@@ -82,7 +128,8 @@ def export_metrics(server: TritonLikeServer,
             _line(f"{prefix}_throughput_images", {},
                   summary.throughput_ips),
         ]
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    return text + export_registry(server.metrics, prefix=prefix)
 
 
 def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],

@@ -28,10 +28,18 @@ class InstanceStats:
     images_served: int = 0
     busy_seconds: float = 0.0
     failures: int = 0
+    #: Time the instance was occupied by executions that ended in
+    #: failure (the fault-detection window).  The slot is just as
+    #: unavailable as during successful service, so utilization folds
+    #: it in — otherwise fault injection *lowers* reported utilization
+    #: while the instance is actually saturated.
+    fault_seconds: float = 0.0
 
     def utilization(self, elapsed: float) -> float:
-        """Busy fraction of the elapsed window."""
-        return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+        """Occupied fraction of the elapsed window (busy + faulted)."""
+        if elapsed <= 0:
+            return 0.0
+        return (self.busy_seconds + self.fault_seconds) / elapsed
 
 
 class BackendInstance:
@@ -44,13 +52,49 @@ class BackendInstance:
     """
 
     def __init__(self, name: str, service_time: ServiceTimeFn,
-                 sim: Simulator, fault_model=None):
+                 sim: Simulator, fault_model=None, metrics=None):
         self.name = name
         self.service_time = service_time
         self.sim = sim
         self.busy = False
         self.stats = InstanceStats()
         self.fault_model = fault_model
+        self._stage = name.split("#")[0]
+        if metrics is not None:
+            self._h_exec = metrics.histogram(
+                "execution_seconds",
+                "Successful backend execution time per stage.")
+            self._c_batches = metrics.counter(
+                "batches_executed_total",
+                "Successful batch executions per stage.")
+            self._c_images = metrics.counter(
+                "images_executed_total",
+                "Images in successful executions per stage.")
+            self._c_failures = metrics.counter(
+                "execution_failures_total",
+                "Failed backend executions per stage.")
+            self._c_fault_seconds = metrics.counter(
+                "fault_seconds_total",
+                "Instance time lost to failed executions per stage.")
+        else:
+            self._h_exec = self._c_batches = self._c_images = None
+            self._c_failures = self._c_fault_seconds = None
+
+    def _span_key(self, request: Request) -> str:
+        """Span key for this execution attempt of ``request``.
+
+        Keyed per *attempt*: a retried request keeps its earlier
+        attempts' timestamps instead of overwriting them (the first
+        attempt keeps the bare instance name so single-shot traces read
+        unchanged; retries append ``@<attempt>``).
+        """
+        attempt = sum(
+            1 for key in request.stage_times
+            if key.endswith(":start")
+            and key.split("#")[0] == self._stage)
+        if attempt == 0:
+            return self.name
+        return f"{self.name}@{attempt}"
 
     def execute(self, batch: list[Request],
                 on_complete: Callable[[list[Request]], None],
@@ -68,19 +112,32 @@ class BackendInstance:
                 f"service time for {images} images is negative")
         self.busy = True
         start = self.sim.now
-        for request in batch:
-            request.stage_times[f"{self.name}:start"] = start
+        span_keys = [(request, self._span_key(request))
+                     for request in batch]
+        for request, key in span_keys:
+            request.stage_times[f"{key}:start"] = start
 
         fails = (self.fault_model is not None
                  and on_failure is not None
                  and self.fault_model.draw_failure())
         if fails:
+            detect = self.fault_model.detect_seconds
+
             def fail() -> None:
                 self.busy = False
                 self.stats.failures += 1
+                self.stats.fault_seconds += detect
+                # Close the attempt's span at detection time: the slot
+                # was occupied, and the trace must show it (instead of
+                # the wait silently inflating queued_seconds).
+                for request, key in span_keys:
+                    request.stage_times[f"{key}:end"] = self.sim.now
+                if self._c_failures is not None:
+                    self._c_failures.inc(stage=self._stage)
+                    self._c_fault_seconds.inc(detect, stage=self._stage)
                 on_failure(batch)
 
-            self.sim.schedule(self.fault_model.detect_seconds, fail)
+            self.sim.schedule(detect, fail)
             return
 
         def finish() -> None:
@@ -88,8 +145,12 @@ class BackendInstance:
             self.stats.batches_served += 1
             self.stats.images_served += images
             self.stats.busy_seconds += duration
-            for request in batch:
-                request.stage_times[f"{self.name}:end"] = self.sim.now
+            for request, key in span_keys:
+                request.stage_times[f"{key}:end"] = self.sim.now
+            if self._h_exec is not None:
+                self._h_exec.observe(duration, stage=self._stage)
+                self._c_batches.inc(stage=self._stage)
+                self._c_images.inc(images, stage=self._stage)
             on_complete(batch)
 
         self.sim.schedule(duration, finish)

@@ -35,7 +35,12 @@ def summarize_responses(responses: list[Response],
     """Aggregate responses into :class:`LatencyStats`.
 
     ``warmup_fraction`` drops the earliest completions (cold queues bias
-    throughput measurements; standard benchmarking practice).
+    throughput measurements; standard benchmarking practice).  The
+    measurement window then starts at the warmup *boundary* — the last
+    dropped completion — not at the kept requests' earliest arrival:
+    kept requests typically arrived before the cut, and anchoring the
+    window on those arrivals stretches the duration and deflates the
+    very throughput the warmup cut was meant to stabilize.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
@@ -50,7 +55,10 @@ def summarize_responses(responses: list[Response],
     latencies = np.array([r.latency for r in kept])
     queue_delays = np.array([r.queue_delay for r in kept])
     images = sum(r.request.num_images for r in kept)
-    start = min(r.request.arrival_time for r in kept)
+    if skip:
+        start = ordered[skip - 1].completion_time
+    else:
+        start = min(r.request.arrival_time for r in kept)
     end = max(r.completion_time for r in kept)
     duration = max(end - start, 1e-12)
     return LatencyStats(

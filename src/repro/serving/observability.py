@@ -1,0 +1,409 @@
+"""Live observability for the serving substrate.
+
+The paper's whole argument rests on measuring *where* serving time goes
+(queue delay vs. batch execution vs. preprocessing, Figs. 6-8), and
+"Beyond Inference" (arXiv:2403.12981) shows the server-side overheads —
+queueing, batching, scheduling — routinely dominate DNN serving cost.
+Summarizing completed responses after the fact (:mod:`repro.serving.
+metrics`) cannot show a queue growing, an instance pool saturating, or a
+rejection storm *while it happens*; this module can:
+
+* :class:`MetricsRegistry` — a Prometheus-style registry of
+  :class:`Counter`, :class:`Gauge`, and fixed-bucket :class:`Histogram`
+  metrics, every update stamped on the simulator clock;
+* :class:`TimeSeriesSampler` — a periodic sampler the server drives on
+  its own event loop, recording queue depth, queued images, busy/total
+  instances and in-flight batches per model as a time series.
+
+The server, batcher, and backend instances emit into the registry as
+requests flow; :func:`repro.serving.exporter.export_registry` renders a
+scrape, and :func:`repro.analysis.report.registry_stage_breakdown`
+summarizes the per-stage histograms in the same shape as
+:func:`repro.serving.tracing.stage_breakdown`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+
+#: Canonical label encoding: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets (seconds): 0.5 ms .. 30 s, roughly 1-2-5.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class for one named metric family (all label sets)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 clock: Callable[[], float]):
+        self.name = name
+        self.help = help
+        self._clock = clock
+        #: Simulator time of the most recent update per label set.
+        self.last_updated: dict[LabelKey, float] = {}
+
+    def _touch(self, key: LabelKey) -> None:
+        self.last_updated[key] = self._clock()
+
+    def label_sets(self) -> list[LabelKey]:
+        """Every label set this metric has been updated with."""
+        return sorted(self.last_updated)
+
+
+class Counter(Metric):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str,
+                 clock: Callable[[], float]):
+        super().__init__(name, help, clock)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+        self._touch(key)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def items(self) -> list[tuple[LabelKey, float]]:
+        """(labels, value) pairs in sorted label order."""
+        return sorted(self._values.items())
+
+
+class Gauge(Metric):
+    """A value that can go up and down per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str,
+                 clock: Callable[[], float]):
+        super().__init__(name, help, clock)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        key = _label_key(labels)
+        self._values[key] = float(value)
+        self._touch(key)
+
+    def add(self, amount: float, **labels: str) -> None:
+        """Adjust the labelled series by ``amount`` (either sign)."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+        self._touch(key)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def items(self) -> list[tuple[LabelKey, float]]:
+        """(labels, value) pairs in sorted label order."""
+        return sorted(self._values.items())
+
+
+@dataclasses.dataclass
+class _HistogramSeries:
+    """Bucket counts + sum + count for one label set."""
+
+    bucket_counts: list[int]
+    sum: float = 0.0
+    count: int = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution per label set (Prometheus semantics).
+
+    Buckets are upper bounds; observation counts are kept per bucket
+    (non-cumulative internally, rendered cumulatively with a final
+    ``+Inf`` bucket by the exporter).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 clock: Callable[[], float],
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, clock)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        if any(b <= 0 for b in self.buckets):
+            raise ValueError("bucket bounds must be positive")
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries([0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        index = len(self.buckets)  # overflow (+Inf) bucket
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.sum += value
+        series.count += 1
+        self._touch(key)
+
+    def count(self, **labels: str) -> int:
+        """Observations recorded for the labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations for the labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.sum if series is not None else 0.0
+
+    def mean(self, **labels: str) -> float:
+        """Mean observation (0 when the series is empty)."""
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        return series.sum / series.count
+
+    def cumulative_buckets(self, **labels: str) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs; bound inf is last."""
+        series = self._series.get(_label_key(labels))
+        counts = (series.bucket_counts if series is not None
+                  else [0] * (len(self.buckets) + 1))
+        out, running = [], 0
+        for bound, count in zip((*self.buckets, float("inf")), counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def items(self) -> list[tuple[LabelKey, _HistogramSeries]]:
+        """(labels, series) pairs in sorted label order."""
+        return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """A named collection of metrics sharing one clock.
+
+    ``clock`` supplies the timestamp stamped on every update — wire it
+    to the simulator (``lambda: sim.now``) so metric freshness lives on
+    virtual time, exactly like a scraped production endpoint.  Metric
+    constructors are get-or-create: instrumenting code may re-request a
+    metric by name and receives the existing instance (a kind mismatch
+    is a programming error and raises).
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._metrics: dict[str, Metric] = {}
+
+    @property
+    def now(self) -> float:
+        """Current clock reading (the simulator's virtual time)."""
+        return self._clock()
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}")
+            return existing
+        metric = cls(name, help, self._clock, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        """Get or create a fixed-bucket :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        """Look up a metric by name (None if absent)."""
+        return self._metrics.get(name)
+
+    def collect(self) -> list[Metric]:
+        """Every registered metric, in name order (scrape order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+
+# ----------------------------------------------------------------------
+# Time-series sampling
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SamplePoint:
+    """One sampler tick: the server's instantaneous state."""
+
+    time: float
+    #: Requests waiting per model queue.
+    queue_depth: dict[str, int]
+    #: Images waiting per model queue.
+    queued_images: dict[str, int]
+    #: Instances currently executing, per model.
+    busy_instances: dict[str, int]
+    #: Instance-group size per model (constant, kept for utilization).
+    total_instances: dict[str, int]
+    #: Batches executing right now (== busy instances: one batch each).
+    inflight_batches: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the whole instance pool at this instant."""
+        total = sum(self.total_instances.values())
+        if total == 0:
+            return 0.0
+        return sum(self.busy_instances.values()) / total
+
+
+class TimeSeriesSampler:
+    """Periodic sampling of a server's live state on the sim clock.
+
+    ``start()`` schedules the first tick; each tick records a
+    :class:`SamplePoint`, mirrors it into the registry's gauges, and
+    re-arms itself while the simulation still has work pending — so the
+    sampler never keeps an otherwise-finished simulation alive.
+    """
+
+    def __init__(self, server, interval: float = 0.05,
+                 max_samples: int = 1_000_000):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.server = server
+        self.interval = interval
+        self.max_samples = max_samples
+        self.samples: list[SamplePoint] = []
+        self._running = False
+        metrics = server.metrics
+        self._g_depth = metrics.gauge(
+            "queue_depth", "Requests waiting per model queue.")
+        self._g_images = metrics.gauge(
+            "queued_images", "Images waiting per model queue.")
+        self._g_busy = metrics.gauge(
+            "busy_instances", "Instances currently executing per model.")
+        self._g_total = metrics.gauge(
+            "total_instances", "Instance-group size per model.")
+        self._g_inflight = metrics.gauge(
+            "inflight_batches", "Batches executing right now.")
+
+    def start(self) -> None:
+        """Begin sampling at the current virtual time."""
+        if self._running:
+            raise RuntimeError("sampler already started")
+        self._running = True
+        self.server.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._running = False
+
+    def sample_now(self) -> SamplePoint:
+        """Record one sample at the current virtual time."""
+        server = self.server
+        point = SamplePoint(
+            time=server.sim.now,
+            queue_depth={m: server.queue_depth(m)
+                         for m in server.model_names()},
+            queued_images={m: server.queued_images(m)
+                           for m in server.model_names()},
+            busy_instances={m: server.busy_instances(m)
+                            for m in server.model_names()},
+            total_instances={m: server.total_instances(m)
+                             for m in server.model_names()},
+            inflight_batches=server.inflight_batches(),
+        )
+        self.samples.append(point)
+        for model in server.model_names():
+            self._g_depth.set(point.queue_depth[model], model=model)
+            self._g_images.set(point.queued_images[model], model=model)
+            self._g_busy.set(point.busy_instances[model], model=model)
+            self._g_total.set(point.total_instances[model], model=model)
+        self._g_inflight.set(point.inflight_batches)
+        return point
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample_now()
+        if len(self.samples) >= self.max_samples:
+            self._running = False
+            return
+        # Re-arm only while other events are pending: a drained heap
+        # means the run is over and the sampler must not prolong it.
+        if self.server.sim.peek_time() is not None:
+            self.server.sim.schedule(self.interval, self._tick)
+        else:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    def series(self, field: str, model: str | None = None,
+               ) -> tuple[list[float], list[float]]:
+        """Extract one (times, values) series from the samples.
+
+        ``field`` is a :class:`SamplePoint` attribute; per-model fields
+        need ``model`` (or aggregate across models when omitted).
+        """
+        times, values = [], []
+        for point in self.samples:
+            raw = getattr(point, field)
+            if isinstance(raw, dict):
+                value = (raw[model] if model is not None
+                         else sum(raw.values()))
+            else:
+                value = raw
+            times.append(point.time)
+            values.append(float(value))
+        return times, values
+
+    def render_timeline(self, width: int = 48) -> str:
+        """ASCII time series: queue depth + utilization per tick."""
+        if width < 10:
+            raise ValueError("width must be >= 10")
+        if not self.samples:
+            return "(no samples)\n"
+        _, depths = self.series("queue_depth")
+        peak = max(max(depths), 1.0)
+        lines = [f"{'t (s)':>8s}  {'queue':>5s}  {'busy':>4s}  "
+                 f"{'util':>5s}  depth"]
+        for point, depth in zip(self.samples, depths):
+            bar = "#" * int(round(depth / peak * width))
+            busy = sum(point.busy_instances.values())
+            lines.append(
+                f"{point.time:8.3f}  {int(depth):5d}  {busy:4d}  "
+                f"{point.utilization:5.0%}  {bar}")
+        return "\n".join(lines) + "\n"

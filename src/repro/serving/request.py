@@ -40,14 +40,21 @@ class Response:
 
     request: Request
     completion_time: float
-    #: "ok", "rejected" (queue-full backpressure), or "failed"
-    #: (backend fault that exhausted its retries).
+    #: "ok", "rejected" (queue-full backpressure), "failed" (backend
+    #: fault that exhausted its retries), or "degraded" (an ensemble
+    #: fan-out where at least one branch was rejected but others still
+    #: produced results — distinguishable from a full rejection).
     status: str = "ok"
 
     @property
     def ok(self) -> bool:
         """Whether the request completed successfully."""
         return self.status == "ok"
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this is a partial ensemble result."""
+        return self.status == "degraded"
 
     @property
     def latency(self) -> float:

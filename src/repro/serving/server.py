@@ -19,8 +19,9 @@ from repro.serving.batcher import (
     DynamicBatcher,
     QueueFullError,
 )
-from repro.serving.events import Simulator
+from repro.serving.events import Event, Simulator
 from repro.serving.instance import BackendInstance, ServiceTimeFn
+from repro.serving.observability import MetricsRegistry
 from repro.serving.request import Request, Response
 
 
@@ -77,17 +78,46 @@ class EnsembleConfig:
 class TritonLikeServer:
     """The serving frontend + scheduler."""
 
-    def __init__(self, sim: Simulator | None = None):
+    def __init__(self, sim: Simulator | None = None,
+                 registry: MetricsRegistry | None = None):
         self.sim = sim if sim is not None else Simulator()
+        #: Live metrics registry stamped on the simulator clock (see
+        #: :mod:`repro.serving.observability`).
+        self.metrics = (registry if registry is not None
+                        else MetricsRegistry(clock=lambda: self.sim.now))
         self._models: dict[str, ModelConfig] = {}
         self._ensembles: dict[str, EnsembleConfig] = {}
         self._batchers: dict[str, DynamicBatcher] = {}
         self._instances: dict[str, list[BackendInstance]] = {}
         self._timer_pending: set[str] = set()
+        #: The live queue-delay timer event per stage, so a policy swap
+        #: can cancel + re-arm it (see :meth:`reconfigure_batcher`).
+        self._timer_events: dict[str, Event] = {}
         self._pending_fanout: dict[int, int] = {}
-        self._degraded_fanout: set[int] = set()
+        #: Rejected-branch count per in-flight fan-out request.
+        self._rejected_fanout: dict[int, int] = {}
         self.responses: list[Response] = []
         self._on_response: Callable[[Response], None] | None = None
+        m = self.metrics
+        self._c_submitted = m.counter(
+            "requests_submitted_total", "Requests accepted by model.")
+        self._c_images_in = m.counter(
+            "images_submitted_total", "Images accepted by model.")
+        self._c_responses = m.counter(
+            "responses_total", "Completed responses by model and status.")
+        self._c_images_done = m.counter(
+            "images_completed_total",
+            "Images in completed responses by model and status.")
+        self._c_rejections = m.counter(
+            "rejections_total", "Queue-full rejections per stage.")
+        self._c_retries = m.counter(
+            "retries_total", "Retry dispatches per stage.")
+        self._c_exhausted = m.counter(
+            "retry_exhausted_total",
+            "Requests failed after the retry budget per stage.")
+        self._h_latency = m.histogram(
+            "request_latency_seconds",
+            "End-to-end latency of completed requests per model.")
 
     # ------------------------------------------------------------------
     # Repository management
@@ -102,10 +132,12 @@ class TritonLikeServer:
                 f"preprocess model {config.preprocess_model!r} must be "
                 "registered before its consumer")
         self._models[config.name] = config
-        self._batchers[config.name] = DynamicBatcher(config.batcher)
+        self._batchers[config.name] = DynamicBatcher(
+            config.batcher, metrics=self.metrics, stage=config.name)
         self._instances[config.name] = [
             BackendInstance(f"{config.name}#{i}", config.service_time,
-                            self.sim, fault_model=config.fault_model)
+                            self.sim, fault_model=config.fault_model,
+                            metrics=self.metrics)
             for i in range(config.instances)
         ]
 
@@ -138,6 +170,9 @@ class TritonLikeServer:
     def submit(self, request: Request) -> None:
         """Accept a frontend request at the current virtual time."""
         request.arrival_time = self.sim.now
+        self._c_submitted.inc(model=request.model_name)
+        self._c_images_in.inc(request.num_images,
+                              model=request.model_name)
         if request.model_name in self._ensembles:
             ensemble = self._ensembles[request.model_name]
             self._enqueue(ensemble.preprocess_model, request)
@@ -161,18 +196,25 @@ class TritonLikeServer:
 
     def _reject(self, stage: str, request: Request) -> None:
         """Backpressure path; fan-out branches degrade rather than hang."""
+        self._c_rejections.inc(stage=stage)
         remaining = self._pending_fanout.get(request.request_id)
         if remaining is None:
             self._respond(request, status="rejected")
             return
-        # One ensemble branch rejected: account it as done and mark the
-        # request degraded; the response status reflects it at the end.
-        self._degraded_fanout.add(request.request_id)
+        # One ensemble branch rejected: account it as done and track how
+        # many branches bounced; the final status distinguishes a fully
+        # rejected fan-out ("rejected") from one where some consumers
+        # still produced results ("degraded").
+        rejected = self._rejected_fanout.get(request.request_id, 0) + 1
         if remaining <= 1:
             del self._pending_fanout[request.request_id]
-            self._degraded_fanout.discard(request.request_id)
-            self._respond(request, status="rejected")
+            self._rejected_fanout.pop(request.request_id, None)
+            consumers = self._ensembles[request.model_name].consumers
+            status = ("rejected" if rejected >= len(consumers)
+                      else "degraded")
+            self._respond(request, status=status)
         else:
+            self._rejected_fanout[request.request_id] = rejected
             self._pending_fanout[request.request_id] = remaining - 1
 
     def _pump(self, stage: str) -> None:
@@ -182,7 +224,7 @@ class TritonLikeServer:
             instance = self._free_instance(stage)
             if instance is None:
                 return  # all instances busy; completion will re-pump
-            batch = batcher.form_batch()
+            batch = batcher.form_batch(self.sim.now)
             instance.execute(
                 batch,
                 lambda done, s=stage: self._stage_complete(s, done),
@@ -200,9 +242,11 @@ class TritonLikeServer:
 
         def fire() -> None:
             self._timer_pending.discard(stage)
+            self._timer_events.pop(stage, None)
             self._pump(stage)
 
-        self.sim.schedule(max(0.0, deadline - self.sim.now), fire)
+        self._timer_events[stage] = self.sim.schedule(
+            max(0.0, deadline - self.sim.now), fire)
 
     def _free_instance(self, stage: str) -> BackendInstance | None:
         for instance in self._instances[stage]:
@@ -234,10 +278,10 @@ class TritonLikeServer:
                 self._pending_fanout[request.request_id] = remaining
                 return []
             del self._pending_fanout[request.request_id]
-            degraded = request.request_id in self._degraded_fanout
-            self._degraded_fanout.discard(request.request_id)
+            degraded = self._rejected_fanout.pop(request.request_id,
+                                                 0) > 0
             self._respond(request,
-                          status="rejected" if degraded else "ok")
+                          status="degraded" if degraded else "ok")
             return []
 
         config = self._models[request.model_name]
@@ -254,18 +298,25 @@ class TritonLikeServer:
             attempts = request.stage_times.get(f"{stage}:retries", 0) + 1
             request.stage_times[f"{stage}:retries"] = attempts
             if attempts <= config.max_retries:
+                self._c_retries.inc(stage=stage)
                 self._enqueue(stage, request)
             else:
+                self._c_exhausted.inc(stage=stage)
                 pending = self._pending_fanout.pop(request.request_id,
                                                    None)
                 if pending is not None:
-                    self._degraded_fanout.discard(request.request_id)
+                    self._rejected_fanout.pop(request.request_id, None)
                 self._respond(request, status="failed")
         self._pump(stage)  # the instance is free again
 
     def _respond(self, request: Request, status: str = "ok") -> None:
         response = Response(request, self.sim.now, status=status)
         self.responses.append(response)
+        self._c_responses.inc(model=request.model_name, status=status)
+        self._c_images_done.inc(request.num_images,
+                                model=request.model_name, status=status)
+        self._h_latency.observe(response.latency,
+                                model=request.model_name)
         if self._on_response is not None:
             self._on_response(response)
 
@@ -281,9 +332,19 @@ class TritonLikeServer:
 
     def reconfigure_batcher(self, model: str,
                             config: BatcherConfig) -> None:
-        """Swap a model's batching policy live (queued work is kept)."""
+        """Swap a model's batching policy live (queued work is kept).
+
+        Any armed queue-delay timer was scheduled under the *old*
+        policy's deadline; cancel it so the pump below re-arms from the
+        new config — otherwise a shorter ``max_queue_delay`` silently
+        keeps the old, later deadline until it fires.
+        """
         if model not in self._batchers:
             raise KeyError(f"unknown model {model!r}")
+        stale = self._timer_events.pop(model, None)
+        if stale is not None:
+            self.sim.cancel(stale)
+            self._timer_pending.discard(model)
         self._batchers[model].config = config
         self._pump(model)
 
@@ -313,3 +374,18 @@ class TritonLikeServer:
         names = [model] if model is not None else list(self._instances)
         return sum(1 for name in names
                    for inst in self._instances[name] if inst.busy)
+
+    def queue_depth(self, model: str | None = None) -> int:
+        """Requests waiting in queue (one model, or all when None)."""
+        if model is not None:
+            return len(self._batchers[model])
+        return sum(len(b) for b in self._batchers.values())
+
+    def total_instances(self, model: str | None = None) -> int:
+        """Instance-group size (one model, or the whole pool)."""
+        names = [model] if model is not None else list(self._instances)
+        return sum(len(self._instances[name]) for name in names)
+
+    def inflight_batches(self) -> int:
+        """Batches executing right now (each busy instance holds one)."""
+        return self.busy_instances()

@@ -16,9 +16,15 @@ from repro.serving.request import Response
 
 @dataclasses.dataclass(frozen=True)
 class Span:
-    """One backend execution within a request's lifetime."""
+    """One backend execution *attempt* within a request's lifetime.
 
-    stage: str          # instance name, e.g. "vit_small#0"
+    Retried executions get their own spans: the stage key carries an
+    ``@<attempt>`` suffix (``vit_small#0@1`` is the first retry), so a
+    request that failed and was re-executed shows both the occupied
+    detection window and the successful run.
+    """
+
+    stage: str          # instance name, e.g. "vit_small#0" or "m#0@1"
     start: float
     end: float
 
@@ -26,6 +32,18 @@ class Span:
     def duration(self) -> float:
         """Span length in seconds."""
         return self.end - self.start
+
+    @property
+    def model(self) -> str:
+        """The repository model this span executed on."""
+        return self.stage.split("#")[0]
+
+    @property
+    def attempt(self) -> int:
+        """Execution attempt index (0 = first try, 1+ = retries)."""
+        if "@" in self.stage:
+            return int(self.stage.rsplit("@", 1)[1])
+        return 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,7 +77,7 @@ def trace_of(response: Response) -> RequestTrace:
         stage = key[: -len(":start")]
         end = request.stage_times.get(f"{stage}:end")
         if end is None:
-            continue  # stage failed/retried without completing
+            continue  # execution still in flight (response pending)
         spans.append(Span(stage, start, end))
     spans.sort(key=lambda s: (s.start, s.stage))
     return RequestTrace(
@@ -91,25 +109,31 @@ def render_gantt(trace: RequestTrace, width: int = 60) -> str:
 def stage_breakdown(responses: list[Response]) -> dict[str, dict]:
     """Aggregate per-stage time across requests.
 
-    Stage keys collapse instance indices (``vit_small#0`` →
-    ``vit_small``).  Returns {stage: {count, total_seconds,
-    mean_seconds}} plus a ``"queued"`` pseudo-stage.
+    Stage keys collapse instance indices and attempt suffixes
+    (``vit_small#0@1`` → ``vit_small``).  Returns {stage: {count,
+    total_seconds, mean_seconds, retried_attempts}} plus a ``"queued"``
+    pseudo-stage; ``retried_attempts`` counts the spans that were retry
+    executions (attempt >= 1), surfacing how much of a stage's time was
+    re-work rather than first-try service.
     """
     if not responses:
         raise ValueError("no responses to aggregate")
     totals: dict[str, list[float]] = {}
+    retried: dict[str, int] = {}
     queued: list[float] = []
     for response in responses:
         trace = trace_of(response)
         queued.append(trace.queued_seconds)
         for span in trace.spans:
-            stage = span.stage.split("#")[0]
-            totals.setdefault(stage, []).append(span.duration)
+            totals.setdefault(span.model, []).append(span.duration)
+            if span.attempt:
+                retried[span.model] = retried.get(span.model, 0) + 1
     out = {
         stage: {
             "count": len(values),
             "total_seconds": sum(values),
             "mean_seconds": sum(values) / len(values),
+            "retried_attempts": retried.get(stage, 0),
         }
         for stage, values in totals.items()
     }
@@ -117,5 +141,6 @@ def stage_breakdown(responses: list[Response]) -> dict[str, dict]:
         "count": len(queued),
         "total_seconds": sum(queued),
         "mean_seconds": sum(queued) / len(queued),
+        "retried_attempts": 0,
     }
     return out

@@ -58,6 +58,33 @@ class TestFigures:
         assert len(list(tmp_path.glob("*.svg"))) == 12
 
 
+class TestMetricsCommand:
+    def test_end_to_end_smoke(self, capsys):
+        assert main(["metrics", "--requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "== timeline ==" in out
+        assert "== stage breakdown ==" in out
+        assert "== scrape ==" in out
+        assert "harvest_responses_total" in out
+        assert "queue_wait_seconds" in out
+
+    def test_scrape_is_deterministic_across_runs(self, capsys):
+        # Tier-1 smoke: two identical simulated runs must print the
+        # same timeline and the same scrape, byte for byte — the
+        # observability layer adds no hidden nondeterminism.
+        args = ["metrics", "--requests", "60", "--rate", "120",
+                "--seed", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_invalid_rate_is_an_error_exit(self, capsys):
+        assert main(["metrics", "--rate", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBacktest:
     def test_prints_errors(self, capsys):
         assert main(["backtest", "--platform", "v100",

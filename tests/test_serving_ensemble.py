@@ -90,6 +90,74 @@ class TestEnsembleRouting:
         assert response.latency == pytest.approx(0.2)
 
 
+class TestDegradedFanOut:
+    """Partial fan-out results are distinguishable from full rejection."""
+
+    def _server(self, bad_queue_limit=1):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "pre", lambda n: 0.01, batcher=BatcherConfig(enabled=False)))
+        server.register(ModelConfig(
+            "good", lambda n: 0.01,
+            batcher=BatcherConfig(enabled=False)))
+        server.register(ModelConfig(
+            "bad", lambda n: 1.0,
+            batcher=BatcherConfig(enabled=False,
+                                  max_queue_size=bad_queue_limit)))
+        server.register_ensemble(EnsembleConfig(
+            "e", "pre", ("good", "bad")))
+        return server
+
+    def _saturate_bad(self, server):
+        # One request executing + one queued: the bounded "bad" queue
+        # is full when the ensemble branch arrives.
+        server.submit(Request("bad"))
+        server.submit(Request("bad"))
+
+    def test_partial_rejection_reports_degraded(self):
+        # Regression: one consumer succeeded and one branch bounced off
+        # a full queue — the seed reported a bare "rejected",
+        # indistinguishable from a fully rejected request.
+        server = self._server()
+        self._saturate_bad(server)
+        ensemble_request = Request("e")
+        server.submit(ensemble_request)
+        responses = server.run()
+        [result] = [r for r in responses
+                    if r.request.request_id
+                    == ensemble_request.request_id]
+        assert result.status == "degraded"
+        assert result.degraded and not result.ok
+        # The good branch really ran before the response was emitted.
+        assert "good#0:end" in ensemble_request.stage_times
+
+    def test_fully_rejected_fanout_stays_rejected(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "pre", lambda n: 0.01, batcher=BatcherConfig(enabled=False)))
+        server.register(ModelConfig(
+            "bad", lambda n: 1.0,
+            batcher=BatcherConfig(enabled=False, max_queue_size=1)))
+        server.register_ensemble(EnsembleConfig("e", "pre", ("bad",)))
+        server.submit(Request("bad"))
+        server.submit(Request("bad"))
+        ensemble_request = Request("e")
+        server.submit(ensemble_request)
+        responses = server.run()
+        [result] = [r for r in responses
+                    if r.request.request_id
+                    == ensemble_request.request_id]
+        assert result.status == "rejected"
+
+    def test_degraded_counted_in_metrics(self):
+        server = self._server()
+        self._saturate_bad(server)
+        server.submit(Request("e"))
+        server.run()
+        assert server.metrics.get("responses_total").value(
+            model="e", status="degraded") == 1
+
+
 class TestDALIWarp:
     """The paper's future work: GPU-accelerated CRSA preprocessing."""
 

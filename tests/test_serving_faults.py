@@ -89,6 +89,37 @@ class TestRetries:
         assert stats.failures == 1
         assert stats.batches_served == 0
 
+    def test_fault_time_counts_toward_utilization(self):
+        # Regression: a failed execution occupies the instance for the
+        # whole detection window; before the fix that time vanished
+        # from the stats, so fault injection *lowered* reported
+        # utilization while the instance was actually saturated.
+        server = faulty_server(prob=1.0, retries=0, detect=0.2)
+        server.submit(Request("m"))
+        server.run()
+        [stats] = server.instance_stats("m")
+        assert stats.fault_seconds == pytest.approx(0.2)
+        assert stats.busy_seconds == 0.0
+        # The slot was occupied for the entire elapsed window.
+        assert stats.utilization(server.sim.now) == pytest.approx(1.0)
+
+    def test_mixed_run_accounts_both_components(self):
+        # One failed attempt (0.2 s detection) + one successful retry
+        # (0.01 s service): both occupy the instance.
+        server = faulty_server(prob=1.0, retries=1, detect=0.2)
+        server.submit(Request("m"))
+
+        def clear():
+            server._models["m"].fault_model.failure_probability = 0.0
+
+        server.sim.schedule(0.1, clear)
+        [response] = server.run()
+        assert response.status == "ok"
+        [stats] = server.instance_stats("m")
+        assert stats.fault_seconds == pytest.approx(0.2)
+        assert stats.busy_seconds == pytest.approx(0.01)
+        assert stats.utilization(server.sim.now) == pytest.approx(1.0)
+
 
 class TestBackpressure:
     def test_bounded_queue_rejects_overflow(self):

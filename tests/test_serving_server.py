@@ -121,6 +121,69 @@ class TestServerBasics:
         assert sim.now == pytest.approx(2.0)
 
 
+class TestReconfigureBatcher:
+    def test_shorter_delay_cancels_the_stale_timer(self):
+        # Regression: a live swap from 50 ms to 1 ms queue delay must
+        # dispatch at the new deadline.  Before the fix the pending
+        # 50 ms timer was neither cancelled nor superseded
+        # (_timer_pending still held the stage), so the old deadline
+        # silently stayed in force.
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", constant_service(0.01),
+            batcher=BatcherConfig(max_batch_size=64,
+                                  max_queue_delay=0.05)))
+        server.submit(Request("m"))  # arms the 50 ms timer
+
+        def swap():
+            server.reconfigure_batcher(
+                "m", BatcherConfig(max_batch_size=64,
+                                   max_queue_delay=0.001))
+
+        server.sim.schedule(0.0005, swap)
+        [response] = server.run()
+        # New deadline: enqueue (t=0) + 1 ms, then 10 ms of service —
+        # not the stale 50 ms deadline.
+        assert response.latency == pytest.approx(0.011, abs=1e-6)
+
+    def test_longer_delay_swap_still_dispatches(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", constant_service(0.01),
+            batcher=BatcherConfig(max_batch_size=64,
+                                  max_queue_delay=0.001)))
+        server.submit(Request("m"))
+
+        def swap():
+            server.reconfigure_batcher(
+                "m", BatcherConfig(max_batch_size=64,
+                                   max_queue_delay=0.02))
+
+        server.sim.schedule(0.0005, swap)
+        [response] = server.run()
+        assert response.latency == pytest.approx(0.03, abs=1e-6)
+
+    def test_enabling_batching_live_rearms_from_new_config(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", constant_service(0.01),
+            batcher=BatcherConfig(max_batch_size=64,
+                                  max_queue_delay=0.05)))
+        server.submit(Request("m"))
+
+        def swap():  # batching off => immediate FIFO dispatch
+            server.reconfigure_batcher("m", BatcherConfig(enabled=False))
+
+        server.sim.schedule(0.002, swap)
+        [response] = server.run()
+        assert response.latency == pytest.approx(0.012, abs=1e-6)
+
+    def test_unknown_model_rejected(self):
+        server = TritonLikeServer()
+        with pytest.raises(KeyError):
+            server.reconfigure_batcher("nope", BatcherConfig())
+
+
 class TestEnsembleRouting:
     def test_preprocess_then_infer(self):
         server = TritonLikeServer()
@@ -247,3 +310,24 @@ class TestMetrics:
     def test_invalid_warmup_rejected(self):
         with pytest.raises(ValueError):
             summarize_responses([], warmup_fraction=1.0)
+
+    def test_warmup_window_starts_at_the_boundary(self):
+        # Regression: after dropping the earliest completions, the
+        # measurement window must start at the warmup boundary (the
+        # last dropped completion), not at the kept requests' arrival
+        # times — those predate the cut and deflate throughput.
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", constant_service(1.0),
+            batcher=BatcherConfig(enabled=False)))
+        for _ in range(10):
+            server.submit(Request("m"))  # all arrive at t=0
+        server.run()  # completions at t = 1..10
+        cold = summarize_responses(server.responses)
+        warm = summarize_responses(server.responses,
+                                   warmup_fraction=0.5)
+        # 5 kept completions over the 5 s past the boundary: the
+        # steady-state rate, provably not lower than the cold run.
+        assert warm.duration == pytest.approx(5.0)
+        assert warm.throughput_rps >= cold.throughput_rps - 1e-9
+        assert warm.throughput_rps == pytest.approx(1.0)

@@ -53,6 +53,57 @@ class TestTraceOf:
         assert second.queued_seconds == pytest.approx(0.01)
 
 
+class TestRetriedSpans:
+    def _retried_response(self):
+        from repro.serving.faults import FaultModel
+
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.01,
+            batcher=BatcherConfig(enabled=False),
+            fault_model=FaultModel(1.0, detect_seconds=0.2, seed=1),
+            max_retries=1))
+        server.submit(Request("m"))
+
+        def clear():  # exactly one failure, then the retry succeeds
+            server._models["m"].fault_model.failure_probability = 0.0
+
+        server.sim.schedule(0.1, clear)
+        [response] = server.run()
+        assert response.status == "ok"
+        return response
+
+    def test_each_attempt_keeps_its_own_span(self):
+        # Regression: the retry used to overwrite the first attempt's
+        # ``m#0:start``, dropping the failed attempt from the trace.
+        response = self._retried_response()
+        trace = trace_of(response)
+        assert [s.stage for s in trace.spans] == ["m#0", "m#0@1"]
+        assert [s.attempt for s in trace.spans] == [0, 1]
+        # Failed attempt spans the 0.2 s detection window; the retry
+        # spans the 0.01 s service time.
+        assert trace.spans[0].duration == pytest.approx(0.2)
+        assert trace.spans[1].duration == pytest.approx(0.01)
+
+    def test_detection_window_not_misread_as_queueing(self):
+        # Regression: with the failed attempt's span lost, the 0.2 s
+        # detection window was booked as queued_seconds.
+        trace = trace_of(self._retried_response())
+        assert trace.queued_seconds == pytest.approx(0.0, abs=1e-9)
+
+    def test_breakdown_surfaces_retried_attempts(self):
+        response = self._retried_response()
+        breakdown = stage_breakdown([response])
+        assert breakdown["m"]["count"] == 2
+        assert breakdown["m"]["retried_attempts"] == 1
+        assert breakdown["m"]["total_seconds"] == pytest.approx(0.21)
+        assert breakdown["queued"]["retried_attempts"] == 0
+
+    def test_span_model_collapses_instance_and_attempt(self):
+        trace = trace_of(self._retried_response())
+        assert all(s.model == "m" for s in trace.spans)
+
+
 class TestRendering:
     def test_gantt_includes_all_stages(self, two_stage_response):
         text = render_gantt(trace_of(two_stage_response))
