@@ -99,6 +99,42 @@ def registry_stage_breakdown(registry) -> dict[str, dict]:
     return out
 
 
+def render_scaling_timeline(events, slo_seconds: float | None = None,
+                            width: int = 24) -> str:
+    """Text timeline of autoscaler actions.
+
+    ``events`` is a sequence of
+    :class:`~repro.scale.autoscaler.ScaleEvent`; each row shows the
+    action, the pool size after it (with a bar), and the signals that
+    triggered it.  ``slo_seconds`` annotates p95 readings that breached
+    the SLO with ``!``.
+    """
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    if not events:
+        return "(no scale events)\n"
+    peak = max(max(e.replicas for e in events), 1)
+    lines = [f"{'t (s)':>8s}  {'action':<10s} {'repl':>4s}  "
+             f"{'p95 ms':>8s}  {'queue':>6s}  {'util':>5s}  "
+             f"pool                      reason"]
+    for event in events:
+        if event.p95_seconds is None:
+            p95 = "-"
+        else:
+            p95 = f"{event.p95_seconds * 1e3:.1f}"
+            if (slo_seconds is not None
+                    and event.p95_seconds > slo_seconds):
+                p95 += "!"
+        bar = "#" * max(1, round(event.replicas / peak * width))
+        lines.append(
+            f"{event.time:8.2f}  {event.action:<10s} "
+            f"{event.replicas:4d}  {p95:>8s}  "
+            f"{event.queue_per_replica:6.1f}  "
+            f"{event.utilization:5.0%}  {bar:<{width}s}  "
+            f"{event.reason}")
+    return "\n".join(lines) + "\n"
+
+
 def render_stage_breakdown(breakdown: dict[str, dict]) -> str:
     """Text table for a stage breakdown (tracing- or registry-built)."""
     lines = [f"{'stage':<16s} {'count':>7s} {'total s':>10s} "

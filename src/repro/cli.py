@@ -10,6 +10,9 @@ Commands
 ``backtest``            leave-one-platform-out predictor validation
 ``metrics``             run a serving scenario; print its live time
                         series, stage breakdown, and metrics scrape
+``autoscale``           replay a step-load trace through the balancer
+                        with admission control and the replica
+                        autoscaler; print the scaling timeline
 """
 
 from __future__ import annotations
@@ -167,6 +170,117 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_scaling_timeline
+    from repro.engine.latency import LatencyModel
+    from repro.hardware.platform import get_platform
+    from repro.models.zoo import get_model
+    from repro.predict.capacity import CapacityPlanner, WorkloadSpec
+    from repro.scale.admission import AdmissionConfig, AdmissionController
+    from repro.scale.autoscaler import (
+        Autoscaler,
+        AutoscalerConfig,
+        replica_ceiling,
+    )
+    from repro.scale.balancer import JoinShortestQueuePolicy, LoadBalancer
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.events import Simulator
+    from repro.serving.metrics import summarize_responses
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.server import ModelConfig, TritonLikeServer
+    from repro.serving.traces import TraceReplayer, step_trace
+
+    platform = get_platform(args.platform)
+    graph = get_model(args.model).graph
+    latency = LatencyModel(graph, platform)
+    slo = args.slo_ms / 1e3
+
+    max_replicas = args.max_replicas
+    ceiling_note = f"{max_replicas} (--max-replicas)"
+    if max_replicas == 0:
+        # The planner bounds what reacting may cost: size the ceiling
+        # for the trace's peak demand, with scale-out safety slack.
+        workload = WorkloadSpec(images_per_second=args.step_rate,
+                                latency_slo_seconds=slo)
+        plan = CapacityPlanner(workload).plan(graph, platform)
+        max_replicas = replica_ceiling(plan, safety_factor=1.25)
+        ceiling_note = (f"{max_replicas} (capacity plan: {plan.devices} "
+                        f"device(s) x 1.25 safety)")
+
+    sim = Simulator()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+
+    def replica_factory() -> TritonLikeServer:
+        server = TritonLikeServer(sim, registry=registry)
+        server.register(ModelConfig(
+            "infer", lambda n: latency.latency(max(1, n)),
+            batcher=BatcherConfig(max_batch_size=32,
+                                  max_queue_delay=0.01)))
+        return server
+
+    admission = AdmissionController(AdmissionConfig(
+        rate_per_second=args.admit_rate, burst=args.admit_burst,
+        max_queued_requests=args.shed_queue))
+    balancer = LoadBalancer([replica_factory()],
+                            policy=JoinShortestQueuePolicy(),
+                            registry=registry, admission=admission)
+    autoscaler = Autoscaler(balancer, replica_factory, AutoscalerConfig(
+        slo_p95_seconds=slo, interval=args.interval,
+        min_replicas=1, max_replicas=max_replicas,
+        cooldown_seconds=args.cooldown))
+
+    trace = step_trace(duration=args.duration, base_rate=args.base_rate,
+                       step_rate=args.step_rate,
+                       step_start=args.step_start,
+                       step_end=args.step_end, seed=args.seed)
+    replayer = TraceReplayer(balancer, "infer")
+    replayer.schedule(trace)
+    autoscaler.start()
+    responses = balancer.run()
+
+    print(f"autoscale scenario: {args.model} on {args.platform} "
+          f"replicas, p95 SLO {args.slo_ms:g} ms")
+    print(f"trace: {args.base_rate:g}->{args.step_rate:g}->"
+          f"{args.base_rate:g} rps over {args.duration:g} s "
+          f"(step {args.step_start:g}..{args.step_end:g} s, "
+          f"seed {args.seed}), {len(trace)} requests")
+    print(f"replica ceiling: {ceiling_note}")
+    print("== scaling timeline ==")
+    print(render_scaling_timeline(autoscaler.events, slo_seconds=slo),
+          end="")
+    ok = [r for r in responses if r.ok]
+    shed = balancer.metrics.get("admission_rejected_total")
+    peak = max((e.replicas for e in autoscaler.events),
+               default=len(balancer.backends))
+    print("== summary ==")
+    print(f"  submitted {replayer.submitted}  admitted "
+          f"{replayer.submitted - int(shed.total())}  "
+          f"shed rate={int(shed.value(reason='rate'))} "
+          f"queue={int(shed.value(reason='queue'))}")
+    by_status: dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status,
+                                                   0) + 1
+    rendered = "  ".join(f"{status}={count}" for status, count
+                         in sorted(by_status.items()))
+    print(f"  responses: {rendered}")
+    if ok:
+        stats = summarize_responses(ok)
+        print(f"  served p50 {stats.p50_latency * 1e3:.1f} ms  "
+              f"p95 {stats.p95_latency * 1e3:.1f} ms  "
+              f"throughput {stats.throughput_ips:.0f} img/s")
+    print(f"  replicas: peak {peak}, final {len(balancer.backends)}")
+    print("== control metrics ==")
+    from repro.serving.exporter import export_registry
+
+    control = [line for line in
+               export_registry(registry).splitlines()
+               if ("autoscale" in line or "admission" in line
+                   or "balancer" in line)]
+    print("\n".join(control))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -221,6 +335,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bound the infer queue (images; 0 = unbounded)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "autoscale",
+        help="replay a step-load trace through the replica autoscaler")
+    p.add_argument("--model", default="resnet50",
+                   help="model whose latency curve the replicas serve")
+    p.add_argument("--platform", default="jetson",
+                   help="platform each replica models (one device)")
+    p.add_argument("--slo-ms", type=float, default=100.0,
+                   help="p95 latency SLO the autoscaler defends")
+    p.add_argument("--base-rate", type=float, default=200.0,
+                   help="background arrival rate (requests/s)")
+    p.add_argument("--step-rate", type=float, default=3000.0,
+                   help="arrival rate during the step (requests/s)")
+    p.add_argument("--step-start", type=float, default=5.0)
+    p.add_argument("--step-end", type=float, default=15.0)
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="trace length (s); leave tail for scale-in")
+    p.add_argument("--interval", type=float, default=0.25,
+                   help="autoscaler evaluation interval (s)")
+    p.add_argument("--cooldown", type=float, default=1.0,
+                   help="seconds between scaling actions")
+    p.add_argument("--max-replicas", type=int, default=0,
+                   help="replica ceiling (0 = derive from the "
+                        "capacity planner at the step rate)")
+    p.add_argument("--admit-rate", type=float, default=3500.0,
+                   help="token-bucket admission rate (req/s; 0 = off)")
+    p.add_argument("--admit-burst", type=int, default=200,
+                   help="token-bucket burst capacity")
+    p.add_argument("--shed-queue", type=int, default=500,
+                   help="shed arrivals past this many queued requests "
+                        "(0 = off)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_autoscale)
     return parser
 
 

@@ -50,11 +50,19 @@ class DeploymentPlan:
     latency_seconds: float
     meets_slo: bool
     watt_hours_per_day: float | None
+    #: The workload demand this plan was sized for (images/second).
+    demand_images_per_second: float = 0.0
 
     @property
     def headroom(self) -> float:
-        """Provisioned / demanded throughput (>= 1 when feasible)."""
-        return self.total_throughput
+        """Provisioned / demanded throughput (>= 1 when feasible).
+
+        An infeasible plan provisions nothing, so its headroom is 0.0;
+        the same holds when the demand is unknown (never sized).
+        """
+        if self.demand_images_per_second <= 0:
+            return 0.0
+        return self.total_throughput / self.demand_images_per_second
 
 
 class CapacityPlanner:
@@ -107,6 +115,7 @@ class CapacityPlanner:
             latency_seconds=model.latency(batch),
             meets_slo=True,
             watt_hours_per_day=energy,
+            demand_images_per_second=self.workload.images_per_second,
         )
 
     def _infeasible(self, graph: ModelGraph,
@@ -116,7 +125,8 @@ class CapacityPlanner:
             instances_per_device=0, devices=0,
             throughput_per_device=0.0, total_throughput=0.0,
             latency_seconds=float("inf"), meets_slo=False,
-            watt_hours_per_day=None)
+            watt_hours_per_day=None,
+            demand_images_per_second=self.workload.images_per_second)
 
     def _daily_energy(self, graph, platform, predictor, batch,
                       devices) -> float | None:

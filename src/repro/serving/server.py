@@ -96,6 +96,10 @@ class TritonLikeServer:
         self._pending_fanout: dict[int, int] = {}
         #: Rejected-branch count per in-flight fan-out request.
         self._rejected_fanout: dict[int, int] = {}
+        #: A draining server stops accepting *new* frontend requests but
+        #: finishes everything already queued or executing (the
+        #: autoscaler's graceful scale-in path).
+        self.draining = False
         self.responses: list[Response] = []
         self._on_response: Callable[[Response], None] | None = None
         m = self.metrics
@@ -110,6 +114,11 @@ class TritonLikeServer:
             "Images in completed responses by model and status.")
         self._c_rejections = m.counter(
             "rejections_total", "Queue-full rejections per stage.")
+        self._c_drain_rejections = m.counter(
+            "drain_rejections_total",
+            "Requests refused because the server was draining.")
+        self._g_draining = m.gauge(
+            "server_draining", "1 while the server is draining.")
         self._c_retries = m.counter(
             "retries_total", "Retry dispatches per stage.")
         self._c_exhausted = m.counter(
@@ -168,8 +177,18 @@ class TritonLikeServer:
     # Request path
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
-        """Accept a frontend request at the current virtual time."""
+        """Accept a frontend request at the current virtual time.
+
+        A draining server refuses new work outright (the request gets an
+        immediate ``rejected`` response); routing layers are expected to
+        stop sending before this fires, so the counter doubles as a
+        drain-correctness alarm.
+        """
         request.arrival_time = self.sim.now
+        if self.draining:
+            self._c_drain_rejections.inc(model=request.model_name)
+            self._respond(request, status="rejected")
+            return
         self._c_submitted.inc(model=request.model_name)
         self._c_images_in.inc(request.num_images,
                               model=request.model_name)
@@ -319,6 +338,30 @@ class TritonLikeServer:
                                 model=request.model_name)
         if self._on_response is not None:
             self._on_response(response)
+
+    # ------------------------------------------------------------------
+    # Drain lifecycle (graceful scale-in)
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting new frontend requests; keep serving in-flight.
+
+        Everything already queued or executing — including ensemble
+        branches, retries, and armed batch timers — runs to completion;
+        only *new* :meth:`submit` calls are refused.  Idempotent.
+        """
+        self.draining = True
+        self._g_draining.set(1.0)
+
+    @property
+    def is_drained(self) -> bool:
+        """Whether a draining server has finished all in-flight work.
+
+        False while not draining: an active server is never "drained".
+        """
+        return (self.draining
+                and self.queue_depth() == 0
+                and self.busy_instances() == 0
+                and not self._pending_fanout)
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> list[Response]:

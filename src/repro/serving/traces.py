@@ -9,6 +9,9 @@ hours, and nights are quiet.  This module generates such traces
   daylight) sampled as a non-homogeneous Poisson process via thinning;
 * :func:`burst_trace` — idle background load with survey-upload bursts
   (the offline scenario's arrival pattern seen from the cluster);
+* :func:`step_trace` — a flat base rate with one sustained step to a
+  higher rate (the canonical autoscaler test input: the controller must
+  scale out under the step and drain back after it);
 * :class:`TraceReplayer` — schedules a trace against any ``submit``-able
   target on the simulator clock.
 """
@@ -115,6 +118,30 @@ def burst_trace(duration: float = 3600.0, background_rate: float = 1.0,
 
     times = _thinning(rate, burst_rate, duration, rng)
     return ArrivalTrace("burst", tuple(times), duration)
+
+
+def step_trace(duration: float = 60.0, base_rate: float = 5.0,
+               step_rate: float = 100.0, step_start: float = 10.0,
+               step_end: float = 30.0, seed: int = 0) -> ArrivalTrace:
+    """Step load: ``base_rate`` with one sustained burst window.
+
+    Arrivals follow a seeded Poisson process at ``base_rate`` outside
+    ``[step_start, step_end)`` and ``step_rate`` inside it —
+    deterministic for a given seed, which the autoscaler CLI and tests
+    rely on for byte-identical replays.
+    """
+    if base_rate <= 0 or step_rate <= 0:
+        raise ValueError("rates must be positive")
+    if not 0 <= step_start < step_end <= duration:
+        raise ValueError("step window must fit inside the trace")
+
+    def rate(t: float) -> float:
+        return step_rate if step_start <= t < step_end else base_rate
+
+    rng = np.random.default_rng(seed)
+    peak = max(base_rate, step_rate)
+    times = _thinning(rate, peak, duration, rng)
+    return ArrivalTrace("step", tuple(times), duration)
 
 
 class TraceReplayer:

@@ -85,6 +85,43 @@ class TestMetricsCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestAutoscale:
+    FAST = ["autoscale", "--duration", "12", "--step-start", "2",
+            "--step-end", "6", "--step-rate", "2000",
+            "--base-rate", "150", "--seed", "5"]
+
+    def test_end_to_end_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "scaling timeline" in out
+        assert "scale_out" in out
+        assert "drain" in out
+        assert "autoscale_replicas" in out
+        assert "admission_admitted_total" in out
+
+    def test_output_is_deterministic_across_runs(self, capsys):
+        # Acceptance: two identical invocations are byte-identical —
+        # scaling decisions, shed counts, scrape and all.
+        assert main(self.FAST) == 0
+        first = capsys.readouterr().out
+        assert main(self.FAST) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_explicit_ceiling_skips_planner(self, capsys):
+        assert main(self.FAST + ["--max-replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 (--max-replicas)" in out
+
+    def test_invalid_slo_is_an_error_exit(self, capsys):
+        assert main(["autoscale", "--slo-ms", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_model_is_an_error_exit(self, capsys):
+        assert main(["autoscale", "--model", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBacktest:
     def test_prints_errors(self, capsys):
         assert main(["backtest", "--platform", "v100",

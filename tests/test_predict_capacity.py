@@ -49,6 +49,35 @@ class TestCapacityPlanner:
         assert not plan.meets_slo
         assert plan.devices == 0
 
+    def test_headroom_is_provisioned_over_demanded(self, workload,
+                                                   resnet50):
+        # Regression: headroom divided by the plan's *own* provisioned
+        # throughput, so every feasible plan reported exactly 1.0 and
+        # the metric carried no information about spare capacity.
+        plan = CapacityPlanner(workload).plan(resnet50, A100)
+        assert plan.headroom == pytest.approx(
+            plan.total_throughput / workload.images_per_second)
+        # Whole-device quantization guarantees real slack.
+        assert plan.headroom >= 1.0
+        assert plan.demand_images_per_second == \
+            workload.images_per_second
+
+    def test_headroom_reflects_overprovisioning(self, resnet50):
+        tight = WorkloadSpec(images_per_second=5000,
+                             latency_slo_seconds=1 / 60)
+        loose = WorkloadSpec(images_per_second=500,
+                             latency_slo_seconds=1 / 60)
+        tight_plan = CapacityPlanner(tight).plan(resnet50, A100)
+        loose_plan = CapacityPlanner(loose).plan(resnet50, A100)
+        # One A100 covers both demands; the lighter one has ~10x slack.
+        assert loose_plan.headroom > tight_plan.headroom
+
+    def test_infeasible_plan_has_zero_headroom(self, vit_base):
+        workload = WorkloadSpec(images_per_second=100,
+                                latency_slo_seconds=1e-5)
+        plan = CapacityPlanner(workload).plan(vit_base, JETSON)
+        assert plan.headroom == 0.0
+
     def test_compare_orders_feasible_first(self, workload, resnet50):
         plans = CapacityPlanner(workload).compare(
             resnet50, [JETSON, V100, A100])

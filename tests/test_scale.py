@@ -33,6 +33,22 @@ class TestShardBatch:
         shards = shard_batch(rng.random((2, 2)), 5)
         assert [s.shape[0] for s in shards] == [1, 1]
 
+    def test_samples_equal_replicas(self, rng):
+        batch = rng.random((4, 2))
+        shards = shard_batch(batch, 4)
+        assert [s.shape[0] for s in shards] == [1, 1, 1, 1]
+        np.testing.assert_array_equal(np.concatenate(shards), batch)
+
+    def test_one_more_sample_than_replicas(self, rng):
+        shards = shard_batch(rng.random((5, 2)), 4)
+        assert [s.shape[0] for s in shards] == [2, 1, 1, 1]
+
+    def test_one_fewer_sample_than_replicas(self, rng):
+        # The empty tail shard is dropped, not returned zero-length.
+        shards = shard_batch(rng.random((3, 2)), 4)
+        assert [s.shape[0] for s in shards] == [1, 1, 1]
+        assert all(s.shape[0] > 0 for s in shards)
+
     def test_validation(self, rng):
         with pytest.raises(ValueError):
             shard_batch(rng.random((4, 2)), 0)
@@ -160,3 +176,111 @@ class TestLoadBalancer:
     def test_empty_backends_rejected(self):
         with pytest.raises(ValueError):
             LoadBalancer([])
+
+    def test_run_returns_only_new_responses_each_call(self):
+        # Regression: run() used to re-extend the cumulative response
+        # log of every backend on every call, so a second run() replayed
+        # all earlier completions as duplicates.
+        sim = Simulator()
+        balancer = LoadBalancer([_make_backend(sim)])
+        for _ in range(3):
+            balancer.submit(Request("m"))
+        first = balancer.run()
+        for _ in range(2):
+            balancer.submit(Request("m"))
+        second = balancer.run()
+        assert len(first) == 3
+        assert len(second) == 2
+        ids = [r.request.request_id for r in first + second]
+        assert len(ids) == len(set(ids)), "duplicated responses"
+        assert len(balancer.all_responses()) == 5
+
+    def test_run_responses_ordered_by_completion(self):
+        sim = Simulator()
+        backends = [_make_backend(sim, service=0.01),
+                    _make_backend(sim, service=0.05)]
+        balancer = LoadBalancer(backends, RoundRobinPolicy())
+        for _ in range(8):
+            balancer.submit(Request("m"))
+        responses = balancer.run()
+        times = [r.completion_time for r in responses]
+        assert times == sorted(times)
+
+
+class TestRoundRobinResize:
+    def test_rotation_survives_backend_addition(self):
+        # Regression: the rotation was a global counter taken modulo the
+        # *current* pool size, so growing the pool mid-stream permuted
+        # the cycle and could starve the new backend entirely.
+        sim = Simulator()
+        backends = [_make_backend(sim) for _ in range(3)]
+        balancer = LoadBalancer(backends, RoundRobinPolicy())
+        for _ in range(4):  # A B C A
+            balancer.submit(Request("m"))
+        balancer.add_backend(_make_backend(sim))
+        for _ in range(3):  # resumes after A: B C D
+            balancer.submit(Request("m"))
+        balancer.run()
+        assert balancer.routing_counts() == [2, 2, 2, 1]
+
+    def test_rotation_survives_drain(self):
+        sim = Simulator()
+        backends = [_make_backend(sim) for _ in range(3)]
+        balancer = LoadBalancer(backends, RoundRobinPolicy())
+        for _ in range(2):  # A B
+            balancer.submit(Request("m"))
+        balancer.drain_backend(backends[1])
+        for _ in range(4):  # C A C A — cycle over the two active
+            balancer.submit(Request("m"))
+        balancer.run()
+        assert balancer.routing_counts() == [3, 1, 2]
+
+    def test_balance_across_add_and_remove(self):
+        sim = Simulator()
+        backends = [_make_backend(sim) for _ in range(2)]
+        balancer = LoadBalancer(backends, RoundRobinPolicy())
+        for _ in range(4):
+            balancer.submit(Request("m"))
+        extra = _make_backend(sim)
+        balancer.add_backend(extra)
+        for _ in range(6):
+            balancer.submit(Request("m"))
+        balancer.drain_backend(extra)
+        balancer.run()
+        balancer.release_backend(extra)
+        for _ in range(4):
+            balancer.submit(Request("m"))
+        balancer.run()
+        # Every phase stayed balanced: 2+2(+2), then +2 each survivor.
+        assert balancer.routing_counts() == [6, 6]
+        assert len(balancer.all_responses()) == 14
+
+
+class TestJoinShortestQueueTieBreak:
+    def test_ties_rotate_instead_of_pinning_first(self):
+        # Regression: equal-load ties always resolved to index 0, so a
+        # lightly loaded pool funnelled every request to one backend.
+        sim = Simulator()
+        backends = [_make_backend(sim, service=0.001) for _ in range(3)]
+        balancer = LoadBalancer(backends, JoinShortestQueuePolicy())
+        # Space arrivals out so each completes before the next: every
+        # decision sees all queues equal (a pure tie).
+        for i in range(9):
+            sim.schedule_at(i * 0.1,
+                            lambda: balancer.submit(Request("m")))
+        balancer.run()
+        assert balancer.routing_counts() == [3, 3, 3]
+
+    def test_load_still_dominates_tiebreak(self):
+        sim = Simulator()
+        busy = _make_backend(sim, service=1.0)
+        idle_a = _make_backend(sim, service=1.0)
+        idle_b = _make_backend(sim, service=1.0)
+        balancer = LoadBalancer([busy, idle_a, idle_b],
+                                JoinShortestQueuePolicy())
+        for _ in range(5):
+            busy.submit(Request("m"))
+        balancer.submit(Request("m"))
+        balancer.submit(Request("m"))
+        assert balancer.routing_counts()[0] == 0
+        assert sorted(balancer.routing_counts()[1:]) == [1, 1]

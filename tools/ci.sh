@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 gate: byte-compile every module, then run the full test suite.
+# Mirrors .github/workflows/ci.yml so the same check runs locally.
+set -eu
+cd "$(dirname "$0")/.."
+python -m compileall -q src
+PYTHONPATH=src python -m pytest -x -q
