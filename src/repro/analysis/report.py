@@ -135,6 +135,37 @@ def render_scaling_timeline(events, slo_seconds: float | None = None,
     return "\n".join(lines) + "\n"
 
 
+def render_slo_alerts(alerts, config=None) -> str:
+    """Text table of SLO burn-rate alerts.
+
+    ``alerts`` is a sequence of
+    :class:`~repro.serving.slo.BurnAlert`; ``config`` (an
+    :class:`~repro.serving.slo.SLOConfig`) adds a header line naming
+    the objective and windows.
+    """
+    lines = []
+    if config is not None:
+        lines.append(
+            f"objective: {config.objective:.1%} under "
+            f"{config.latency_threshold_seconds * 1e3:g} ms "
+            f"(windows {config.fast_window_seconds:g}s/"
+            f"{config.slow_window_seconds:g}s, burn thresholds "
+            f"{config.fast_burn_threshold:g}/"
+            f"{config.slow_burn_threshold:g})")
+    if not alerts:
+        lines.append("(no burn-rate alerts)")
+        return "\n".join(lines) + "\n"
+    lines.append(f"{'t (s)':>8s}  {'fast burn':>9s}  {'slow burn':>9s}  "
+                 f"{'err rate':>8s}  {'budget left':>11s}")
+    for alert in alerts:
+        lines.append(
+            f"{alert.time:8.2f}  {alert.fast_burn_rate:9.1f}  "
+            f"{alert.slow_burn_rate:9.1f}  "
+            f"{alert.window_error_rate:8.1%}  "
+            f"{alert.budget_remaining:11.1%}")
+    return "\n".join(lines) + "\n"
+
+
 def render_stage_breakdown(breakdown: dict[str, dict]) -> str:
     """Text table for a stage breakdown (tracing- or registry-built)."""
     lines = [f"{'stage':<16s} {'count':>7s} {'total s':>10s} "

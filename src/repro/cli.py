@@ -13,6 +13,9 @@ Commands
 ``autoscale``           replay a step-load trace through the balancer
                         with admission control and the replica
                         autoscaler; print the scaling timeline
+``trace``               replay a bursty trace across the continuum
+                        with end-to-end tracing; emit Perfetto JSON,
+                        the critical-path table, and SLO burn alerts
 """
 
 from __future__ import annotations
@@ -281,6 +284,128 @@ def _cmd_autoscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.report import (
+        render_scaling_timeline,
+        render_slo_alerts,
+    )
+    from repro.continuum.network import get_link
+    from repro.continuum.pipeline import ContinuumReplayer
+    from repro.engine.latency import LatencyModel
+    from repro.hardware.platform import get_platform
+    from repro.models.zoo import get_model
+    from repro.scale.admission import AdmissionConfig, AdmissionController
+    from repro.scale.autoscaler import Autoscaler, AutoscalerConfig
+    from repro.scale.balancer import JoinShortestQueuePolicy, LoadBalancer
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.events import Simulator
+    from repro.serving.observability import DEFAULT_BUCKETS, MetricsRegistry
+    from repro.serving.server import ModelConfig, TritonLikeServer
+    from repro.serving.slo import SLOConfig, SLOMonitor
+    from repro.serving.trace_export import (
+        critical_path_summary,
+        export_chrome_trace,
+        render_critical_path,
+    )
+    from repro.serving.traces import TraceReplayer, step_trace
+
+    platform = get_platform(args.platform)
+    latency = LatencyModel(get_model(args.model).graph, platform)
+    link = get_link(args.link)
+    threshold = args.slo_ms / 1e3
+
+    sim = Simulator()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    # Bucket boundary exactly at the SLO threshold, so the monitor's
+    # conservative bucket counting is exact at the objective.
+    buckets = tuple(sorted({*DEFAULT_BUCKETS, threshold}))
+
+    replayer: ContinuumReplayer | None = None
+
+    def replica_factory() -> TritonLikeServer:
+        server = TritonLikeServer(sim, registry=registry)
+        server.register(ModelConfig(
+            args.model, lambda n: latency.latency(max(1, n)),
+            batcher=BatcherConfig(max_batch_size=args.batch,
+                                  max_queue_delay=0.002)))
+        if replayer is not None:
+            replayer.attach_backend(server)
+        return server
+
+    admission = AdmissionController(AdmissionConfig(
+        rate_per_second=args.admit_rate, burst=args.admit_burst,
+        max_queued_requests=args.shed_queue))
+    first = replica_factory()
+    balancer = LoadBalancer([first], policy=JoinShortestQueuePolicy(),
+                            registry=registry, admission=admission)
+    replayer = ContinuumReplayer(
+        balancer, link,
+        edge_preprocess_time=lambda n: args.edge_preprocess_ms / 1e3 * n,
+        image_bytes=args.image_kb * 1024.0,
+        registry=registry, latency_buckets=buckets)
+    replayer.attach_backend(first)
+
+    autoscaler = Autoscaler(balancer, replica_factory, AutoscalerConfig(
+        slo_p95_seconds=threshold, interval=0.25, min_replicas=1,
+        max_replicas=args.max_replicas, cooldown_seconds=1.0))
+    slo_config = SLOConfig(
+        latency_threshold_seconds=threshold, objective=args.objective,
+        fast_window_seconds=1.0, slow_window_seconds=5.0,
+        rearm_seconds=2.0)
+    monitor = SLOMonitor(sim, registry, slo_config,
+                         histogram_name="continuum_latency_seconds")
+    monitor.on_alert(autoscaler.notify_slo_alert)
+
+    trace = step_trace(duration=args.duration, base_rate=args.base_rate,
+                       step_rate=args.step_rate,
+                       step_start=args.step_start,
+                       step_end=args.step_end, seed=args.seed)
+    driver = TraceReplayer(replayer, args.model)
+    driver.schedule(trace)
+    autoscaler.start()
+    monitor.start()
+    balancer.run()
+
+    print(f"trace scenario: {args.model} on {args.platform} replicas "
+          f"behind {link.name}, {args.slo_ms:g} ms / "
+          f"{args.objective:.0%} SLO")
+    print(f"trace: {args.base_rate:g}->{args.step_rate:g}->"
+          f"{args.base_rate:g} rps over {args.duration:g} s "
+          f"(step {args.step_start:g}..{args.step_end:g} s, "
+          f"seed {args.seed}), {len(trace)} requests")
+
+    closed = replayer.completed_traces()
+    by_status: dict[str, int] = {}
+    for ctx in closed:
+        by_status[ctx.status] = by_status.get(ctx.status, 0) + 1
+    rendered = "  ".join(f"{status}={count}" for status, count
+                         in sorted(by_status.items()))
+    print(f"  traces: {len(closed)} closed of {len(replayer.traces)} "
+          f"({rendered})")
+
+    print("== critical path ==")
+    served = [t for t in closed if t.status == "ok"]
+    if served:
+        print(render_critical_path(critical_path_summary(served)),
+              end="")
+    else:
+        print("(no served requests)")
+    print("== slo burn alerts ==")
+    print(render_slo_alerts(monitor.alerts, slo_config), end="")
+    print("== scaling timeline ==")
+    print(render_scaling_timeline(autoscaler.events,
+                                  slo_seconds=threshold), end="")
+    if args.out:
+        import pathlib
+
+        text = export_chrome_trace(closed)
+        pathlib.Path(args.out).write_text(text)
+        events = text.count('"ph"')
+        print(f"wrote {args.out} ({len(closed)} traces, "
+              f"{events} events)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -369,6 +494,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = off)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_autoscale)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay a trace across the continuum with end-to-end "
+             "tracing, Perfetto export, and SLO burn-rate alerts")
+    p.add_argument("--model", default="resnet50",
+                   help="model whose latency curve the replicas serve")
+    p.add_argument("--platform", default="jetson",
+                   help="platform each cloud replica models")
+    p.add_argument("--link", default="station_ethernet",
+                   help="edge->cloud network link preset")
+    p.add_argument("--slo-ms", type=float, default=1000.0 / 60.0,
+                   help="latency threshold (ms); default the paper's "
+                        "60 QPS frame budget")
+    p.add_argument("--objective", type=float, default=0.99,
+                   help="fraction of requests that must meet the "
+                        "threshold")
+    p.add_argument("--batch", type=int, default=4,
+                   help="replica max batch size")
+    p.add_argument("--base-rate", type=float, default=60.0,
+                   help="background arrival rate (requests/s)")
+    p.add_argument("--step-rate", type=float, default=900.0,
+                   help="arrival rate during the burst (requests/s)")
+    p.add_argument("--step-start", type=float, default=3.0)
+    p.add_argument("--step-end", type=float, default=8.0)
+    p.add_argument("--duration", type=float, default=15.0)
+    p.add_argument("--edge-preprocess-ms", type=float, default=2.0,
+                   help="edge preprocessing time per image (ms)")
+    p.add_argument("--image-kb", type=float, default=128.0,
+                   help="uplink payload per image (KiB)")
+    p.add_argument("--max-replicas", type=int, default=4)
+    p.add_argument("--admit-rate", type=float, default=0.0,
+                   help="token-bucket admission rate (req/s; 0 = off)")
+    p.add_argument("--admit-burst", type=int, default=100)
+    p.add_argument("--shed-queue", type=int, default=300,
+                   help="shed arrivals past this many queued requests "
+                        "(0 = off)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="write Chrome/Perfetto trace-event JSON here")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

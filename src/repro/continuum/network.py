@@ -45,6 +45,31 @@ class NetworkLink:
         return (self.transfer_seconds(upload_bytes)
                 + self.transfer_seconds(download_bytes))
 
+    def schedule_transfer(self, sim, payload_bytes: float, on_complete,
+                          trace=None, direction: str = "uplink"):
+        """Put one transfer on the simulator clock.
+
+        Schedules ``on_complete`` at ``now + transfer_seconds(payload)``
+        and — when a :class:`~repro.serving.tracectx.TraceContext` is
+        passed — records the leg as a named span (``direction`` is the
+        span name: ``uplink`` or ``downlink``), so network time shows up
+        in the critical-path analysis next to queueing and inference.
+        Returns the scheduled :class:`~repro.serving.events.Event`.
+        """
+        duration = self.transfer_seconds(payload_bytes)
+        span = None
+        if trace is not None:
+            span = trace.begin(direction, sim.now, category="network",
+                               link=self.name,
+                               payload_bytes=payload_bytes)
+
+        def arrive() -> None:
+            if span is not None:
+                trace.end(span, sim.now)
+            on_complete()
+
+        return sim.schedule(duration, arrive)
+
     def sustainable_images_per_second(self, image_bytes: float) -> float:
         """Upload-rate ceiling for a stream of same-sized images."""
         if image_bytes <= 0:

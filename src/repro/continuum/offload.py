@@ -100,11 +100,24 @@ class OffloadPolicy:
             self.link.transfer_seconds(self.result_bytes)
         return transfer + self.cloud_model.latency(self.cloud_batch)
 
-    def decide(self, payload_bytes: float) -> OffloadDecision:
-        """Pick the lower-latency path for one request."""
+    def decide(self, payload_bytes: float,
+               trace=None, now: float = 0.0) -> OffloadDecision:
+        """Pick the lower-latency path for one request.
+
+        With a :class:`~repro.serving.tracectx.TraceContext` passed, the
+        decision is recorded as an instant ``offload_decision`` event
+        (stamped at virtual time ``now``) carrying both priced paths —
+        the trace shows *why* a request stayed on the edge or paid the
+        uplink.
+        """
         edge = self.edge_latency()
         cloud = self.cloud_latency(payload_bytes)
         placement = Placement.EDGE if edge <= cloud else Placement.CLOUD
+        if trace is not None:
+            trace.instant("offload_decision", now, category="continuum",
+                          placement=placement.value,
+                          edge_seconds=edge, cloud_seconds=cloud,
+                          payload_bytes=payload_bytes)
         return OffloadDecision(placement, edge, cloud, payload_bytes)
 
     # ------------------------------------------------------------------

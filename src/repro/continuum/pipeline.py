@@ -18,7 +18,10 @@ under Triton's decoupled backends:
 from __future__ import annotations
 
 import dataclasses
+import itertools
+from collections.abc import Callable
 
+from repro.continuum.network import NetworkLink
 from repro.data.datasets import DatasetSpec
 from repro.engine import calibration
 from repro.engine.latency import LatencyModel
@@ -26,6 +29,8 @@ from repro.engine.oom import max_batch_size
 from repro.hardware.platform import PlatformSpec
 from repro.models.graph import ModelGraph
 from repro.preprocessing.frameworks import DALI, PreprocessFramework
+from repro.serving.request import Request, Response
+from repro.serving.tracectx import TraceContext
 
 
 def e2e_batch_size(platform: PlatformSpec, graph: ModelGraph,
@@ -145,3 +150,181 @@ class EndToEndPipeline:
                 continue
             results.append(self.evaluate(dataset, batch_size))
         return results
+
+
+# ----------------------------------------------------------------------
+# Traced continuum replay (edge -> uplink -> cloud -> downlink)
+# ----------------------------------------------------------------------
+class ContinuumReplayer:
+    """Drives requests end-to-end across the continuum on the sim clock.
+
+    :class:`EndToEndPipeline` *prices* the continuum analytically; this
+    class *executes* it as discrete events so every leg becomes a traced
+    span: per request, an ``edge_preprocess`` span (the field device
+    preparing the capture), an ``uplink`` transfer over the
+    :class:`~repro.continuum.network.NetworkLink`, the full serving path
+    inside the cloud ``target`` (admission, routing, queueing, batching,
+    execution — instrumented by their own layers), and a ``downlink``
+    leg returning the result.  With an
+    :class:`~repro.continuum.offload.OffloadPolicy` attached, requests
+    the policy places on the edge are served locally instead
+    (``edge_inference`` span, no network legs).
+
+    The replayer is itself a ``submit``-able target (it has ``sim`` and
+    ``submit``), so :class:`~repro.serving.traces.TraceReplayer` can
+    drive it from any arrival trace.  Every request gets a fresh
+    :class:`~repro.serving.tracectx.TraceContext` with ids allocated
+    from a replayer-local counter — two identical runs produce
+    byte-identical traces.
+
+    ``target`` is a :class:`~repro.serving.server.TritonLikeServer` (its
+    completion callback is wired automatically) or a
+    :class:`~repro.scale.balancer.LoadBalancer` — for a balancer, wire
+    each backend with :meth:`attach_backend` (replica factories should
+    call it for autoscaled replicas too).
+    """
+
+    def __init__(self, target, link: NetworkLink,
+                 edge_preprocess_time: Callable[[int], float],
+                 image_bytes: float, result_bytes: float = 1024.0,
+                 offload=None, registry=None,
+                 latency_buckets=None):
+        if image_bytes <= 0:
+            raise ValueError("image_bytes must be positive")
+        if result_bytes < 0:
+            raise ValueError("result_bytes must be >= 0")
+        self.target = target
+        self.link = link
+        self.edge_preprocess_time = edge_preprocess_time
+        self.image_bytes = image_bytes
+        self.result_bytes = result_bytes
+        self.offload = offload
+        self._next_trace_id = itertools.count(1)
+        #: Every trace context, in submission order.
+        self.traces: list[TraceContext] = []
+        #: Responses served locally on the edge (offload policy hits).
+        self.edge_responses: list[Response] = []
+        self._h_latency = self._c_requests = None
+        if registry is not None:
+            from repro.serving.observability import DEFAULT_BUCKETS
+            self._h_latency = registry.histogram(
+                "continuum_latency_seconds",
+                "End-to-end continuum latency (edge entry to result "
+                "delivery).",
+                buckets=(latency_buckets if latency_buckets is not None
+                         else DEFAULT_BUCKETS))
+            self._c_requests = registry.counter(
+                "continuum_requests_total",
+                "Continuum requests by placement and final status.")
+        if hasattr(target, "on_response"):
+            target.on_response(self.handle_response)
+
+    @property
+    def sim(self):
+        """The shared simulator clock (TraceReplayer contract)."""
+        return self.target.sim
+
+    def attach_backend(self, server) -> None:
+        """Route a balancer backend's completions through the replayer.
+
+        Must be called for every backend under a
+        :class:`~repro.scale.balancer.LoadBalancer` target (including
+        replicas an autoscaler adds later) so the downlink leg runs.
+        """
+        server.on_response(self.handle_response)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enter one request into the continuum at the current time."""
+        sim = self.sim
+        ctx = TraceContext(next(self._next_trace_id), start=sim.now)
+        ctx.baggage["model"] = request.model_name
+        request.trace = ctx
+        request.arrival_time = sim.now
+        self.traces.append(ctx)
+        placement = "cloud"
+        if self.offload is not None:
+            payload = self.image_bytes * request.num_images
+            decision = self.offload.decide(payload, trace=ctx,
+                                           now=sim.now)
+            placement = decision.placement.value
+        ctx.baggage["placement"] = placement
+        pre_span = ctx.begin("edge_preprocess", sim.now,
+                             category="continuum",
+                             images=request.num_images)
+        duration = self.edge_preprocess_time(request.num_images)
+        if duration < 0:
+            raise ValueError("edge preprocess time must be >= 0")
+        if placement == "edge":
+            sim.schedule(duration,
+                         lambda: self._edge_serve(request, pre_span))
+        else:
+            sim.schedule(duration,
+                         lambda: self._uplink(request, pre_span))
+
+    def _edge_serve(self, request: Request, pre_span) -> None:
+        ctx = request.trace
+        ctx.end(pre_span, self.sim.now)
+        span = ctx.begin("edge_inference", self.sim.now,
+                         category="continuum")
+
+        def done() -> None:
+            ctx.end(span, self.sim.now)
+            ctx.close(self.sim.now, status="ok")
+            self.edge_responses.append(
+                Response(request, self.sim.now, status="ok"))
+            self._finalize(ctx)
+
+        self.sim.schedule(self.offload.edge_latency(), done)
+
+    def _uplink(self, request: Request, pre_span) -> None:
+        ctx = request.trace
+        ctx.end(pre_span, self.sim.now)
+        ctx.baggage["awaiting_downlink"] = True
+        payload = self.image_bytes * request.num_images
+
+        def arrived() -> None:
+            self.target.submit(request)
+            # A synchronous rejection (admission shed, drain refusal,
+            # queue-full) closes the trace before submit returns and
+            # never reaches the completion callback's downlink leg.
+            if ctx.closed and ctx.baggage.get("awaiting_downlink"):
+                ctx.baggage.pop("awaiting_downlink", None)
+                self._finalize(ctx)
+
+        self.link.schedule_transfer(self.sim, payload, arrived,
+                                    trace=ctx, direction="uplink")
+
+    def handle_response(self, response: Response) -> None:
+        """Cloud completion: run the downlink leg, then finish the trace.
+
+        Rejected responses skip the downlink (nothing was computed; the
+        refusal is assumed to piggyback on the connection teardown).
+        """
+        ctx = response.request.trace
+        if ctx is None or not ctx.baggage.pop("awaiting_downlink", False):
+            return
+        if response.status == "rejected":
+            self._finalize(ctx)
+            return
+
+        def delivered() -> None:
+            ctx.close(self.sim.now, status=response.status)
+            self._finalize(ctx)
+
+        self.link.schedule_transfer(self.sim, self.result_bytes,
+                                    delivered, trace=ctx,
+                                    direction="downlink")
+
+    def _finalize(self, ctx: TraceContext) -> None:
+        if self._h_latency is not None:
+            self._h_latency.observe(ctx.latency,
+                                    model=str(ctx.baggage.get("model")))
+            self._c_requests.inc(
+                placement=str(ctx.baggage.get("placement")),
+                status=str(ctx.status))
+
+    # ------------------------------------------------------------------
+    def completed_traces(self) -> list[TraceContext]:
+        """Closed traces in submission order (the export input)."""
+        return [t for t in self.traces if t.closed]

@@ -108,11 +108,25 @@ class AdmissionController:
         self._bucket = (TokenBucket(config.rate_per_second, config.burst)
                         if config.rate_per_second > 0 else None)
 
-    def admit(self, now: float, queued_requests: int) -> AdmissionDecision:
-        """Decide one arrival given the backlog behind the balancer."""
+    def admit(self, now: float, queued_requests: int,
+              trace=None) -> AdmissionDecision:
+        """Decide one arrival given the backlog behind the balancer.
+
+        With a :class:`~repro.serving.tracectx.TraceContext` passed, the
+        verdict is recorded as an instant ``admission`` event (shed
+        attempts stay visible in the trace even though they never reach
+        a backend).
+        """
         limit = self.config.max_queued_requests
         if limit and queued_requests >= limit:
-            return AdmissionDecision(False, "queue")
-        if self._bucket is not None and not self._bucket.try_take(now):
-            return AdmissionDecision(False, "rate")
-        return AdmissionDecision(True, "ok")
+            decision = AdmissionDecision(False, "queue")
+        elif self._bucket is not None and not self._bucket.try_take(now):
+            decision = AdmissionDecision(False, "rate")
+        else:
+            decision = AdmissionDecision(True, "ok")
+        if trace is not None:
+            trace.instant("admission", now, category="admission",
+                          admitted=decision.admitted,
+                          reason=decision.reason,
+                          queued_requests=queued_requests)
+        return decision

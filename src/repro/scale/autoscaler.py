@@ -144,6 +144,7 @@ class Autoscaler:
         self._running = False
         self._breach_streak = 0
         self._idle_streak = 0
+        self._slo_alert_pending = False
         self._last_action_time = -math.inf
         #: Per-registry cumulative latency-bucket snapshot from the
         #: previous tick (keyed by registry identity so backends sharing
@@ -268,11 +269,24 @@ class Autoscaler:
         # activity after start().
         self.window_p95()
         self.utilization()
-        self.balancer.sim.schedule(self.config.interval, self._tick)
+        self.balancer.sim.schedule(self.config.interval, self._tick,
+                                   daemon=True)
 
     def stop(self) -> None:
         """Stop the loop after the current tick."""
         self._running = False
+
+    def notify_slo_alert(self, alert=None) -> None:
+        """Feed an SLO burn-rate alert in as a scale-out signal.
+
+        Wire via ``monitor.on_alert(autoscaler.notify_slo_alert)``.  A
+        :class:`~repro.serving.slo.BurnAlert` already encodes a
+        *sustained* multi-window budget burn, so the next tick treats it
+        as a full breach streak rather than a single breached interval —
+        the pool grows one cooldown sooner than the raw p95 path would
+        allow.
+        """
+        self._slo_alert_pending = True
 
     def _record(self, action: str, reason: str,
                 p95: float | None, queue: float, util: float) -> None:
@@ -305,8 +319,15 @@ class Autoscaler:
 
         slo_breach = p95 is not None and p95 > cfg.slo_p95_seconds
         queue_breach = queue > cfg.scale_out_queue_depth
-        if slo_breach or queue_breach:
+        burn_alerted = self._slo_alert_pending
+        self._slo_alert_pending = False
+        if slo_breach or queue_breach or burn_alerted:
             self._breach_streak += 1
+            if burn_alerted:
+                # A multi-window burn alert already proves sustained
+                # breach; don't make it wait out the streak again.
+                self._breach_streak = max(self._breach_streak,
+                                          cfg.breach_intervals)
             self._idle_streak = 0
         else:
             self._breach_streak = 0
@@ -328,7 +349,9 @@ class Autoscaler:
         if (self._breach_streak >= cfg.breach_intervals and cooled
                 and active < cfg.max_replicas):
             self.balancer.add_backend(self.replica_factory())
-            reason = ("p95 breach" if slo_breach else "queue growth")
+            reason = ("p95 breach" if slo_breach
+                      else "queue growth" if queue_breach
+                      else "slo burn-rate")
             self._record("scale_out", reason, p95, queue, util)
             self._last_action_time = now
             self._breach_streak = 0
@@ -340,11 +363,13 @@ class Autoscaler:
             self._last_action_time = now
             self._idle_streak = 0
 
-        # Re-arm only while the simulation still has work: an idle heap
-        # means every in-flight batch finished, so finish any pending
+        # Re-arm only while the simulation still has *workload* events
+        # pending: when only other control loops' daemon ticks remain,
+        # every in-flight batch has finished, so finish any pending
         # drains and let the run end (sampler discipline).
-        if self.balancer.sim.peek_time() is not None:
-            self.balancer.sim.schedule(cfg.interval, self._tick)
+        if self.balancer.sim.peek_foreground_time() is not None:
+            self.balancer.sim.schedule(cfg.interval, self._tick,
+                                       daemon=True)
         else:
             self._release_drained(p95, queue, util)
             self._running = False

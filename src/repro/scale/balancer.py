@@ -237,10 +237,13 @@ class LoadBalancer:
         """
         if self.admission is not None:
             decision = self.admission.admit(self.sim.now,
-                                            self.queue_depth())
+                                            self.queue_depth(),
+                                            trace=request.trace)
             if not decision.admitted:
                 self._c_shed.inc(reason=decision.reason)
                 request.arrival_time = self.sim.now
+                if request.trace is not None:
+                    request.trace.close(self.sim.now, status="rejected")
                 self._pending.append(
                     Response(request, self.sim.now, status="rejected"))
                 return
@@ -251,6 +254,10 @@ class LoadBalancer:
             raise IndexError(
                 f"policy chose backend {index} of {len(active)}")
         backend = active[index]
+        if request.trace is not None:
+            request.trace.instant("route", self.sim.now,
+                                  category="balancer", backend=index,
+                                  active_backends=len(active))
         self.routed.append(self.backends.index(backend))
         self._counts[id(backend)] += 1
         self._c_routed.inc()

@@ -21,7 +21,13 @@ deterministic discrete-event core:
   accounting;
 * :mod:`repro.serving.observability` — live Prometheus-style registry
   (counters/gauges/histograms on the simulator clock) and the
-  time-series sampler driving queue-depth/utilization timelines.
+  time-series sampler driving queue-depth/utilization timelines;
+* :mod:`repro.serving.tracectx` — distributed-tracing contexts carried
+  by requests across continuum and serving layers;
+* :mod:`repro.serving.trace_export` — Chrome/Perfetto trace-event JSON
+  export and critical-path analysis over those contexts;
+* :mod:`repro.serving.slo` — error budgets and multi-window burn-rate
+  alerting over the registry's latency histograms.
 """
 
 from repro.serving.events import Simulator, Event
@@ -70,6 +76,15 @@ from repro.serving.tracing import (
     stage_breakdown,
     trace_of,
 )
+from repro.serving.tracectx import SpanRecord, TraceContext
+from repro.serving.trace_export import (
+    critical_path,
+    critical_path_summary,
+    export_chrome_trace,
+    render_critical_path,
+    validate_chrome_trace,
+)
+from repro.serving.slo import BurnAlert, SLOConfig, SLOMonitor
 
 __all__ = [
     "Simulator",
@@ -109,4 +124,14 @@ __all__ = [
     "render_gantt",
     "stage_breakdown",
     "trace_of",
+    "SpanRecord",
+    "TraceContext",
+    "critical_path",
+    "critical_path_summary",
+    "export_chrome_trace",
+    "render_critical_path",
+    "validate_chrome_trace",
+    "BurnAlert",
+    "SLOConfig",
+    "SLOMonitor",
 ]

@@ -68,6 +68,9 @@ class BatcherConfig:
 class QueuedRequest:
     request: Request
     enqueue_time: float
+    #: Open ``queue_wait`` span when the request carries a trace
+    #: context (closed at dispatch).
+    wait_span: object | None = None
 
 
 class DynamicBatcher:
@@ -112,7 +115,11 @@ class DynamicBatcher:
         limit = self.config.max_queue_size
         if limit and self.queued_images + request.num_images > limit:
             raise QueueFullError(request.model_name, limit)
-        self._queue.append(QueuedRequest(request, now))
+        queued = QueuedRequest(request, now)
+        if request.trace is not None:
+            queued.wait_span = request.trace.begin(
+                "queue_wait", now, category="queue", stage=self._stage)
+        self._queue.append(queued)
         if self._c_enqueued is not None:
             self._c_enqueued.inc(stage=self._stage)
 
@@ -174,6 +181,15 @@ class DynamicBatcher:
                     stage=self._stage)
             self._h_size.observe(
                 sum(r.num_images for r in batch), stage=self._stage)
+        batch_images = sum(r.num_images for r in batch)
+        for index in picked:
+            queued = self._queue[index]
+            if queued.wait_span is not None:
+                dispatch = now if now is not None else queued.enqueue_time
+                queued.request.trace.end(queued.wait_span, dispatch)
+                queued.request.trace.instant(
+                    "batch_dispatch", dispatch, category="queue",
+                    stage=self._stage, batch_images=batch_images)
         for index in sorted(picked, reverse=True):
             del self._queue[index]
         return batch

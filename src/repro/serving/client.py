@@ -11,18 +11,28 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.serving.request import Request, Response
 from repro.serving.server import TritonLikeServer
+from repro.serving.tracectx import TraceContext
 
 
 class OpenLoopClient:
-    """Poisson-arrival request stream."""
+    """Poisson-arrival request stream.
+
+    With ``trace=True`` every issued request carries a fresh
+    :class:`~repro.serving.tracectx.TraceContext` (ids from a
+    client-local counter, so runs replay byte-identically); the serving
+    layers add their spans and the contexts accumulate in ``traces``.
+    """
 
     def __init__(self, server: TritonLikeServer, model_name: str,
                  rate_per_second: float, num_requests: int,
-                 images_per_request: int = 1, seed: int = 0):
+                 images_per_request: int = 1, seed: int = 0,
+                 trace: bool = False):
         if rate_per_second <= 0:
             raise ValueError("arrival rate must be positive")
         if num_requests < 1:
@@ -30,6 +40,9 @@ class OpenLoopClient:
         self.server = server
         self.model_name = model_name
         self.images_per_request = images_per_request
+        self.trace = trace
+        self.traces: list[TraceContext] = []
+        self._next_trace_id = itertools.count(1)
         self._c_issued = server.metrics.counter(
             "client_requests_issued_total",
             "Requests issued by load generators, by client kind.")
@@ -44,8 +57,15 @@ class OpenLoopClient:
 
     def _issue(self) -> None:
         self._c_issued.inc(client="open_loop", model=self.model_name)
-        self.server.submit(Request(self.model_name,
-                                   num_images=self.images_per_request))
+        request = Request(self.model_name,
+                          num_images=self.images_per_request)
+        if self.trace:
+            ctx = TraceContext(next(self._next_trace_id),
+                               start=self.server.sim.now)
+            ctx.baggage["model"] = self.model_name
+            request.trace = ctx
+            self.traces.append(ctx)
+        self.server.submit(request)
 
 
 class ClosedLoopClient:

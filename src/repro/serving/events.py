@@ -22,6 +22,10 @@ class Event:
     seq: int
     callback: Callable[[], None] = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(default=False, compare=False)
+    #: Daemon events (periodic control loops: samplers, autoscalers,
+    #: SLO monitors) never count as pending *work* — see
+    #: :meth:`Simulator.peek_foreground_time`.
+    daemon: bool = dataclasses.field(default=False, compare=False)
 
 
 class Simulator:
@@ -46,19 +50,27 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
-    def schedule(self, delay: float,
-                 callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 daemon: bool = False) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``daemon`` marks the event as a control-loop tick rather than
+        workload progress; daemon events fire normally but are invisible
+        to :meth:`peek_foreground_time`, so periodic loops re-arming
+        "while the simulation has work" cannot keep each other alive
+        after the real work has drained.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback)
+        event = Event(self._now + delay, next(self._seq), callback,
+                      daemon=daemon)
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_at(self, time: float,
-                    callback: Callable[[], None]) -> Event:
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    daemon: bool = False) -> Event:
         """Schedule ``callback`` at an absolute virtual time."""
-        return self.schedule(time - self._now, callback)
+        return self.schedule(time - self._now, callback, daemon=daemon)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already fired)."""
@@ -96,3 +108,19 @@ class Simulator:
         while self._heap and self._heap[0].seq in self._cancelled:
             self._cancelled.discard(heapq.heappop(self._heap).seq)
         return self._heap[0].time if self._heap else None
+
+    def peek_foreground_time(self) -> float | None:
+        """Time of the next pending *non-daemon* event, or None.
+
+        This is the "is there still work" question a periodic control
+        loop must ask before re-arming itself: with two or more loops
+        running, :meth:`peek_time` always sees the other loop's next
+        tick and the loops would keep the simulation alive forever.
+        """
+        best: float | None = None
+        for event in self._heap:
+            if event.daemon or event.seq in self._cancelled:
+                continue
+            if best is None or event.time < best:
+                best = event.time
+        return best

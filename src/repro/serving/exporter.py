@@ -24,9 +24,25 @@ from repro.serving.observability import (
 from repro.serving.server import TritonLikeServer
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format spec.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only; quotes are fine)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _line(name: str, labels: dict[str, str], value: float) -> str:
     if labels:
-        rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        rendered = ",".join(f'{k}="{_escape_label(v)}"'
+                            for k, v in sorted(labels.items()))
         return f"{name}{{{rendered}}} {value:g}"
     return f"{name} {value:g}"
 
@@ -47,7 +63,7 @@ def export_registry(registry: MetricsRegistry,
     for metric in registry.collect():
         name = f"{prefix}_{metric.name}"
         if metric.help:
-            lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for key, value in metric.items():
@@ -132,11 +148,49 @@ def export_metrics(server: TritonLikeServer,
     return text + export_registry(server.metrics, prefix=prefix)
 
 
+def _parse_labels(blob: str, line: str) -> list[tuple[str, str]]:
+    """Parse ``key="value",...`` honoring escapes inside quoted values.
+
+    A naive split on ``,`` or strip of ``"`` corrupts any value
+    containing those characters; this walker undoes exactly the escapes
+    :func:`_escape_label` writes (``\\\\``, ``\\"``, ``\\n``).
+    """
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(blob):
+        eq = blob.index("=", i)
+        key = blob[i:eq]
+        if blob[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {line!r}")
+        i = eq + 2
+        value: list[str] = []
+        while True:
+            ch = blob[i]
+            if ch == "\\":
+                nxt = blob[i + 1]
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value.append(ch)
+                i += 1
+        labels.append((key, "".join(value)))
+        if i < len(blob):
+            if blob[i] != ",":
+                raise ValueError(f"malformed label block in {line!r}")
+            i += 1
+    return labels
+
+
 def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
                                      float]:
     """Parse exposition text back to {(metric, labels): value}.
 
-    Minimal parser for round-trip tests; ignores comments.
+    Round-trips :func:`export_registry` output exactly, including label
+    values containing quotes, backslashes, commas, braces, or newlines;
+    ignores comments.
     """
     out: dict = {}
     for raw in text.splitlines():
@@ -150,11 +204,13 @@ def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
             raise ValueError(f"bad metric line {line!r}") from exc
         if "{" in name_part:
             name, _, label_blob = name_part.partition("{")
-            label_blob = label_blob.rstrip("}")
-            labels = []
-            for item in label_blob.split(","):
-                key, _, quoted = item.partition("=")
-                labels.append((key, quoted.strip('"')))
+            if not label_blob.endswith("}"):
+                raise ValueError(f"unterminated label block in {line!r}")
+            try:
+                labels = _parse_labels(label_blob[:-1], line)
+            except (IndexError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed label block in {line!r}") from exc
             out[(name, tuple(sorted(labels)))] = value
         else:
             out[(name_part, ())] = value

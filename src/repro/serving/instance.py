@@ -114,8 +114,16 @@ class BackendInstance:
         start = self.sim.now
         span_keys = [(request, self._span_key(request))
                      for request in batch]
+        trace_spans = []
         for request, key in span_keys:
             request.stage_times[f"{key}:start"] = start
+            if request.trace is not None:
+                attempt = (int(key.rsplit("@", 1)[1])
+                           if "@" in key else 0)
+                trace_spans.append((request, request.trace.begin(
+                    "execute", start, category="execute",
+                    stage=self._stage, instance=self.name,
+                    attempt=attempt, batch_images=images)))
 
         fails = (self.fault_model is not None
                  and on_failure is not None
@@ -132,6 +140,9 @@ class BackendInstance:
                 # the wait silently inflating queued_seconds).
                 for request, key in span_keys:
                     request.stage_times[f"{key}:end"] = self.sim.now
+                for request, span in trace_spans:
+                    span.args["outcome"] = "fault"
+                    request.trace.end(span, self.sim.now)
                 if self._c_failures is not None:
                     self._c_failures.inc(stage=self._stage)
                     self._c_fault_seconds.inc(detect, stage=self._stage)
@@ -147,6 +158,8 @@ class BackendInstance:
             self.stats.busy_seconds += duration
             for request, key in span_keys:
                 request.stage_times[f"{key}:end"] = self.sim.now
+            for request, span in trace_spans:
+                request.trace.end(span, self.sim.now)
             if self._h_exec is not None:
                 self._h_exec.observe(duration, stage=self._stage)
                 self._c_batches.inc(stage=self._stage)

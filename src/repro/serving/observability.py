@@ -119,6 +119,19 @@ class Gauge(Metric):
         """Current value of the labelled series (0 if never set)."""
         return self._values.get(_label_key(labels), 0.0)
 
+    def remove(self, **labels: str) -> bool:
+        """Drop the labelled series entirely (returns whether it existed).
+
+        Prometheus client libraries expose exactly this for gauges whose
+        label dimension tracks live objects (a model that was unloaded,
+        a replica that was released): a stale series must leave the
+        scrape, not linger at its last value.
+        """
+        key = _label_key(labels)
+        existed = self._values.pop(key, None) is not None
+        self.last_updated.pop(key, None)
+        return existed
+
     def items(self) -> list[tuple[LabelKey, float]]:
         """(labels, value) pairs in sorted label order."""
         return sorted(self._values.items())
@@ -309,6 +322,7 @@ class TimeSeriesSampler:
         self.max_samples = max_samples
         self.samples: list[SamplePoint] = []
         self._running = False
+        self._seen_models: set[str] = set()
         metrics = server.metrics
         self._g_depth = metrics.gauge(
             "queue_depth", "Requests waiting per model queue.")
@@ -326,7 +340,7 @@ class TimeSeriesSampler:
         if self._running:
             raise RuntimeError("sampler already started")
         self._running = True
-        self.server.sim.schedule(0.0, self._tick)
+        self.server.sim.schedule(0.0, self._tick, daemon=True)
 
     def stop(self) -> None:
         """Stop sampling after the current tick."""
@@ -335,25 +349,32 @@ class TimeSeriesSampler:
     def sample_now(self) -> SamplePoint:
         """Record one sample at the current virtual time."""
         server = self.server
+        models = set(server.model_names())
         point = SamplePoint(
             time=server.sim.now,
-            queue_depth={m: server.queue_depth(m)
-                         for m in server.model_names()},
-            queued_images={m: server.queued_images(m)
-                           for m in server.model_names()},
+            queue_depth={m: server.queue_depth(m) for m in models},
+            queued_images={m: server.queued_images(m) for m in models},
             busy_instances={m: server.busy_instances(m)
-                            for m in server.model_names()},
+                            for m in models},
             total_instances={m: server.total_instances(m)
-                             for m in server.model_names()},
+                             for m in models},
             inflight_batches=server.inflight_batches(),
         )
         self.samples.append(point)
-        for model in server.model_names():
+        for model in models:
             self._g_depth.set(point.queue_depth[model], model=model)
             self._g_images.set(point.queued_images[model], model=model)
             self._g_busy.set(point.busy_instances[model], model=model)
             self._g_total.set(point.total_instances[model], model=model)
         self._g_inflight.set(point.inflight_batches)
+        # A model unloaded since the last tick must leave the scrape:
+        # its gauges would otherwise report the pre-unload values
+        # forever (a stale series, the classic unload bug).
+        for model in self._seen_models - models:
+            for gauge in (self._g_depth, self._g_images, self._g_busy,
+                          self._g_total):
+                gauge.remove(model=model)
+        self._seen_models = models
         return point
 
     def _tick(self) -> None:
@@ -363,10 +384,12 @@ class TimeSeriesSampler:
         if len(self.samples) >= self.max_samples:
             self._running = False
             return
-        # Re-arm only while other events are pending: a drained heap
-        # means the run is over and the sampler must not prolong it.
-        if self.server.sim.peek_time() is not None:
-            self.server.sim.schedule(self.interval, self._tick)
+        # Re-arm only while workload events are pending: a heap holding
+        # nothing but control-loop daemon ticks means the run is over
+        # and the sampler must not prolong it.
+        if self.server.sim.peek_foreground_time() is not None:
+            self.server.sim.schedule(self.interval, self._tick,
+                                     daemon=True)
         else:
             self._running = False
 

@@ -28,6 +28,11 @@ class Request:
         default_factory=lambda: next(_request_ids))
     #: Timestamps stamped by the server as the request advances.
     stage_times: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Optional distributed-tracing context (see
+    #: :mod:`repro.serving.tracectx`).  None = tracing off: every
+    #: instrumentation point is a no-op and the request behaves exactly
+    #: as before.
+    trace: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_images < 1:

@@ -165,6 +165,38 @@ class TritonLikeServer:
                     "model")
         self._ensembles[config.name] = config
 
+    def unregister(self, name: str) -> None:
+        """Unload an idle model from the repository (Triton's unload).
+
+        Refuses while the model still has queued or executing work, or
+        while another registered model or ensemble references it (as a
+        preprocess stage or consumer) — unloading those would strand
+        in-flight routing.  Any armed queue-delay timer is cancelled.
+        """
+        if name not in self._models:
+            raise KeyError(f"unknown model {name!r}")
+        if len(self._batchers[name]) or self.busy_instances(name):
+            raise RuntimeError(
+                f"model {name!r} still has queued or executing work")
+        for other, config in self._models.items():
+            if other != name and config.preprocess_model == name:
+                raise ValueError(
+                    f"model {name!r} is the preprocess stage of "
+                    f"{other!r}")
+        for ensemble in self._ensembles.values():
+            if name == ensemble.preprocess_model or \
+                    name in ensemble.consumers:
+                raise ValueError(
+                    f"model {name!r} is a member of ensemble "
+                    f"{ensemble.name!r}")
+        stale = self._timer_events.pop(name, None)
+        if stale is not None:
+            self.sim.cancel(stale)
+        self._timer_pending.discard(name)
+        del self._models[name]
+        del self._batchers[name]
+        del self._instances[name]
+
     def model_names(self) -> list[str]:
         """Models loaded in the repository."""
         return sorted(self._models)
@@ -187,6 +219,10 @@ class TritonLikeServer:
         request.arrival_time = self.sim.now
         if self.draining:
             self._c_drain_rejections.inc(model=request.model_name)
+            if request.trace is not None:
+                request.trace.instant("drain_reject", self.sim.now,
+                                      category="serving",
+                                      model=request.model_name)
             self._respond(request, status="rejected")
             return
         self._c_submitted.inc(model=request.model_name)
@@ -216,6 +252,9 @@ class TritonLikeServer:
     def _reject(self, stage: str, request: Request) -> None:
         """Backpressure path; fan-out branches degrade rather than hang."""
         self._c_rejections.inc(stage=stage)
+        if request.trace is not None:
+            request.trace.instant("queue_reject", self.sim.now,
+                                  category="serving", stage=stage)
         remaining = self._pending_fanout.get(request.request_id)
         if remaining is None:
             self._respond(request, status="rejected")
@@ -330,6 +369,11 @@ class TritonLikeServer:
 
     def _respond(self, request: Request, status: str = "ok") -> None:
         response = Response(request, self.sim.now, status=status)
+        if request.trace is not None:
+            # Close the root at server completion; the continuum
+            # replayer re-closes after the downlink leg (close() allows
+            # monotonic extension).
+            request.trace.close(self.sim.now, status=status)
         self.responses.append(response)
         self._c_responses.inc(model=request.model_name, status=status)
         self._c_images_done.inc(request.num_images,

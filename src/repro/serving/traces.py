@@ -19,11 +19,13 @@ hours, and nights are quiet.  This module generates such traces
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
 
 import numpy as np
 
 from repro.serving.request import Request
+from repro.serving.tracectx import TraceContext
 
 
 @dataclasses.dataclass(frozen=True)
@@ -148,13 +150,20 @@ class TraceReplayer:
     """Schedules a trace's requests against a serving target.
 
     ``target`` is anything with ``submit(request)`` and a ``sim``
-    attribute (:class:`TritonLikeServer` or
-    :class:`~repro.scale.balancer.LoadBalancer`).
+    attribute (:class:`TritonLikeServer`,
+    :class:`~repro.scale.balancer.LoadBalancer`, or
+    :class:`~repro.continuum.pipeline.ContinuumReplayer`).
+
+    With ``trace=True`` each submitted request carries a fresh
+    :class:`~repro.serving.tracectx.TraceContext` (replayer-local ids,
+    byte-identical across replays) collected in ``traces``.  Leave it
+    off when the target opens its own contexts (the continuum replayer
+    does).
     """
 
     def __init__(self, target, model_name: str,
                  images_per_request: int = 1,
-                 time_scale: float = 1.0):
+                 time_scale: float = 1.0, trace: bool = False):
         if images_per_request < 1:
             raise ValueError("images_per_request must be >= 1")
         if time_scale <= 0:
@@ -163,6 +172,9 @@ class TraceReplayer:
         self.model_name = model_name
         self.images_per_request = images_per_request
         self.time_scale = time_scale
+        self.trace = trace
+        self.traces: list[TraceContext] = []
+        self._next_trace_id = itertools.count(1)
         self.submitted = 0
 
     def schedule(self, trace: ArrivalTrace) -> None:
@@ -173,5 +185,12 @@ class TraceReplayer:
 
     def _submit_one(self) -> None:
         self.submitted += 1
-        self.target.submit(Request(self.model_name,
-                                   num_images=self.images_per_request))
+        request = Request(self.model_name,
+                          num_images=self.images_per_request)
+        if self.trace:
+            ctx = TraceContext(next(self._next_trace_id),
+                               start=self.target.sim.now)
+            ctx.baggage["model"] = self.model_name
+            request.trace = ctx
+            self.traces.append(ctx)
+        self.target.submit(request)

@@ -90,16 +90,25 @@ def trace_of(response: Response) -> RequestTrace:
 
 
 def render_gantt(trace: RequestTrace, width: int = 60) -> str:
-    """ASCII Gantt chart of one request's spans."""
+    """ASCII Gantt chart of one request's spans.
+
+    A zero-duration trace (a request shed the instant it arrived) has
+    no timeline to scale bars against; it renders as a degenerate
+    one-column chart — every span a single ``#`` at the origin — rather
+    than dividing by the total.
+    """
     if width < 10:
         raise ValueError("width must be >= 10")
-    total = max(trace.latency, 1e-12)
+    total = trace.latency
     lines = [f"request {trace.request_id} ({trace.status}): "
              f"{trace.latency * 1e3:.2f} ms "
              f"(queued {trace.queued_seconds * 1e3:.2f} ms)"]
     for span in trace.spans:
-        lead = int((span.start - trace.arrival) / total * width)
-        bar = max(1, int(span.duration / total * width))
+        if total <= 0:
+            lead, bar = 0, 1
+        else:
+            lead = int((span.start - trace.arrival) / total * width)
+            bar = max(1, int(span.duration / total * width))
         lines.append(f"  {span.stage:20s} "
                      f"{'.' * lead}{'#' * bar}"
                      f" {span.duration * 1e3:.2f} ms")

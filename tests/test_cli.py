@@ -122,6 +122,55 @@ class TestAutoscale:
         assert "error" in capsys.readouterr().err
 
 
+class TestTrace:
+    FAST = ["trace", "--duration", "6", "--step-start", "1",
+            "--step-end", "3", "--step-rate", "700",
+            "--base-rate", "60", "--seed", "2"]
+
+    def test_end_to_end_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "== critical path ==" in out
+        assert "== slo burn alerts ==" in out
+        assert "== scaling timeline ==" in out
+        assert "queue_wait" in out
+        assert "tracked" in out
+
+    def test_overload_fires_burn_alert_and_scales(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        alerts = out.split("== slo burn alerts ==")[1] \
+                    .split("== scaling timeline ==")[0]
+        assert "(no burn-rate alerts)" not in alerts
+        assert "scale_out" in out
+
+    def test_output_is_deterministic_across_runs(self, capsys,
+                                                 tmp_path):
+        # Acceptance: two identical invocations produce byte-identical
+        # stdout AND byte-identical Perfetto JSON.
+        out_file = tmp_path / "trace.json"
+        args = self.FAST + ["--out", str(out_file)]
+        assert main(args) == 0
+        first_stdout = capsys.readouterr().out
+        first_json = out_file.read_bytes()
+        assert main(args) == 0
+        second_stdout = capsys.readouterr().out
+        assert first_stdout == second_stdout
+        assert first_json == out_file.read_bytes()
+
+    def test_written_trace_passes_schema_check(self, tmp_path):
+        from repro.serving.trace_export import validate_chrome_trace
+
+        out_file = tmp_path / "trace.json"
+        assert main(self.FAST + ["--out", str(out_file)]) == 0
+        payload = validate_chrome_trace(out_file.read_text())
+        assert payload["traceEvents"]
+
+    def test_unknown_link_is_an_error_exit(self, capsys):
+        assert main(["trace", "--link", "carrier-pigeon"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBacktest:
     def test_prints_errors(self, capsys):
         assert main(["backtest", "--platform", "v100",

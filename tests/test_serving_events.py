@@ -113,3 +113,42 @@ class TestCancellation:
 
     def test_peek_time_empty(self):
         assert Simulator().peek_time() is None
+
+
+class TestDaemonEvents:
+    def test_daemon_events_still_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, lambda: fired.append("d"), daemon=True)
+        sim.run()
+        assert fired == ["d"]
+
+    def test_peek_foreground_skips_daemons(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None, daemon=True)
+        assert sim.peek_time() == 0.1
+        assert sim.peek_foreground_time() is None
+        sim.schedule(0.7, lambda: None)
+        assert sim.peek_foreground_time() == 0.7
+
+    def test_peek_foreground_skips_cancelled(self):
+        sim = Simulator()
+        work = sim.schedule(0.3, lambda: None)
+        sim.cancel(work)
+        assert sim.peek_foreground_time() is None
+
+    def test_two_control_loops_cannot_keep_each_other_alive(self):
+        # Regression: two periodic loops re-arming "while events are
+        # pending" each saw the other's tick and never drained the
+        # heap.  Daemon ticks + peek_foreground_time break the cycle.
+        sim = Simulator()
+
+        def loop():
+            if sim.peek_foreground_time() is not None:
+                sim.schedule(0.25, loop, daemon=True)
+
+        sim.schedule(0.25, loop, daemon=True)
+        sim.schedule(0.25, loop, daemon=True)
+        sim.schedule(1.0, lambda: None)  # the actual workload
+        sim.run(max_events=100)  # raises if the loops self-sustain
+        assert sim.now < 2.0

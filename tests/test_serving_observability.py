@@ -43,6 +43,16 @@ class TestGauge:
         g.add(-2, model="m")
         assert g.value(model="m") == 3
 
+    def test_remove_drops_series_from_scrape(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5, model="a")
+        g.set(7, model="b")
+        assert g.remove(model="b") is True
+        assert g.remove(model="b") is False  # already gone
+        assert g.label_sets() == [(("model", "a"),)]
+        assert g.value(model="b") == 0
+        assert (("model", "b"),) not in g.last_updated
+
 
 class TestHistogram:
     def test_buckets_sum_count(self):
@@ -161,6 +171,26 @@ class TestTimeSeriesSampler:
         with pytest.raises(ValueError):
             TimeSeriesSampler(_loaded_server(), interval=0.0)
 
+    def test_unloaded_model_leaves_the_scrape(self):
+        # Regression: gauges for a model unloaded mid-run kept
+        # reporting the pre-unload values forever (stale label sets).
+        server = TritonLikeServer()
+        for name in ("model_a", "model_b"):
+            server.register(ModelConfig(
+                name, lambda n: 0.01,
+                batcher=BatcherConfig(enabled=False)))
+        sampler = TimeSeriesSampler(server)
+        sampler.sample_now()
+        depth = server.metrics.get("queue_depth")
+        total = server.metrics.get("total_instances")
+        assert (("model", "model_b"),) in depth.label_sets()
+        server.unregister("model_b")
+        sampler.sample_now()
+        for gauge in (depth, total):
+            assert (("model", "model_b"),) not in gauge.label_sets()
+            assert (("model", "model_a"),) in gauge.label_sets()
+        assert 'model="model_b"' not in export_registry(server.metrics)
+
     def test_render_timeline(self):
         server = _loaded_server()
         for _ in range(5):
@@ -195,6 +225,37 @@ class TestExportRegistry:
         reg.counter("hits", "Hits.").inc(3, model="m")
         parsed = parse_metrics(export_registry(reg))
         assert parsed[("harvest_hits", (("model", "m"),))] == 3.0
+
+    def test_label_values_escaped_and_round_trip(self):
+        # Regression: quotes, backslashes and newlines in label values
+        # used to be emitted raw, producing an unparseable exposition.
+        reg = MetricsRegistry()
+        hostile = 'say "hi"\\path\nnext,={}'
+        reg.counter("hits", "Hits.").inc(2, model=hostile, zone="a")
+        text = export_registry(reg)
+        assert '\\"hi\\"' in text
+        assert "\\\\path" in text
+        assert "\\npext" not in text  # sanity: escapes, not mangles
+        # The raw newline must not split the sample line.
+        sample_lines = [l for l in text.splitlines()
+                        if l.startswith("harvest_hits{")]
+        assert len(sample_lines) == 1
+        parsed = parse_metrics(text)
+        key = ("harvest_hits",
+               (("model", hostile), ("zone", "a")))
+        assert parsed[key] == 2.0
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "Line one.\nBack\\slash.").inc(1)
+        help_line = [l for l in export_registry(reg).splitlines()
+                     if l.startswith("# HELP")][0]
+        assert help_line == \
+            "# HELP harvest_hits Line one.\\nBack\\\\slash."
+
+    def test_malformed_label_block_rejected(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_metrics('harvest_hits{model=unquoted} 1')
 
 
 class TestScrapeReconciliation:

@@ -1,0 +1,307 @@
+"""Tests for repro.serving.tracectx — contexts and layer instrumentation."""
+
+import pytest
+
+from repro.continuum.network import get_link
+from repro.continuum.pipeline import ContinuumReplayer
+from repro.scale.admission import AdmissionConfig, AdmissionController
+from repro.scale.balancer import LoadBalancer, RoundRobinPolicy
+from repro.serving.batcher import BatcherConfig
+from repro.serving.events import Simulator
+from repro.serving.faults import FaultModel
+from repro.serving.observability import MetricsRegistry
+from repro.serving.request import Request
+from repro.serving.server import EnsembleConfig, ModelConfig, \
+    TritonLikeServer
+from repro.serving.tracectx import SpanRecord, TraceContext, attach, \
+    span_of
+
+
+class TestTraceContext:
+    def test_root_opens_at_start(self):
+        ctx = TraceContext(7, start=1.5)
+        assert ctx.trace_id == 7
+        assert ctx.start == 1.5
+        assert ctx.root.name == "request"
+        assert not ctx.closed
+
+    def test_children_parent_on_root_by_default(self):
+        ctx = TraceContext(1)
+        a = ctx.begin("a", 0.1)
+        b = ctx.begin("b", 0.2, parent=a)
+        assert ctx.root.parent_id is None
+        assert a.parent_id == ctx.root.span_id
+        assert b.parent_id == a.span_id
+        assert ctx.children() == [a, b]
+
+    def test_span_ids_sequential(self):
+        ctx = TraceContext(1)
+        spans = [ctx.begin(f"s{i}", 0.0) for i in range(3)]
+        assert [s.span_id for s in spans] == [1, 2, 3]
+
+    def test_end_validations(self):
+        ctx = TraceContext(1)
+        span = ctx.begin("a", 1.0)
+        with pytest.raises(ValueError, match="before it starts"):
+            ctx.end(span, 0.5)
+        ctx.end(span, 2.0)
+        assert span.duration == 1.0
+        with pytest.raises(ValueError, match="already closed"):
+            ctx.end(span, 3.0)
+
+    def test_instant_has_zero_duration(self):
+        ctx = TraceContext(1)
+        mark = ctx.instant("decision", 0.4, verdict="admit")
+        assert mark.closed and mark.duration == 0.0
+        assert mark.args == {"verdict": "admit"}
+
+    def test_close_is_monotonically_reclosable(self):
+        # The server closes at respond time; the continuum replayer
+        # re-closes after the downlink leg lands — last close wins.
+        ctx = TraceContext(1, start=0.0)
+        ctx.close(1.0, status="ok")
+        ctx.close(1.5, status="ok")
+        assert ctx.latency == 1.5
+        with pytest.raises(ValueError, match="earlier"):
+            ctx.close(1.2)
+
+    def test_find(self):
+        ctx = TraceContext(1)
+        ctx.begin("execute", 0.0)
+        ctx.begin("queue_wait", 0.0)
+        ctx.begin("execute", 0.1)
+        assert [s.start for s in ctx.find("execute")] == [0.0, 0.1]
+
+    def test_attach_and_span_of(self):
+        request = Request("m")
+        assert span_of(request) is None
+        ctx = attach(request, TraceContext(1))
+        assert span_of(request) is ctx
+
+
+def _traced_request(server, model="m"):
+    request = Request(model)
+    request.trace = TraceContext(1, start=server.sim.now)
+    return request
+
+
+class TestServerInstrumentation:
+    def _server(self, **model_kw):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.01,
+            batcher=BatcherConfig(max_batch_size=4,
+                                  max_queue_delay=0.005),
+            **model_kw))
+        return server
+
+    def test_queue_wait_and_execute_spans(self):
+        server = self._server()
+        request = _traced_request(server)
+        server.submit(request)
+        [response] = server.run()
+        ctx = request.trace
+        assert response.ok and ctx.closed and ctx.status == "ok"
+        [wait] = ctx.find("queue_wait")
+        [execute] = ctx.find("execute")
+        [dispatch] = ctx.find("batch_dispatch")
+        assert wait.closed and wait.end == dispatch.start
+        assert execute.start >= wait.end
+        assert execute.args["attempt"] == 0
+        assert execute.end == ctx.root.end
+        # Spans partition the request: no untracked gap at the seams.
+        assert wait.start == ctx.start
+
+    def test_retry_spans_carry_attempt_index(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.01,
+            batcher=BatcherConfig(enabled=False),
+            fault_model=FaultModel(1.0, detect_seconds=0.02),
+            max_retries=1))
+        request = _traced_request(server)
+        server.submit(request)
+        [response] = server.run()
+        assert response.status == "failed"
+        attempts = ctx_attempts = [s.args["attempt"]
+                                   for s in request.trace.find("execute")]
+        assert attempts == [0, 1]
+        assert all(s.args["outcome"] == "fault"
+                   for s in request.trace.find("execute"))
+        assert ctx_attempts == [0, 1]
+        assert request.trace.status == "failed"
+
+    def test_queue_reject_closes_trace(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 1.0,
+            batcher=BatcherConfig(enabled=False, max_queue_size=1)))
+        server.submit(Request("m"))  # occupies the instance
+        server.submit(Request("m"))  # fills the queue
+        shed = _traced_request(server)
+        server.submit(shed)
+        ctx = shed.trace
+        assert ctx.closed and ctx.status == "rejected"
+        assert ctx.find("queue_reject")
+        assert ctx.latency == 0.0
+        server.run()
+
+    def test_drain_reject_marks_trace(self):
+        server = self._server()
+        server.begin_drain()
+        request = _traced_request(server)
+        server.submit(request)
+        assert request.trace.status == "rejected"
+        assert request.trace.find("drain_reject")
+
+    def test_untraced_requests_unaffected(self):
+        server = self._server()
+        server.submit(Request("m"))
+        [response] = server.run()
+        assert response.ok and response.request.trace is None
+
+
+class TestBalancerInstrumentation:
+    def test_route_instant_and_admission_shed(self):
+        sim = Simulator()
+        registry = MetricsRegistry(clock=lambda: sim.now)
+
+        def backend():
+            server = TritonLikeServer(sim, registry=registry)
+            server.register(ModelConfig(
+                "m", lambda n: 0.01,
+                batcher=BatcherConfig(enabled=False)))
+            return server
+
+        admission = AdmissionController(AdmissionConfig(
+            rate_per_second=1.0, burst=1))
+        balancer = LoadBalancer([backend()], policy=RoundRobinPolicy(),
+                                registry=registry, admission=admission)
+        routed = Request("m")
+        routed.trace = TraceContext(1, start=sim.now)
+        balancer.submit(routed)
+        shed = Request("m")
+        shed.trace = TraceContext(2, start=sim.now)
+        balancer.submit(shed)  # token bucket exhausted
+        balancer.run()
+
+        assert routed.trace.find("route")
+        [admit] = [s for s in routed.trace.find("admission")]
+        assert admit.args["admitted"] is True
+        assert routed.trace.status == "ok"
+
+        assert shed.trace.closed and shed.trace.status == "rejected"
+        [denied] = shed.trace.find("admission")
+        assert denied.args["admitted"] is False
+        assert denied.args["reason"] == "rate"
+
+
+class TestEnsembleRetryTracing:
+    """Degraded ensemble + a retried branch, both views consistent."""
+
+    def _flaky_seed(self):
+        # First draw fails, second succeeds: exactly one retry.
+        for seed in range(100):
+            model = FaultModel(0.5, seed=seed)
+            draws = [model.draw_failure() for _ in range(2)]
+            if draws == [True, False]:
+                return seed
+        raise AssertionError("no seed gives fail-then-recover")
+
+    def test_degraded_plus_retry_spans_and_stage_stamps(self):
+        from repro.serving.tracing import stage_breakdown, trace_of
+
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "pre", lambda n: 0.001,
+            batcher=BatcherConfig(enabled=False)))
+        server.register(ModelConfig(
+            "good", lambda n: 0.01,
+            batcher=BatcherConfig(enabled=False),
+            fault_model=FaultModel(0.5, detect_seconds=0.02,
+                                   seed=self._flaky_seed()),
+            max_retries=2))
+        server.register(ModelConfig(
+            "bad", lambda n: 1.0,
+            batcher=BatcherConfig(enabled=False, max_queue_size=1)))
+        server.register_ensemble(EnsembleConfig("e", "pre",
+                                                ("good", "bad")))
+        # Saturate "bad": one executing, one queued.
+        server.submit(Request("bad"))
+        server.submit(Request("bad"))
+        request = _traced_request(server, model="e")
+        server.submit(request)
+        responses = server.run()
+        [result] = [r for r in responses
+                    if r.request.request_id == request.request_id]
+        assert result.status == "degraded"
+
+        # Forward view: execute spans carry the retry attempt index.
+        ctx = request.trace
+        good_spans = [s for s in ctx.find("execute")
+                      if s.args["stage"].startswith("good")]
+        assert [s.args["attempt"] for s in good_spans] == [0, 1]
+        assert good_spans[0].args["outcome"] == "fault"
+        assert ctx.status == "degraded"
+
+        # Post-hoc view: the @1 stamp round-trips trace_of/breakdown.
+        trace = trace_of(result)
+        retried = [s for s in trace.spans if s.attempt == 1]
+        assert [s.model for s in retried] == ["good"]
+        breakdown = stage_breakdown([result])
+        assert breakdown["good"]["retried_attempts"] == 1
+        assert breakdown["good"]["count"] == 2
+
+
+class TestContinuumInstrumentation:
+    def _replayer(self, registry=None):
+        sim = Simulator()
+        server = TritonLikeServer(sim, registry=registry)
+        server.register(ModelConfig(
+            "m", lambda n: 0.01,
+            batcher=BatcherConfig(max_batch_size=4,
+                                  max_queue_delay=0.002)))
+        replayer = ContinuumReplayer(
+            server, get_link("station_ethernet"),
+            edge_preprocess_time=lambda n: 0.002 * n,
+            image_bytes=100_000.0, registry=registry)
+        return sim, server, replayer
+
+    def test_full_cloud_path_spans(self):
+        sim, server, replayer = self._replayer()
+        replayer.submit(Request("m"))
+        sim.run()
+        [ctx] = replayer.completed_traces()
+        assert ctx.status == "ok"
+        names = [s.name for s in ctx.children()]
+        for leg in ("edge_preprocess", "uplink", "queue_wait",
+                    "execute", "downlink"):
+            assert leg in names, f"missing {leg}"
+        # The legs tile the timeline in order.
+        pre, up = ctx.find("edge_preprocess")[0], ctx.find("uplink")[0]
+        down = ctx.find("downlink")[0]
+        assert pre.start == ctx.start and pre.end == up.start
+        assert down.end == ctx.root.end
+        assert ctx.baggage["placement"] == "cloud"
+        assert "awaiting_downlink" not in ctx.baggage
+
+    def test_latency_histogram_covers_downlink(self):
+        sim = Simulator()
+        registry = MetricsRegistry(clock=lambda: sim.now)
+        sim2, server, replayer = self._replayer(registry=registry)
+        replayer.submit(Request("m"))
+        server.sim.run()
+        [ctx] = replayer.completed_traces()
+        histogram = registry.get("continuum_latency_seconds")
+        assert histogram.count(model="m") == 1
+        assert histogram.sum(model="m") == pytest.approx(ctx.latency)
+        counter = registry.get("continuum_requests_total")
+        assert counter.value(placement="cloud", status="ok") == 1
+
+    def test_trace_ids_are_replayer_local(self):
+        _, _, first = self._replayer()
+        first.submit(Request("m"))
+        _, _, second = self._replayer()
+        second.submit(Request("m"))
+        assert first.traces[0].trace_id == 1
+        assert second.traces[0].trace_id == 1

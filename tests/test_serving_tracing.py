@@ -6,6 +6,8 @@ from repro.serving.batcher import BatcherConfig
 from repro.serving.request import Request
 from repro.serving.server import ModelConfig, TritonLikeServer
 from repro.serving.tracing import (
+    RequestTrace,
+    Span,
     render_gantt,
     stage_breakdown,
     trace_of,
@@ -113,6 +115,26 @@ class TestRendering:
     def test_gantt_width_validated(self, two_stage_response):
         with pytest.raises(ValueError):
             render_gantt(trace_of(two_stage_response), width=5)
+
+    def test_gantt_zero_duration_trace_degenerates(self):
+        # Regression: a request shed the instant it arrived has
+        # arrival == completion; scaling bars against the total would
+        # divide by zero.  It must render as a one-column chart.
+        trace = RequestTrace(
+            request_id=9, arrival=0.5, completion=0.5,
+            status="rejected",
+            spans=(Span("queue_reject#0", 0.5, 0.5),))
+        text = render_gantt(trace)
+        lines = text.splitlines()
+        assert "0.00 ms" in lines[0]
+        # Exactly one bar column at the origin, no leading dots.
+        bar = lines[1].split()[1]
+        assert bar == "#"
+
+    def test_gantt_zero_duration_trace_without_spans(self):
+        trace = RequestTrace(request_id=9, arrival=1.0, completion=1.0,
+                             status="rejected", spans=())
+        assert "rejected" in render_gantt(trace)
 
 
 class TestBreakdown:

@@ -1,0 +1,203 @@
+"""Tests for repro.serving.trace_export — Perfetto JSON + critical path."""
+
+import json
+
+import pytest
+
+from repro.serving.trace_export import (
+    chrome_trace_events,
+    critical_path,
+    critical_path_summary,
+    export_chrome_trace,
+    render_critical_path,
+    validate_chrome_trace,
+)
+from repro.serving.tracectx import TraceContext
+
+
+def _simple_trace(trace_id=1, start=0.0, latency=0.1):
+    ctx = TraceContext(trace_id, start=start)
+    ctx.baggage["model"] = "m"
+    wait = ctx.begin("queue_wait", start, category="queue")
+    ctx.end(wait, start + latency * 0.4)
+    run = ctx.begin("execute", start + latency * 0.4,
+                    category="execute")
+    ctx.end(run, start + latency)
+    ctx.instant("batch_dispatch", start + latency * 0.4,
+                category="queue", batch_images=4)
+    ctx.close(start + latency, status="ok")
+    return ctx
+
+
+class TestChromeTraceEvents:
+    def test_metadata_then_spans(self):
+        events = chrome_trace_events([_simple_trace()])
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "harvest-continuum"
+        assert events[1]["ph"] == "M"
+        assert events[1]["name"] == "thread_name"
+        assert "m" in events[1]["args"]["name"]
+        assert "[ok]" in events[1]["args"]["name"]
+
+    def test_intervals_are_complete_events_in_microseconds(self):
+        events = chrome_trace_events([_simple_trace(latency=0.1)])
+        [wait] = [e for e in events if e.get("name") == "queue_wait"]
+        assert wait["ph"] == "X"
+        assert wait["ts"] == 0
+        assert wait["dur"] == 40_000  # 40 ms
+        [root] = [e for e in events if e.get("name") == "request"]
+        assert root["dur"] == 100_000
+
+    def test_decision_marks_are_instants(self):
+        events = chrome_trace_events([_simple_trace()])
+        [mark] = [e for e in events
+                  if e.get("name") == "batch_dispatch"]
+        assert mark["ph"] == "i" and mark["s"] == "t"
+        assert mark["args"]["batch_images"] == 4
+
+    def test_zero_duration_interval_stays_complete_event(self):
+        # A queue_wait that dispatched instantly is still an interval,
+        # not a decision mark.
+        ctx = TraceContext(1, start=0.0)
+        wait = ctx.begin("queue_wait", 0.0, category="queue")
+        ctx.end(wait, 0.0)
+        ctx.close(0.01)
+        events = chrome_trace_events([ctx])
+        [e] = [e for e in events if e.get("name") == "queue_wait"]
+        assert e["ph"] == "X" and e["dur"] == 0
+
+    def test_unclosed_spans_skipped(self):
+        ctx = TraceContext(1, start=0.0)
+        ctx.begin("execute", 0.0)  # never ended (still in flight)
+        ctx.close(0.05)
+        events = chrome_trace_events([ctx])
+        assert not [e for e in events if e.get("name") == "execute"]
+
+
+class TestExportDeterminism:
+    def test_byte_identical_across_runs(self):
+        a = export_chrome_trace([_simple_trace(), _simple_trace(2, 0.2)])
+        b = export_chrome_trace([_simple_trace(), _simple_trace(2, 0.2)])
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_output_round_trips_json(self):
+        text = export_chrome_trace([_simple_trace()])
+        payload = json.loads(text)
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+
+
+class TestValidateChromeTrace:
+    def test_accepts_exporter_output(self):
+        text = export_chrome_trace([_simple_trace()])
+        payload = validate_chrome_trace(text)
+        assert len(payload["traceEvents"]) == 6
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_chrome_trace("{nope")
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace(json.dumps({"foo": []}))
+
+    def test_rejects_unknown_phase(self):
+        payload = {"traceEvents": [{"ph": "Z"}]}
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(json.dumps(payload))
+
+    def test_rejects_negative_duration(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "a", "cat": "c", "ts": 0, "dur": -1}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(json.dumps(payload))
+
+    def test_rejects_metadata_without_name(self):
+        payload = {"traceEvents": [
+            {"ph": "M", "name": "process_name", "args": {}}]}
+        with pytest.raises(ValueError, match="args.name"):
+            validate_chrome_trace(json.dumps(payload))
+
+
+class TestCriticalPath:
+    def test_gaps_book_to_untracked(self):
+        ctx = TraceContext(1, start=0.0)
+        span = ctx.begin("execute", 0.02)
+        ctx.end(span, 0.08)
+        ctx.close(0.1)
+        path = critical_path(ctx)
+        assert path["execute"] == pytest.approx(0.06)
+        assert path["untracked"] == pytest.approx(0.04)
+        assert sum(path.values()) == pytest.approx(ctx.latency)
+
+    def test_latest_started_covering_span_wins(self):
+        # A retry's queue wait overlaps the tail of the failed attempt:
+        # the stage the request most recently entered bounds progress.
+        ctx = TraceContext(1, start=0.0)
+        first = ctx.begin("execute", 0.0)
+        ctx.end(first, 0.06)
+        wait = ctx.begin("queue_wait", 0.04)
+        ctx.end(wait, 0.08)
+        ctx.close(0.08)
+        path = critical_path(ctx)
+        assert path["execute"] == pytest.approx(0.04)
+        assert path["queue_wait"] == pytest.approx(0.04)
+
+    def test_open_trace_rejected(self):
+        with pytest.raises(ValueError, match="open trace"):
+            critical_path(TraceContext(1))
+
+    def test_zero_latency_trace_is_empty(self):
+        ctx = TraceContext(1, start=0.5)
+        ctx.close(0.5, status="rejected")
+        assert critical_path(ctx) == {}
+
+    def test_instants_do_not_consume_time(self):
+        ctx = TraceContext(1, start=0.0)
+        span = ctx.begin("execute", 0.0)
+        ctx.end(span, 0.1)
+        ctx.instant("route", 0.05)
+        ctx.close(0.1)
+        assert critical_path(ctx) == {"execute": pytest.approx(0.1)}
+
+
+class TestCriticalPathSummary:
+    def _traces(self):
+        # Latencies 10ms..100ms: p95 witness is the 100ms trace.
+        out = []
+        for i in range(1, 11):
+            out.append(_simple_trace(trace_id=i, latency=0.01 * i))
+        return out
+
+    def test_quantile_witnesses(self):
+        summary = critical_path_summary(self._traces())
+        assert summary["p95"]["trace_id"] == 10
+        assert summary["p95"]["latency_seconds"] == pytest.approx(0.1)
+        assert summary["p50"]["trace_id"] == 5
+
+    def test_overall_aggregates_everything(self):
+        summary = critical_path_summary(self._traces())
+        total = sum(0.01 * i for i in range(1, 11))
+        assert summary["overall"]["latency_seconds"] == \
+            pytest.approx(total)
+
+    def test_tracked_fraction_meets_attribution_bar(self):
+        # Acceptance: >= 95% of the p95 witness attributed to named
+        # spans (the instrumented layers leave no untracked gaps).
+        summary = critical_path_summary(self._traces())
+        assert summary["p95"]["tracked_fraction"] >= 0.95
+
+    def test_no_closed_traces_rejected(self):
+        with pytest.raises(ValueError, match="no closed"):
+            critical_path_summary([TraceContext(1)])
+
+    def test_render_contains_stages_and_totals(self):
+        text = render_critical_path(
+            critical_path_summary(self._traces()))
+        lines = text.splitlines()
+        assert "p95" in lines[0] and "overall" in lines[0]
+        assert any(line.startswith("execute") for line in lines)
+        assert any(line.startswith("queue_wait") for line in lines)
+        assert lines[-2].startswith("total")
+        assert lines[-1].startswith("tracked")

@@ -5,3 +5,18 @@ set -eu
 cd "$(dirname "$0")/.."
 python -m compileall -q src
 PYTHONPATH=src python -m pytest -x -q
+# Trace smoke: a short traced continuum replay must exit 0 and the
+# written Perfetto file must pass the Chrome trace-event schema check.
+TRACE_OUT="$(mktemp -t harvest_trace.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"' EXIT
+PYTHONPATH=src python -m repro trace --duration 6 --step-start 1 \
+    --step-end 3 --step-rate 700 --base-rate 60 --seed 2 \
+    --out "$TRACE_OUT" > /dev/null
+PYTHONPATH=src python - "$TRACE_OUT" <<'EOF'
+import sys
+from repro.serving.trace_export import validate_chrome_trace
+
+payload = validate_chrome_trace(open(sys.argv[1]).read())
+assert payload["traceEvents"], "trace smoke produced no events"
+print(f"trace smoke ok: {len(payload['traceEvents'])} events")
+EOF
