@@ -166,6 +166,29 @@ def render_slo_alerts(alerts, config=None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_cache_table(summaries: list[dict]) -> str:
+    """Text table of per-tier cache behaviour.
+
+    ``summaries`` is :meth:`repro.cache.tiers.CacheHierarchy.summaries`
+    output: one row per tier with lookup counts, hit ratio, stale and
+    eviction counts, and byte residency against capacity.
+    """
+    if not summaries:
+        return "(no cache tiers)\n"
+    lines = [f"{'tier':<14s} {'lookups':>8s} {'hits':>7s} "
+             f"{'miss':>6s} {'stale':>6s} {'ratio':>6s} "
+             f"{'evict':>6s} {'entries':>7s} {'resident':>12s}"]
+    for row in summaries:
+        resident = (f"{row['used_bytes'] / 1024:.0f}/"
+                    f"{row['capacity_bytes'] / 1024:.0f}KiB")
+        lines.append(
+            f"{row['tier']:<14s} {row['lookups']:8d} {row['hits']:7d} "
+            f"{row['misses']:6d} {row['stale']:6d} "
+            f"{row['hit_ratio']:6.1%} {row['evictions']:6d} "
+            f"{row['entries']:7d} {resident:>12s}")
+    return "\n".join(lines) + "\n"
+
+
 def render_stage_breakdown(breakdown: dict[str, dict]) -> str:
     """Text table for a stage breakdown (tracing- or registry-built)."""
     lines = [f"{'stage':<16s} {'count':>7s} {'total s':>10s} "

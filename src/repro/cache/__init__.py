@@ -1,0 +1,41 @@
+"""Multi-tier content-aware caching for redundant field imagery.
+
+Fixed-mount agricultural cameras produce streams where consecutive
+frames are overwhelmingly redundant; this package fingerprints frames
+perceptually (:mod:`repro.cache.keys`), stores results and preprocessed
+tensors in byte-accounted, sim-clock stores with pluggable eviction and
+TinyLFU admission (:mod:`repro.cache.store`), and arranges them into
+the edge/cloud :class:`~repro.cache.tiers.CacheHierarchy` the serving
+and continuum layers consult (:mod:`repro.cache.tiers`).
+"""
+
+from repro.cache.keys import (
+    FrameFingerprint,
+    block_signature_bits,
+    dhash_bits,
+    fingerprint,
+    hamming,
+)
+from repro.cache.store import (
+    CacheEntry,
+    CacheStats,
+    CacheStore,
+    EvictionPolicy,
+    FIFOEviction,
+    FrequencySketch,
+    LRUEviction,
+)
+from repro.cache.tiers import (
+    CLOUD_TENSOR,
+    EDGE_RESULT,
+    CacheHierarchy,
+    CacheTier,
+)
+
+__all__ = [
+    "FrameFingerprint", "fingerprint", "dhash_bits",
+    "block_signature_bits", "hamming",
+    "CacheStore", "CacheEntry", "CacheStats", "EvictionPolicy",
+    "LRUEviction", "FIFOEviction", "FrequencySketch",
+    "CacheHierarchy", "CacheTier", "EDGE_RESULT", "CLOUD_TENSOR",
+]

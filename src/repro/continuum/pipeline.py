@@ -182,29 +182,56 @@ class ContinuumReplayer:
     :class:`~repro.scale.balancer.LoadBalancer` — for a balancer, wire
     each backend with :meth:`attach_backend` (replica factories should
     call it for autoscaled replicas too).
+
+    With a :class:`~repro.cache.tiers.CacheHierarchy` attached (and
+    requests carrying ``cache_key`` fingerprints), the edge result tier
+    is consulted on entry: a hit bypasses edge preprocessing, the
+    uplink, and the cloud entirely (``cache_lookup`` instant +
+    ``cache_hit`` span, answered after ``cache_lookup_time``), and every
+    successfully delivered cloud result is inserted for the frames that
+    follow.  Requests without a fingerprint, or a replayer without a
+    cache, behave exactly as before.
     """
 
     def __init__(self, target, link: NetworkLink,
                  edge_preprocess_time: Callable[[int], float],
                  image_bytes: float, result_bytes: float = 1024.0,
                  offload=None, registry=None,
-                 latency_buckets=None):
+                 latency_buckets=None, cache=None,
+                 cache_lookup_time: float = 0.0002):
         if image_bytes <= 0:
             raise ValueError("image_bytes must be positive")
         if result_bytes < 0:
             raise ValueError("result_bytes must be >= 0")
+        if cache_lookup_time < 0:
+            raise ValueError("cache_lookup_time must be >= 0")
         self.target = target
         self.link = link
         self.edge_preprocess_time = edge_preprocess_time
         self.image_bytes = image_bytes
         self.result_bytes = result_bytes
         self.offload = offload
+        #: Optional :class:`~repro.cache.tiers.CacheHierarchy`.  With an
+        #: edge result tier, a fingerprinted request that hits answers
+        #: locally in ``cache_lookup_time`` — no edge preprocessing, no
+        #: uplink, no cloud serving path.
+        self.cache = cache
+        self.cache_lookup_time = cache_lookup_time
+        #: Uplink payload bytes never sent thanks to edge cache hits.
+        self.uplink_bytes_saved = 0.0
         self._next_trace_id = itertools.count(1)
         #: Every trace context, in submission order.
         self.traces: list[TraceContext] = []
         #: Responses served locally on the edge (offload policy hits).
         self.edge_responses: list[Response] = []
+        #: Responses answered from the edge result cache.
+        self.cache_responses: list[Response] = []
         self._h_latency = self._c_requests = None
+        self._c_uplink_saved = None
+        if registry is not None:
+            self._c_uplink_saved = registry.counter(
+                "cache_uplink_bytes_saved_total",
+                "Uplink payload bytes avoided by edge cache hits.")
         if registry is not None:
             from repro.serving.observability import DEFAULT_BUCKETS
             self._h_latency = registry.histogram(
@@ -242,6 +269,14 @@ class ContinuumReplayer:
         request.trace = ctx
         request.arrival_time = sim.now
         self.traces.append(ctx)
+        if self.cache is not None and request.cache_key is not None:
+            from repro.cache.tiers import EDGE_RESULT
+
+            result = self.cache.lookup(EDGE_RESULT, request.cache_key,
+                                       trace=ctx, now=sim.now)
+            if result is not None:
+                self._serve_from_cache(request)
+                return
         placement = "cloud"
         if self.offload is not None:
             payload = self.image_bytes * request.num_images
@@ -261,6 +296,32 @@ class ContinuumReplayer:
         else:
             sim.schedule(duration,
                          lambda: self._uplink(request, pre_span))
+
+    def _serve_from_cache(self, request: Request) -> None:
+        """Answer an edge-cache hit locally: no uplink, no cloud.
+
+        The hit still produces a complete trace (a ``cache_hit`` span
+        covering the lookup) and a registry latency sample, so the
+        critical-path analyzer and the stage breakdown see cache-served
+        requests instead of silent gaps.
+        """
+        ctx = request.trace
+        ctx.baggage["placement"] = "edge_cache"
+        span = ctx.begin("cache_hit", self.sim.now, category="cache",
+                         tier="edge_result", images=request.num_images)
+        saved = self.image_bytes * request.num_images
+        self.uplink_bytes_saved += saved
+        if self._c_uplink_saved is not None:
+            self._c_uplink_saved.inc(saved)
+
+        def served() -> None:
+            ctx.end(span, self.sim.now)
+            ctx.close(self.sim.now, status="ok")
+            self.cache_responses.append(
+                Response(request, self.sim.now, status="ok"))
+            self._finalize(ctx)
+
+        self.sim.schedule(self.cache_lookup_time, served)
 
     def _edge_serve(self, request: Request, pre_span) -> None:
         ctx = request.trace
@@ -310,6 +371,17 @@ class ContinuumReplayer:
 
         def delivered() -> None:
             ctx.close(self.sim.now, status=response.status)
+            if (self.cache is not None and response.status == "ok"
+                    and response.request.cache_key is not None):
+                from repro.cache.tiers import EDGE_RESULT
+
+                # A delivered result becomes reusable for every
+                # near-identical frame that follows (bytes: the stored
+                # result payload, floored so 0-byte results still key).
+                self.cache.insert(EDGE_RESULT,
+                                  response.request.cache_key,
+                                  value=response,
+                                  size_bytes=max(1.0, self.result_bytes))
             self._finalize(ctx)
 
         self.link.schedule_transfer(self.sim, self.result_bytes,

@@ -82,6 +82,51 @@ def synth_crsa_frame(width: int = 3840, height: int = 2160,
     return np.clip(frame, 0, 255).astype(np.uint8)
 
 
+def synth_frame_sequence(spec: DatasetSpec, n: int,
+                         scene_change_rate: float,
+                         rng: np.random.Generator,
+                         width: int = 320, height: int = 180,
+                         jitter: float = 3.0) -> list[np.ndarray]:
+    """Temporally correlated frames from a fixed-mount field camera.
+
+    The CRSA raw-capture scenario: consecutive frames are jittered
+    copies of the current *scene* (per-pixel sensor noise of amplitude
+    ``jitter``), and with probability ``scene_change_rate`` per frame
+    the scene cuts to a freshly generated one (a vehicle passing, the
+    camera panning, dawn).  The expected number of distinct scenes is
+    ``1 + scene_change_rate * (n - 1)``, so cache hit ratios decay
+    monotonically as the rate rises.
+
+    ``spec`` selects the frame generator: datasets with
+    dataset-specific preprocessing (CRSA) get perspective-grid frames,
+    others get plain field imagery.  Frames are ``(height, width, 3)``
+    uint8; the defaults are a 6x-downscaled 4K capture so fingerprinting
+    stays cheap in tests and the CLI.
+    """
+    if n < 1:
+        raise ValueError("need at least one frame")
+    if not 0.0 <= scene_change_rate <= 1.0:
+        raise ValueError("scene_change_rate must be in [0, 1]")
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
+
+    def new_scene() -> np.ndarray:
+        child = np.random.default_rng(rng.integers(2 ** 32))
+        if spec.dataset_specific_preprocessing:
+            return synth_crsa_frame(width, height, child).astype(
+                np.float32)
+        return synth_image(width, height, child).astype(np.float32)
+
+    scene = new_scene()
+    frames: list[np.ndarray] = []
+    for index in range(n):
+        if index > 0 and rng.random() < scene_change_rate:
+            scene = new_scene()
+        noisy = scene + rng.uniform(-jitter, jitter, scene.shape)
+        frames.append(np.clip(noisy, 0, 255).astype(np.uint8))
+    return frames
+
+
 def synth_labeled_images(n: int, classes: int, image_size: int,
                          rng: np.random.Generator,
                          signal_strength: float = 1.0,

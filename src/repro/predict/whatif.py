@@ -5,6 +5,11 @@ deployment" — :func:`define_platform` turns datasheet numbers into a
 :class:`PlatformSpec` (practical FLOPS estimated from the tier's observed
 efficiency when no measurement exists), and :func:`preview_platform` runs
 the whole model zoo through the predictor on it.
+
+:func:`cache_effective_qps` extends the same pre-deployment question to
+the caching subsystem (:mod:`repro.cache`): what request rate does the
+same hardware sustain once a cache tier with a given hit ratio
+short-circuits a given fraction of per-request cost?
 """
 
 from __future__ import annotations
@@ -80,6 +85,57 @@ def define_platform(
         power_watts=power_watts,
         usable_memory_fraction=usable,
     )
+
+
+def cache_effective_qps(base_qps: float, hit_ratio: float,
+                        stage_fraction: float) -> float:
+    """Sustainable QPS once a cache absorbs part of every request.
+
+    A cache tier with hit ratio *h* short-circuiting a stage that is
+    fraction *f* of each request's serving cost leaves ``1 - h*f`` of
+    the original per-request work, so the same hardware sustains
+
+        ``effective_qps = base_qps / (1 - h * f)``
+
+    An edge *result* cache short-circuits the whole serving path
+    (``stage_fraction=1.0``: at h=0.8 one replica set serves 5x the
+    frames); a cloud *tensor* cache removes only the preprocess share
+    (CRSA's CPU-bound warp can be >0.5 of the Fig. 8 budget).  A fully
+    absorbed workload (``h*f == 1``) returns ``inf``.
+    """
+    if base_qps <= 0:
+        raise ValueError("base_qps must be positive")
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ValueError("hit_ratio must be in [0, 1]")
+    if not 0.0 <= stage_fraction <= 1.0:
+        raise ValueError("stage_fraction must be in [0, 1]")
+    remaining = 1.0 - hit_ratio * stage_fraction
+    if remaining <= 0.0:
+        return float("inf")
+    return base_qps / remaining
+
+
+def preview_cache_capacity(base_qps: float, stage_fraction: float,
+                           hit_ratios: tuple[float, ...] = (
+                               0.0, 0.25, 0.5, 0.8, 0.9, 0.95),
+                           ) -> list[dict]:
+    """The "do we need more replicas or a cache" table.
+
+    One row per candidate hit ratio: the effective sustainable QPS and
+    the capacity multiplier versus the uncached baseline, for a cache
+    short-circuiting ``stage_fraction`` of per-request cost.
+    """
+    rows = []
+    for hit_ratio in hit_ratios:
+        effective = cache_effective_qps(base_qps, hit_ratio,
+                                        stage_fraction)
+        rows.append({
+            "hit_ratio": hit_ratio,
+            "stage_fraction": stage_fraction,
+            "effective_qps": effective,
+            "capacity_multiplier": effective / base_qps,
+        })
+    return rows
 
 
 def preview_platform(platform: PlatformSpec,

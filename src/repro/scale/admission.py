@@ -39,6 +39,11 @@ class AdmissionConfig:
     #: before the rate limit bites.
     burst: int = 1
     max_queued_requests: int = 0
+    #: Count cache hits outside the token bucket: a request the cache
+    #: hierarchy will answer without inference does not consume the
+    #: work budget the bucket meters.  Queue-length shedding still
+    #: applies (a hit still occupies the front door briefly).
+    exempt_cache_hits: bool = False
 
     def __post_init__(self) -> None:
         if self.rate_per_second < 0:
@@ -109,18 +114,24 @@ class AdmissionController:
                         if config.rate_per_second > 0 else None)
 
     def admit(self, now: float, queued_requests: int,
-              trace=None) -> AdmissionDecision:
+              trace=None, cache_hit: bool = False) -> AdmissionDecision:
         """Decide one arrival given the backlog behind the balancer.
 
         With a :class:`~repro.serving.tracectx.TraceContext` passed, the
         verdict is recorded as an instant ``admission`` event (shed
         attempts stay visible in the trace even though they never reach
-        a backend).
+        a backend).  ``cache_hit`` marks arrivals the cache hierarchy
+        will answer without inference; with
+        :attr:`AdmissionConfig.exempt_cache_hits` set they bypass the
+        token bucket (no token consumed), so cached traffic never
+        starves the budget metering real backend work.
         """
+        exempt = cache_hit and self.config.exempt_cache_hits
         limit = self.config.max_queued_requests
         if limit and queued_requests >= limit:
             decision = AdmissionDecision(False, "queue")
-        elif self._bucket is not None and not self._bucket.try_take(now):
+        elif (self._bucket is not None and not exempt
+                and not self._bucket.try_take(now)):
             decision = AdmissionDecision(False, "rate")
         else:
             decision = AdmissionDecision(True, "ok")
@@ -128,5 +139,6 @@ class AdmissionController:
             trace.instant("admission", now, category="admission",
                           admitted=decision.admitted,
                           reason=decision.reason,
-                          queued_requests=queued_requests)
+                          queued_requests=queued_requests,
+                          cache_exempt=exempt)
         return decision

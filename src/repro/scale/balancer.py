@@ -108,7 +108,8 @@ class LoadBalancer:
     def __init__(self, backends: list[TritonLikeServer],
                  policy: BalancingPolicy | None = None,
                  registry: MetricsRegistry | None = None,
-                 admission: AdmissionController | None = None):
+                 admission: AdmissionController | None = None,
+                 cache=None):
         if not backends:
             raise ValueError("need at least one backend")
         sims = {id(s.sim) for s in backends}
@@ -117,6 +118,12 @@ class LoadBalancer:
         self.backends = list(backends)
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.admission = admission
+        #: Optional :class:`~repro.cache.tiers.CacheHierarchy` consulted
+        #: (non-mutating peek at the cloud tensor tier) to flag arrivals
+        #: the cache will serve, so admission control can count them
+        #: outside the token bucket (see
+        #: :attr:`~repro.scale.admission.AdmissionConfig.exempt_cache_hits`).
+        self.cache = cache
         self.routed: list[int] = []
         #: Responses already handed out by :meth:`run`/:meth:`collect`.
         self.completed: list[Response] = []
@@ -236,9 +243,16 @@ class LoadBalancer:
         :meth:`run`/:meth:`collect`) and never reaches a backend.
         """
         if self.admission is not None:
+            cache_hit = False
+            if self.cache is not None and request.cache_key is not None:
+                from repro.cache.tiers import CLOUD_TENSOR
+
+                cache_hit = self.cache.peek(CLOUD_TENSOR,
+                                            request.cache_key)
             decision = self.admission.admit(self.sim.now,
                                             self.queue_depth(),
-                                            trace=request.trace)
+                                            trace=request.trace,
+                                            cache_hit=cache_hit)
             if not decision.admitted:
                 self._c_shed.inc(reason=decision.reason)
                 request.arrival_time = self.sim.now

@@ -33,6 +33,10 @@ class Request:
     #: instrumentation point is a no-op and the request behaves exactly
     #: as before.
     trace: object | None = None
+    #: Optional perceptual fingerprint of the request's frame (a
+    #: :class:`~repro.cache.keys.FrameFingerprint`).  None = caching
+    #: off for this request: every cache consultation point is a no-op.
+    cache_key: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_images < 1:

@@ -100,6 +100,10 @@ class TritonLikeServer:
         #: finishes everything already queued or executing (the
         #: autoscaler's graceful scale-in path).
         self.draining = False
+        #: Optional :class:`~repro.cache.tiers.CacheHierarchy` holding
+        #: the cloud preprocessed-tensor tier (see :meth:`attach_cache`).
+        self.cache = None
+        self._cache_tensor_bytes = 0.0
         self.responses: list[Response] = []
         self._on_response: Callable[[Response], None] | None = None
         m = self.metrics
@@ -205,6 +209,43 @@ class TritonLikeServer:
         """Register a completion callback (e.g. closed-loop clients)."""
         self._on_response = callback
 
+    def attach_cache(self, cache, tensor_bytes: float = 602112.0) -> None:
+        """Enable the cloud preprocessed-tensor cache on this server.
+
+        ``cache`` is a :class:`~repro.cache.tiers.CacheHierarchy`; its
+        ``cloud_tensor`` tier is consulted when a fingerprinted request
+        (``request.cache_key``) routes through a preprocess stage — a
+        hit enqueues straight into the consumer model(s), skipping the
+        preprocess queue and execution, and every completed preprocess
+        output is inserted for the frames that follow.
+        ``tensor_bytes`` is the per-image size charged for a cached
+        tensor (default: a 224x224x3 float32 activation).
+        """
+        if tensor_bytes <= 0:
+            raise ValueError("tensor_bytes must be positive")
+        self.cache = cache
+        self._cache_tensor_bytes = float(tensor_bytes)
+
+    def _cache_lookup_tensor(self, request: Request) -> bool:
+        """Whether the cloud tensor tier already holds this frame."""
+        if self.cache is None or request.cache_key is None:
+            return False
+        from repro.cache.tiers import CLOUD_TENSOR
+
+        value = self.cache.lookup(CLOUD_TENSOR, request.cache_key,
+                                  trace=request.trace, now=self.sim.now)
+        return value is not None
+
+    def _cache_insert_tensor(self, request: Request) -> None:
+        """Make a completed preprocess output reusable."""
+        if self.cache is None or request.cache_key is None:
+            return
+        from repro.cache.tiers import CLOUD_TENSOR
+
+        self.cache.insert(
+            CLOUD_TENSOR, request.cache_key, value=request.request_id,
+            size_bytes=self._cache_tensor_bytes * request.num_images)
+
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
@@ -230,7 +271,14 @@ class TritonLikeServer:
                               model=request.model_name)
         if request.model_name in self._ensembles:
             ensemble = self._ensembles[request.model_name]
-            self._enqueue(ensemble.preprocess_model, request)
+            if self._cache_lookup_tensor(request):
+                # Shared preprocessing already cached: fan out now.
+                self._pending_fanout[request.request_id] = len(
+                    ensemble.consumers)
+                for consumer in ensemble.consumers:
+                    self._enqueue(consumer, request)
+            else:
+                self._enqueue(ensemble.preprocess_model, request)
             return
         if request.model_name not in self._models:
             raise KeyError(
@@ -239,6 +287,9 @@ class TritonLikeServer:
                 f"{sorted(self._ensembles)}")
         config = self._models[request.model_name]
         first_stage = config.preprocess_model or request.model_name
+        if (config.preprocess_model is not None
+                and self._cache_lookup_tensor(request)):
+            first_stage = request.model_name
         self._enqueue(first_stage, request)
 
     def _enqueue(self, stage: str, request: Request) -> None:
@@ -324,6 +375,7 @@ class TritonLikeServer:
         if ensemble is not None:
             if stage == ensemble.preprocess_model:
                 # Shared preprocessing done: fan out to every consumer.
+                self._cache_insert_tensor(request)
                 self._pending_fanout[request.request_id] = len(
                     ensemble.consumers)
                 return list(ensemble.consumers)
@@ -345,6 +397,7 @@ class TritonLikeServer:
         config = self._models[request.model_name]
         if (config.preprocess_model is not None
                 and stage == config.preprocess_model):
+            self._cache_insert_tensor(request)
             return [request.model_name]
         self._respond(request)
         return []

@@ -83,7 +83,7 @@ def chrome_trace_events(traces: list[TraceContext],
 #: duration (e.g. a batch dispatched the instant it was enqueued).
 _INTERVAL_NAMES = frozenset({
     "request", "queue_wait", "execute", "uplink", "downlink",
-    "edge_preprocess", "edge_inference",
+    "edge_preprocess", "edge_inference", "cache_hit",
 })
 
 

@@ -31,6 +31,8 @@ name               category    emitted by
 ``route``          balancer    :class:`~repro.scale.balancer.LoadBalancer` (instant)
 ``batch_dispatch``  queue      batcher, at dispatch (instant, batch size)
 ``offload_decision``  continuum  :class:`~repro.continuum.offload.OffloadPolicy` (instant)
+``cache_lookup``   cache      :class:`~repro.cache.tiers.CacheTier` (instant, tier + outcome)
+``cache_hit``      cache      edge-cache serve path (covers the lookup-to-answer interval)
 =================  ==========  =========================================
 
 Retried executions carry an ``attempt`` arg (and the legacy ``@n`` stage

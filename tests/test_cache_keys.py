@@ -1,0 +1,167 @@
+"""Tests for perceptual frame fingerprinting (repro.cache.keys)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.keys import (
+    FrameFingerprint,
+    block_means,
+    block_signature_bits,
+    dhash_bits,
+    fingerprint,
+    hamming,
+    luma,
+)
+from repro.data.datasets import get_dataset
+from repro.data.synthetic import synth_frame_sequence
+
+
+def _frame(seed: int = 0, width: int = 64, height: int = 48):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+
+
+class TestLuma:
+    def test_rgb_uses_rec601_weights(self):
+        frame = np.zeros((2, 2, 3), dtype=np.uint8)
+        frame[..., 1] = 100  # pure green
+        plane = luma(frame)
+        assert plane == pytest.approx(np.full((2, 2), 58.7))
+
+    def test_grayscale_passes_through(self):
+        plane = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert np.array_equal(luma(plane), plane)
+
+    def test_single_channel_squeezes(self):
+        frame = np.ones((3, 4, 1), dtype=np.uint8) * 7
+        assert np.array_equal(luma(frame), np.full((3, 4), 7.0))
+
+    def test_other_channel_counts_average(self):
+        frame = np.stack([np.zeros((2, 2)), np.full((2, 2), 10.0)],
+                         axis=2)
+        assert np.array_equal(luma(frame), np.full((2, 2), 5.0))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="expected"):
+            luma(np.zeros(8))
+
+
+class TestBlockMeans:
+    def test_exact_partition(self):
+        plane = np.arange(16, dtype=np.float64).reshape(4, 4)
+        means = block_means(plane, 2, 2)
+        assert np.allclose(means, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_non_divisible_resolution(self):
+        # 5x7 into a 2x3 grid: every cell defined, total mean preserved
+        # by area weighting of the linspace edges.
+        plane = np.arange(35, dtype=np.float64).reshape(5, 7)
+        means = block_means(plane, 2, 3)
+        assert means.shape == (2, 3)
+        assert np.all(np.diff(means, axis=1) > 0)
+
+    def test_input_smaller_than_grid_repeats_pixels(self):
+        plane = np.array([[1.0, 2.0]])
+        means = block_means(plane, 4, 4)
+        assert means.shape == (4, 4)
+        assert set(np.unique(means)) == {1.0, 2.0}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            block_means(np.zeros((2, 2, 3)), 2, 2)
+
+
+class TestDhash:
+    def test_all_black_frame_hashes_to_zero(self):
+        assert dhash_bits(np.zeros((32, 32, 3), dtype=np.uint8)) == 0
+
+    def test_uniform_frames_collide_regardless_of_level(self):
+        black = np.zeros((24, 24), dtype=np.uint8)
+        white = np.full((24, 24), 255, dtype=np.uint8)
+        assert dhash_bits(black) == dhash_bits(white)
+
+    def test_brightness_shift_is_invariant(self):
+        frame = _frame(3).astype(np.int64)
+        shifted = np.clip(frame + 20, 0, 255)
+        assert dhash_bits(frame) == dhash_bits(shifted)
+
+    def test_gradient_produces_all_ones(self):
+        plane = np.tile(np.arange(64, dtype=np.float64), (64, 1))
+        assert dhash_bits(plane, hash_size=4) == (1 << 16) - 1
+
+    def test_rejects_tiny_hash_size(self):
+        with pytest.raises(ValueError, match="hash_size"):
+            dhash_bits(_frame(), hash_size=1)
+
+
+class TestFingerprint:
+    def test_non_224_resolutions_share_geometry(self):
+        # A 4K frame and a thumbnail of the same scene still compare:
+        # fingerprints depend on the grid, not the input resolution.
+        a = fingerprint(_frame(1, width=640, height=360))
+        b = fingerprint(_frame(1, width=64, height=36))
+        assert a.nbits == b.nbits == 80
+        assert a.distance(b) <= a.nbits
+
+    def test_grayscale_frame_fingerprints(self):
+        fp = fingerprint(_frame(2)[..., 0])
+        assert isinstance(fp, FrameFingerprint)
+        assert fp.packed >> 16 == fp.dhash
+
+    def test_threshold_zero_is_exact_match(self):
+        fp = fingerprint(_frame(4))
+        same = fingerprint(_frame(4))
+        off_by_one = FrameFingerprint(fp.dhash ^ 1, fp.blocks)
+        assert fp.matches(same, threshold=0)
+        assert not fp.matches(off_by_one, threshold=0)
+        assert fp.matches(off_by_one, threshold=1)
+
+    def test_negative_threshold_rejected(self):
+        fp = fingerprint(_frame())
+        with pytest.raises(ValueError, match="threshold"):
+            fp.matches(fp, threshold=-1)
+
+    def test_geometry_mismatch_rejected(self):
+        a = fingerprint(_frame(), hash_size=8)
+        b = fingerprint(_frame(), hash_size=4)
+        with pytest.raises(ValueError, match="geometry"):
+            a.distance(b)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometry"):
+            FrameFingerprint(0, 0, hash_size=1)
+
+    def test_hamming_counts_bits(self):
+        assert hamming(0b1010, 0b0110) == 2
+
+    def test_block_signature_balances_bits(self):
+        # Half-dark half-bright frame: exactly half the cells exceed
+        # the global mean.
+        plane = np.zeros((64, 64))
+        plane[:, 32:] = 200.0
+        bits = block_signature_bits(plane, block_grid=4)
+        assert bin(bits).count("1") == 8
+
+    def test_deterministic_across_calls(self):
+        frame = _frame(9)
+        assert fingerprint(frame) == fingerprint(frame)
+
+
+class TestSceneDiscrimination:
+    """Jittered frames must match; scene cuts must not."""
+
+    def test_sensor_noise_stays_within_small_distance(self):
+        spec = get_dataset("crsa")
+        rng = np.random.default_rng(7)
+        frames = synth_frame_sequence(spec, 6, 0.0, rng)
+        base = fingerprint(frames[0])
+        for frame in frames[1:]:
+            assert base.distance(fingerprint(frame)) <= 6
+
+    def test_scene_cut_exceeds_threshold(self):
+        spec = get_dataset("crsa")
+        rng = np.random.default_rng(8)
+        frames = synth_frame_sequence(spec, 40, 1.0, rng)
+        distances = [fingerprint(frames[i]).distance(
+            fingerprint(frames[i + 1])) for i in range(5)]
+        assert min(distances) > 8

@@ -1,0 +1,158 @@
+"""Tests for the two-tier cache hierarchy (repro.cache.tiers)."""
+
+import pytest
+
+from repro.cache.keys import FrameFingerprint
+from repro.cache.store import CacheStore
+from repro.cache.tiers import (
+    CLOUD_TENSOR,
+    EDGE_RESULT,
+    CacheHierarchy,
+    CacheTier,
+)
+from repro.serving.observability import MetricsRegistry
+from repro.serving.tracectx import TraceContext
+
+
+def fp(bits: int) -> FrameFingerprint:
+    return FrameFingerprint(dhash=bits, blocks=0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tier(name=EDGE_RESULT, stage="uplink", registry=None,
+              clock=None, **store_kwargs):
+    store = CacheStore(1024, clock or FakeClock(), **store_kwargs)
+    return CacheTier(name, store, stage=stage, registry=registry)
+
+
+class TestCacheTier:
+    def test_lookup_outcomes_counted_in_registry(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tier = make_tier(registry=registry, clock=clock,
+                         ttl_seconds=1.0)
+        tier.insert(fp(1), "v", 10)
+        assert tier.lookup(fp(1)) == "v"
+        assert tier.lookup(fp(2)) is None
+        clock.now = 2.0
+        assert tier.lookup(fp(1)) is None  # expired -> stale
+        requests = registry.get("cache_requests_total")
+        assert requests.value(tier=EDGE_RESULT, outcome="hit") == 1
+        assert requests.value(tier=EDGE_RESULT, outcome="miss") == 1
+        assert requests.value(tier=EDGE_RESULT, outcome="stale") == 1
+
+    def test_gauges_mirror_residency(self):
+        registry = MetricsRegistry()
+        tier = make_tier(registry=registry)
+        tier.insert(fp(1), "v", 100)
+        assert registry.get("cache_bytes").value(
+            tier=EDGE_RESULT) == 100
+        assert registry.get("cache_entries").value(
+            tier=EDGE_RESULT) == 1
+
+    def test_evictions_counted(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        store = CacheStore(20, clock)
+        tier = CacheTier(EDGE_RESULT, store, stage="uplink",
+                         registry=registry)
+        tier.insert(fp(1), "a", 10)
+        tier.insert(fp(2), "b", 10)
+        tier.insert(fp(3), "c", 10)
+        assert registry.get("cache_evictions_total").value(
+            tier=EDGE_RESULT) == 1
+
+    def test_lookup_emits_trace_instant(self):
+        tier = make_tier()
+        tier.insert(fp(1), "v", 10)
+        ctx = TraceContext(1, start=0.0)
+        tier.lookup(fp(1), trace=ctx, now=0.5)
+        tier.lookup(fp(9), trace=ctx, now=0.6)
+        marks = ctx.find("cache_lookup")
+        assert [m.args["outcome"] for m in marks] == ["hit", "miss"]
+        assert marks[0].args["tier"] == EDGE_RESULT
+        assert marks[0].start == 0.5 and marks[0].closed
+
+    def test_hit_ratio_and_summary(self):
+        tier = make_tier(stage="uplink+serving")
+        tier.insert(fp(1), "v", 10)
+        tier.lookup(fp(1))
+        tier.lookup(fp(2))
+        assert tier.hit_ratio == 0.5
+        summary = tier.summary()
+        assert summary["tier"] == EDGE_RESULT
+        assert summary["stage"] == "uplink+serving"
+        assert summary["lookups"] == 2 and summary["hits"] == 1
+        assert summary["entries"] == 1 and summary["used_bytes"] == 10
+
+    def test_works_without_registry(self):
+        tier = make_tier(registry=None)
+        tier.insert(fp(1), "v", 10)
+        assert tier.lookup(fp(1)) == "v"
+
+
+class TestCacheHierarchy:
+    def make_hierarchy(self):
+        return CacheHierarchy(
+            edge=make_tier(EDGE_RESULT, stage="uplink"),
+            cloud=make_tier(CLOUD_TENSOR, stage="preprocess"))
+
+    def test_tiers_addressed_by_name(self):
+        h = self.make_hierarchy()
+        assert h.edge.name == EDGE_RESULT
+        assert h.cloud.name == CLOUD_TENSOR
+        assert h.tier(EDGE_RESULT) is h.edge
+
+    def test_unknown_tier_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown cache tier"):
+            self.make_hierarchy().tier("l3")
+
+    def test_missing_tier_is_silent_miss(self):
+        h = CacheHierarchy(edge=make_tier())
+        assert h.lookup(CLOUD_TENSOR, fp(1)) is None
+        assert not h.insert(CLOUD_TENSOR, fp(1), "v", 10)
+        assert not h.peek(CLOUD_TENSOR, fp(1))
+
+    def test_missing_fingerprint_is_silent_miss(self):
+        h = self.make_hierarchy()
+        assert h.lookup(EDGE_RESULT, None) is None
+        assert not h.insert(EDGE_RESULT, None, "v", 10)
+
+    def test_lookup_and_insert_route_to_the_named_tier(self):
+        h = self.make_hierarchy()
+        h.insert(EDGE_RESULT, fp(1), "result", 10)
+        h.insert(CLOUD_TENSOR, fp(1), "tensor", 10)
+        assert h.lookup(EDGE_RESULT, fp(1)) == "result"
+        assert h.lookup(CLOUD_TENSOR, fp(1)) == "tensor"
+
+    def test_summaries_edge_first(self):
+        h = self.make_hierarchy()
+        names = [row["tier"] for row in h.summaries()]
+        assert names == [EDGE_RESULT, CLOUD_TENSOR]
+
+    def test_summaries_skip_disabled_tiers(self):
+        h = CacheHierarchy(cloud=make_tier(CLOUD_TENSOR,
+                                           stage="preprocess"))
+        assert [row["tier"] for row in h.summaries()] == [CLOUD_TENSOR]
+
+
+class TestExportedMetrics:
+    def test_scrape_carries_cache_series(self):
+        from repro.serving.exporter import export_registry
+
+        registry = MetricsRegistry()
+        tier = make_tier(registry=registry)
+        tier.insert(fp(1), "v", 10)
+        tier.lookup(fp(1))
+        text = export_registry(registry)
+        assert 'cache_requests_total{outcome="hit"' in text \
+            or 'cache_requests_total{tier=' in text
+        assert "cache_bytes" in text
+        assert "cache_entries" in text

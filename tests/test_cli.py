@@ -171,6 +171,71 @@ class TestTrace:
         assert "error" in capsys.readouterr().err
 
 
+class TestCache:
+    FAST = ["cache", "--frames", "80", "--rate", "20",
+            "--scene-change-rates", "0.05", "--seed", "1"]
+
+    def test_end_to_end_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "== scene change rate 0.05 ==" in out
+        assert "edge_result" in out and "cloud_tensor" in out
+        assert "p95 latency" in out
+        assert "uplink bytes saved" in out
+
+    def test_hit_ratio_and_p95_meet_acceptance_floor(self, capsys,
+                                                     tmp_path):
+        # Acceptance: at scene_change_rate=0.05 the edge tier absorbs
+        # >= 80% of lookups, saves uplink bytes, and beats the
+        # cache-disabled p95.
+        import json
+
+        out_file = tmp_path / "cache.json"
+        args = ["cache", "--scene-change-rates", "0.05",
+                "--out", str(out_file)]
+        assert main(args) == 0
+        capsys.readouterr()
+        [row] = json.loads(out_file.read_text())["rates"]
+        assert row["edge_hit_ratio"] >= 0.8
+        assert row["uplink_bytes_saved"] > 0
+        assert row["cached_p95_ms"] < row["uncached_p95_ms"]
+
+    def test_output_is_deterministic_across_runs(self, capsys,
+                                                 tmp_path):
+        # Acceptance: two identical invocations produce byte-identical
+        # stdout AND byte-identical JSON.
+        out_file = tmp_path / "cache.json"
+        args = self.FAST + ["--out", str(out_file)]
+        assert main(args) == 0
+        first_stdout = capsys.readouterr().out
+        first_json = out_file.read_bytes()
+        assert main(args) == 0
+        assert capsys.readouterr().out == first_stdout
+        assert out_file.read_bytes() == first_json
+
+    def test_hit_ratio_decays_with_scene_change_rate(self, capsys,
+                                                     tmp_path):
+        import json
+
+        out_file = tmp_path / "cache.json"
+        args = ["cache", "--frames", "80", "--seed", "1",
+                "--scene-change-rates", "0.0,0.2,0.8",
+                "--out", str(out_file)]
+        assert main(args) == 0
+        capsys.readouterr()
+        rows = json.loads(out_file.read_text())["rates"]
+        ratios = [row["edge_hit_ratio"] for row in rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_empty_rates_is_an_error_exit(self, capsys):
+        assert main(["cache", "--scene-change-rates", " "]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_out_of_range_rate_is_an_error_exit(self, capsys):
+        assert main(["cache", "--scene-change-rates", "1.5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBacktest:
     def test_prints_errors(self, capsys):
         assert main(["backtest", "--platform", "v100",

@@ -7,6 +7,7 @@ from repro.data.datasets import get_dataset
 from repro.data.synthetic import (
     SyntheticSampler,
     synth_crsa_frame,
+    synth_frame_sequence,
     synth_image,
 )
 
@@ -97,3 +98,85 @@ class TestSyntheticSampler:
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
             SyntheticSampler(get_dataset("crsa"), scale=0.0)
+
+
+class TestSynthFrameSequence:
+    def test_shape_dtype_and_count(self):
+        spec = get_dataset("crsa")
+        frames = synth_frame_sequence(spec, 5, 0.0,
+                                      np.random.default_rng(0),
+                                      width=64, height=48)
+        assert len(frames) == 5
+        for frame in frames:
+            assert frame.shape == (48, 64, 3)
+            assert frame.dtype == np.uint8
+
+    def test_zero_rate_keeps_one_scene(self):
+        spec = get_dataset("crsa")
+        frames = synth_frame_sequence(spec, 8, 0.0,
+                                      np.random.default_rng(1),
+                                      width=64, height=48, jitter=2.0)
+        base = frames[0].astype(np.int64)
+        for frame in frames[1:]:
+            delta = np.abs(frame.astype(np.int64) - base)
+            assert delta.mean() < 8.0  # only sensor noise apart
+
+    def test_unit_rate_cuts_every_frame(self):
+        spec = get_dataset("crsa")
+        frames = synth_frame_sequence(spec, 6, 1.0,
+                                      np.random.default_rng(2),
+                                      width=64, height=48)
+        deltas = [np.abs(frames[i].astype(np.int64)
+                         - frames[i + 1].astype(np.int64)).mean()
+                  for i in range(5)]
+        assert min(deltas) > 10.0
+
+    def test_higher_rate_means_more_distinct_scenes(self):
+        from repro.cache.keys import fingerprint
+
+        spec = get_dataset("crsa")
+
+        def distinct(rate):
+            frames = synth_frame_sequence(spec, 60, rate,
+                                          np.random.default_rng(3),
+                                          width=64, height=48)
+            kept = []
+            for frame in frames:
+                fp = fingerprint(frame)
+                if not any(fp.distance(seen) <= 8 for seen in kept):
+                    kept.append(fp)
+            return len(kept)
+
+        assert distinct(0.0) <= distinct(0.05) <= distinct(0.5)
+
+    def test_dataset_selects_frame_generator(self):
+        # CRSA scenes carry the perspective grid's dark-green rows;
+        # plain field imagery does not.
+        crsa = synth_frame_sequence(get_dataset("crsa"), 1, 0.0,
+                                    np.random.default_rng(4),
+                                    width=96, height=64, jitter=0.0)[0]
+        plain = synth_frame_sequence(get_dataset("plant_village"), 1,
+                                     0.0, np.random.default_rng(4),
+                                     width=96, height=64, jitter=0.0)[0]
+        assert not np.array_equal(crsa, plain)
+
+    def test_deterministic_for_a_seed(self):
+        spec = get_dataset("crsa")
+        first = synth_frame_sequence(spec, 4, 0.3,
+                                     np.random.default_rng(7),
+                                     width=32, height=24)
+        second = synth_frame_sequence(spec, 4, 0.3,
+                                      np.random.default_rng(7),
+                                      width=32, height=24)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_validation(self):
+        spec = get_dataset("crsa")
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least one"):
+            synth_frame_sequence(spec, 0, 0.0, rng)
+        with pytest.raises(ValueError, match="scene_change_rate"):
+            synth_frame_sequence(spec, 3, 1.5, rng)
+        with pytest.raises(ValueError, match="jitter"):
+            synth_frame_sequence(spec, 3, 0.0, rng, jitter=-1.0)

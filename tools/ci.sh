@@ -20,3 +20,17 @@ payload = validate_chrome_trace(open(sys.argv[1]).read())
 assert payload["traceEvents"], "trace smoke produced no events"
 print(f"trace smoke ok: {len(payload['traceEvents'])} events")
 EOF
+# Cache smoke + determinism: the cache replay must exit 0 and two
+# identical invocations must produce byte-identical stdout and JSON.
+CACHE_DIR="$(mktemp -d -t harvest_cache.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"; rm -rf "$CACHE_DIR"' EXIT
+PYTHONPATH=src python -m repro cache --frames 80 --seed 1 \
+    --scene-change-rates 0.0,0.05,0.5 \
+    --out "$CACHE_DIR/cache.json" > "$CACHE_DIR/a.txt"
+cp "$CACHE_DIR/cache.json" "$CACHE_DIR/first.json"
+PYTHONPATH=src python -m repro cache --frames 80 --seed 1 \
+    --scene-change-rates 0.0,0.05,0.5 \
+    --out "$CACHE_DIR/cache.json" > "$CACHE_DIR/b.txt"
+cmp "$CACHE_DIR/a.txt" "$CACHE_DIR/b.txt"
+cmp "$CACHE_DIR/first.json" "$CACHE_DIR/cache.json"
+echo "cache smoke ok: deterministic across runs"
