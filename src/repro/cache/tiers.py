@@ -50,27 +50,35 @@ class CacheTier:
         self._c_requests = self._g_bytes = self._g_entries = None
         self._c_evictions = None
         if registry is not None:
-            self._c_requests = registry.counter(
+            # The tier label is fixed for the object's lifetime, so bind
+            # the handles once; per-lookup updates then skip label-key
+            # construction entirely.
+            requests = registry.counter(
                 "cache_requests_total",
                 "Cache lookups by tier and outcome.")
+            self._c_requests = {
+                outcome: requests.labels(tier=name, outcome=outcome)
+                for outcome in ("hit", "stale", "miss")}
             self._c_evictions = registry.counter(
                 "cache_evictions_total",
-                "Cache entries displaced, by tier.")
+                "Cache entries displaced, by tier.").labels(tier=name)
             self._g_bytes = registry.gauge(
-                "cache_bytes", "Resident cache payload bytes per tier.")
+                "cache_bytes",
+                "Resident cache payload bytes per tier.").labels(tier=name)
             self._g_entries = registry.gauge(
-                "cache_entries", "Resident cache entries per tier.")
+                "cache_entries",
+                "Resident cache entries per tier.").labels(tier=name)
             self._sync_gauges()
 
     # ------------------------------------------------------------------
     def _sync_gauges(self) -> None:
         if self._g_bytes is not None:
-            self._g_bytes.set(self.store.used_bytes, tier=self.name)
-            self._g_entries.set(len(self.store), tier=self.name)
+            self._g_bytes.set(self.store.used_bytes)
+            self._g_entries.set(len(self.store))
 
     def _count(self, outcome: str) -> None:
         if self._c_requests is not None:
-            self._c_requests.inc(tier=self.name, outcome=outcome)
+            self._c_requests[outcome].inc()
 
     def lookup(self, fp: FrameFingerprint, trace=None,
                now: float | None = None) -> object | None:
@@ -103,7 +111,7 @@ class CacheTier:
         admitted = self.store.insert(fp, value, size_bytes)
         newly_evicted = self.store.stats.evictions - evicted_before
         if newly_evicted and self._c_evictions is not None:
-            self._c_evictions.inc(newly_evicted, tier=self.name)
+            self._c_evictions.inc(newly_evicted)
         self._sync_gauges()
         return admitted
 

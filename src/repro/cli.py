@@ -21,6 +21,10 @@ Commands
                         at several scene-change rates; print the
                         tier-by-tier hit table, uplink bytes saved,
                         and p95 with/without the cache
+``bench``               run the BENCH_core perf harness: time each
+                        optimized hot path against its preserved seed
+                        implementation, optionally write results JSON
+                        and check them against a committed reference
 """
 
 from __future__ import annotations
@@ -573,6 +577,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_results,
+        render_results,
+        run_bench,
+        write_results,
+    )
+
+    mode = "quick" if args.quick else "full"
+    print(f"BENCH_core ({mode} workloads, best of "
+          f"{args.repeats or ('2' if args.quick else '4')} repeats)")
+    results = run_bench(quick=args.quick, repeats=args.repeats)
+    print(render_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        reference = load_results(args.check)
+        failures = check_regression(results, reference,
+                                    tolerance=args.tolerance)
+        if failures:
+            print(f"== regression check vs {args.check}: FAIL ==")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"== regression check vs {args.check}: ok ==")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -733,6 +767,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the per-rate results as JSON here")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "bench",
+        help="time each optimized hot path against its seed "
+             "implementation; optionally gate on a committed reference")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke test)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per side (default 4, 2 with "
+                        "--quick)")
+    p.add_argument("--out", default=None,
+                   help="write the results JSON here")
+    p.add_argument("--check", default=None,
+                   help="reference results JSON to gate against "
+                        "(exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed relative loss vs the reference "
+                        "speedup (0.5 = half)")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -30,7 +30,7 @@ from repro.hardware.platform import PlatformSpec
 from repro.models.graph import ModelGraph
 from repro.preprocessing.frameworks import DALI, PreprocessFramework
 from repro.serving.request import Request, Response
-from repro.serving.tracectx import TraceContext
+from repro.serving.tracectx import SpanPool, TraceContext
 
 
 def e2e_batch_size(platform: PlatformSpec, graph: ModelGraph,
@@ -198,13 +198,16 @@ class ContinuumReplayer:
                  image_bytes: float, result_bytes: float = 1024.0,
                  offload=None, registry=None,
                  latency_buckets=None, cache=None,
-                 cache_lookup_time: float = 0.0002):
+                 cache_lookup_time: float = 0.0002,
+                 trace_sample_rate: float = 1.0):
         if image_bytes <= 0:
             raise ValueError("image_bytes must be positive")
         if result_bytes < 0:
             raise ValueError("result_bytes must be >= 0")
         if cache_lookup_time < 0:
             raise ValueError("cache_lookup_time must be >= 0")
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must lie in [0, 1]")
         self.target = target
         self.link = link
         self.edge_preprocess_time = edge_preprocess_time
@@ -219,8 +222,20 @@ class ContinuumReplayer:
         self.cache_lookup_time = cache_lookup_time
         #: Uplink payload bytes never sent thanks to edge cache hits.
         self.uplink_bytes_saved = 0.0
+        #: Fraction of requests whose traces are retained.  Sampling is
+        #: deterministic (a fractional accumulator, not a RNG): rate 0.1
+        #: keeps exactly every 10th request's trace.  Sampled-out
+        #: requests still carry a full context while in flight — every
+        #: span, baggage flag, and latency metric behaves identically —
+        #: but the records come from a shared pool and are recycled at
+        #: finalize, so a long replay retains memory only for the kept
+        #: fraction.  The default of 1.0 keeps everything (the
+        #: byte-identical legacy behaviour).
+        self.trace_sample_rate = trace_sample_rate
+        self._span_pool = SpanPool()
+        self._sample_accum = 0.0
         self._next_trace_id = itertools.count(1)
-        #: Every trace context, in submission order.
+        #: Every *retained* trace context, in submission order.
         self.traces: list[TraceContext] = []
         #: Responses served locally on the edge (offload policy hits).
         self.edge_responses: list[Response] = []
@@ -231,7 +246,8 @@ class ContinuumReplayer:
         if registry is not None:
             self._c_uplink_saved = registry.counter(
                 "cache_uplink_bytes_saved_total",
-                "Uplink payload bytes avoided by edge cache hits.")
+                "Uplink payload bytes avoided by edge cache hits.",
+                ).labels()
         if registry is not None:
             from repro.serving.observability import DEFAULT_BUCKETS
             self._h_latency = registry.histogram(
@@ -243,6 +259,9 @@ class ContinuumReplayer:
             self._c_requests = registry.counter(
                 "continuum_requests_total",
                 "Continuum requests by placement and final status.")
+        #: (model, placement, status) -> bound (histogram, counter)
+        #: handles for the finalize hot path.
+        self._finalize_handles: dict[tuple[str, str, str], tuple] = {}
         if hasattr(target, "on_response"):
             target.on_response(self.handle_response)
 
@@ -264,11 +283,21 @@ class ContinuumReplayer:
     def submit(self, request: Request) -> None:
         """Enter one request into the continuum at the current time."""
         sim = self.sim
-        ctx = TraceContext(next(self._next_trace_id), start=sim.now)
+        if self.trace_sample_rate >= 1.0:
+            sampled = True
+        else:
+            self._sample_accum += self.trace_sample_rate
+            sampled = self._sample_accum >= 1.0 - 1e-9
+            if sampled:
+                self._sample_accum -= 1.0
+        ctx = TraceContext(next(self._next_trace_id), start=sim.now,
+                           pool=None if sampled else self._span_pool)
+        ctx.sampled = sampled
         ctx.baggage["model"] = request.model_name
         request.trace = ctx
         request.arrival_time = sim.now
-        self.traces.append(ctx)
+        if sampled:
+            self.traces.append(ctx)
         if self.cache is not None and request.cache_key is not None:
             from repro.cache.tiers import EDGE_RESULT
 
@@ -319,7 +348,7 @@ class ContinuumReplayer:
             ctx.close(self.sim.now, status="ok")
             self.cache_responses.append(
                 Response(request, self.sim.now, status="ok"))
-            self._finalize(ctx)
+            self._finalize(ctx, request)
 
         self.sim.schedule(self.cache_lookup_time, served)
 
@@ -334,7 +363,7 @@ class ContinuumReplayer:
             ctx.close(self.sim.now, status="ok")
             self.edge_responses.append(
                 Response(request, self.sim.now, status="ok"))
-            self._finalize(ctx)
+            self._finalize(ctx, request)
 
         self.sim.schedule(self.offload.edge_latency(), done)
 
@@ -351,7 +380,7 @@ class ContinuumReplayer:
             # never reaches the completion callback's downlink leg.
             if ctx.closed and ctx.baggage.get("awaiting_downlink"):
                 ctx.baggage.pop("awaiting_downlink", None)
-                self._finalize(ctx)
+                self._finalize(ctx, request)
 
         self.link.schedule_transfer(self.sim, payload, arrived,
                                     trace=ctx, direction="uplink")
@@ -366,7 +395,7 @@ class ContinuumReplayer:
         if ctx is None or not ctx.baggage.pop("awaiting_downlink", False):
             return
         if response.status == "rejected":
-            self._finalize(ctx)
+            self._finalize(ctx, response.request)
             return
 
         def delivered() -> None:
@@ -382,19 +411,32 @@ class ContinuumReplayer:
                                   response.request.cache_key,
                                   value=response,
                                   size_bytes=max(1.0, self.result_bytes))
-            self._finalize(ctx)
+            self._finalize(ctx, response.request)
 
         self.link.schedule_transfer(self.sim, self.result_bytes,
                                     delivered, trace=ctx,
                                     direction="downlink")
 
-    def _finalize(self, ctx: TraceContext) -> None:
+    def _finalize(self, ctx: TraceContext, request: Request) -> None:
         if self._h_latency is not None:
-            self._h_latency.observe(ctx.latency,
-                                    model=str(ctx.baggage.get("model")))
-            self._c_requests.inc(
-                placement=str(ctx.baggage.get("placement")),
-                status=str(ctx.status))
+            model = str(ctx.baggage.get("model"))
+            placement = str(ctx.baggage.get("placement"))
+            status = str(ctx.status)
+            key = (model, placement, status)
+            handles = self._finalize_handles.get(key)
+            if handles is None:
+                handles = self._finalize_handles[key] = (
+                    self._h_latency.labels(model=model),
+                    self._c_requests.labels(placement=placement,
+                                            status=status))
+            handles[0].observe(ctx.latency)
+            handles[1].inc()
+        if not ctx.sampled:
+            # Metrics recorded above; the spans go back to the pool and
+            # the request drops its reference so nothing keeps the
+            # recycled records reachable.
+            request.trace = None
+            ctx.recycle()
 
     # ------------------------------------------------------------------
     def completed_traces(self) -> list[TraceContext]:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.models.resnet import STAGES, BottleneckConfig
 from repro.models.vit import ViTConfig, VIT_CONFIGS
+from repro.models.workspace import WeightPack, WorkspaceArena
 
 
 class MacTally:
@@ -40,16 +41,21 @@ class MacTally:
 # ----------------------------------------------------------------------
 
 def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
-           tally: MacTally | None = None) -> np.ndarray:
+           tally: MacTally | None = None,
+           pack: WeightPack | None = None) -> np.ndarray:
     """``y = x @ W^T + b`` over the last axis.
 
-    ``weight`` is ``(out, in)`` (PyTorch convention).
+    ``weight`` is ``(out, in)`` (PyTorch convention).  With a
+    :class:`~repro.models.workspace.WeightPack` the GEMM consumes the
+    pre-transposed contiguous operand instead of transposing per call;
+    the values are identical either way.
     """
     if x.shape[-1] != weight.shape[1]:
         raise ValueError(
             f"linear: input features {x.shape[-1]} != weight in "
             f"{weight.shape[1]}")
-    y = x @ weight.T
+    operand = (pack.linear_operand(weight) if pack is not None else None)
+    y = x @ (operand if operand is not None else weight.T)
     if bias is not None:
         y = y + bias
     if tally is not None:
@@ -57,18 +63,31 @@ def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
     return y
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int,
-           padding: int) -> tuple[np.ndarray, int, int]:
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int,
+           arena: WorkspaceArena | None = None,
+           ) -> tuple[np.ndarray, int, int]:
     """Unfold ``(N, C, H, W)`` into GEMM-ready patches.
 
     Returns ``(patches, out_h, out_w)`` where ``patches`` has shape
     ``(N, out_h * out_w, C * kernel²)``.  Uses a strided view (no copy)
     before the final reshape, per the guides' views-not-copies advice.
+    With an :class:`~repro.models.workspace.WorkspaceArena` both the
+    padded input and the patch matrix land in pooled buffers, so
+    repeated same-shape calls (every serving replay) allocate nothing.
+    The returned patches alias the arena buffer: consume them before
+    the next same-shape call.
     """
     n, c, h, w = x.shape
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
-                       (padding, padding)))
+        if arena is not None:
+            padded = arena.take(
+                (n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+            padded.fill(0)
+            padded[:, :, padding:-padding, padding:-padding] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                           (padding, padding)))
         h, w = h + 2 * padding, w + 2 * padding
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
@@ -81,21 +100,38 @@ def im2col(x: np.ndarray, kernel: int, stride: int,
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
         writeable=False,
     )
-    patches = view.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n, out_h * out_w, c * kernel * kernel)
+    gathered = view.transpose(0, 2, 3, 1, 4, 5)
+    if arena is None:
+        patches = gathered.reshape(n, out_h * out_w, c * kernel * kernel)
+    else:
+        patches = arena.take(
+            (n, out_h * out_w, c * kernel * kernel), x.dtype)
+        np.copyto(
+            patches.reshape(n, out_h, out_w, c, kernel, kernel),
+            gathered)
     return patches, out_h, out_w
 
 
 def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
            stride: int = 1, padding: int = 0,
-           tally: MacTally | None = None) -> np.ndarray:
-    """2D convolution; ``weight`` is ``(out_c, in_c, k, k)``."""
+           tally: MacTally | None = None,
+           pack: WeightPack | None = None) -> np.ndarray:
+    """2D convolution; ``weight`` is ``(out_c, in_c, k, k)``.
+
+    With a :class:`~repro.models.workspace.WeightPack` the im2col GEMM
+    reads the pre-flattened contiguous operand and its patch matrix
+    comes from the pack's arena; the arithmetic is unchanged.
+    """
     out_c, in_c, k, _ = weight.shape
     if x.shape[1] != in_c:
         raise ValueError(
             f"conv2d: input channels {x.shape[1]} != weight in_c {in_c}")
-    patches, out_h, out_w = im2col(x, k, stride, padding)
-    y = patches @ weight.reshape(out_c, -1).T  # (N, OH*OW, out_c)
+    arena = pack.arena if pack is not None else None
+    patches, out_h, out_w = im2col(x, k, stride, padding, arena=arena)
+    operand = (pack.conv_operand(weight) if pack is not None else None)
+    if operand is None:
+        operand = weight.reshape(out_c, -1).T
+    y = patches @ operand  # (N, OH*OW, out_c)
     if bias is not None:
         y = y + bias
     if tally is not None:
@@ -126,9 +162,23 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
-    """Tanh-approximated GELU (the ViT default)."""
+    """Tanh-approximated GELU (the ViT default).
+
+    The cube is spelled ``x * x * x``: NumPy routes ``x ** 3`` through
+    the generic scalar ``pow`` loop, which costs ~50x more than two
+    multiplies and dominated the whole ViT forward.
+    """
     c = math.sqrt(2.0 / math.pi)
-    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+    inner = x * x
+    inner *= x
+    inner *= 0.044715
+    inner += x
+    inner *= c
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= x
+    inner *= 0.5
+    return inner
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -139,7 +189,8 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def maxpool2d(x: np.ndarray, kernel: int, stride: int,
-              padding: int = 0) -> np.ndarray:
+              padding: int = 0,
+              arena: WorkspaceArena | None = None) -> np.ndarray:
     """Max pooling over (N, C, H, W)."""
     n, c, _, _ = x.shape
     if padding:
@@ -147,7 +198,7 @@ def maxpool2d(x: np.ndarray, kernel: int, stride: int,
                        (padding, padding)),
                    constant_values=-np.inf)
     merged = x.reshape(n * c, 1, *x.shape[2:])
-    patches, out_h, out_w = im2col(merged, kernel, stride, 0)
+    patches, out_h, out_w = im2col(merged, kernel, stride, 0, arena=arena)
     return patches.max(axis=-1).reshape(n, c, out_h, out_w)
 
 
@@ -157,10 +208,18 @@ def global_avgpool(x: np.ndarray) -> np.ndarray:
 
 
 def attention(qkv: np.ndarray, heads: int,
-              tally: MacTally | None = None) -> np.ndarray:
+              tally: MacTally | None = None,
+              arena: WorkspaceArena | None = None) -> np.ndarray:
     """Multi-head scaled dot-product attention from packed QKV.
 
     ``qkv`` has shape ``(N, T, 3*D)``; returns ``(N, T, D)``.
+
+    The slow path splits QKV and reshapes each third to heads (three
+    gather copies); with an arena the qkv→heads rearrangement is fused
+    into one ``copyto`` through a 5-axis view, the score matrix lands
+    in a pooled buffer, and the softmax runs in place.  Same math, two
+    fewer copies and zero steady-state allocations for the largest
+    intermediate (the ``N·heads·T²`` scores).
     """
     n, t, three_d = qkv.shape
     if three_d % 3:
@@ -169,6 +228,22 @@ def attention(qkv: np.ndarray, heads: int,
     if d % heads:
         raise ValueError(f"dim {d} not divisible by heads {heads}")
     head_dim = d // heads
+    if tally is not None:
+        tally.add(2.0 * n * t * t * d)  # QK^T and AV
+    if arena is not None:
+        split = arena.take((3, n, heads, t, head_dim), qkv.dtype)
+        np.copyto(split, qkv.reshape(n, t, 3, heads, head_dim)
+                  .transpose(2, 0, 3, 1, 4))
+        q, k, v = split[0], split[1], split[2]
+        scores = arena.take((n, heads, t, t), qkv.dtype)
+        np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
+        scores /= math.sqrt(head_dim)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        ctx = scores @ v  # (N, heads, T, head_dim)
+        return np.ascontiguousarray(
+            ctx.transpose(0, 2, 1, 3)).reshape(n, t, d)
     q, k, v = np.split(qkv, 3, axis=-1)
 
     def to_heads(a: np.ndarray) -> np.ndarray:
@@ -178,8 +253,6 @@ def attention(qkv: np.ndarray, heads: int,
     scores = (q @ k.transpose(0, 1, 3, 2)) / math.sqrt(head_dim)
     weights = softmax(scores, axis=-1)
     ctx = weights @ v  # (N, heads, T, head_dim)
-    if tally is not None:
-        tally.add(2.0 * n * t * t * d)  # QK^T and AV
     return ctx.transpose(0, 2, 1, 3).reshape(n, t, d)
 
 
@@ -227,12 +300,17 @@ def init_vit_weights(cfg: ViTConfig, seed: int = 0) -> dict[str, np.ndarray]:
 
 def vit_forward(cfg: ViTConfig, weights: dict[str, np.ndarray],
                 x: np.ndarray, tally: MacTally | None = None,
-                return_features: bool = False) -> np.ndarray:
+                return_features: bool = False,
+                pack: WeightPack | None = None) -> np.ndarray:
     """ViT inference: ``(N, C, H, W) -> (N, num_classes)`` logits.
 
     ``return_features=True`` returns the penultimate class-token
     embedding ``(N, D)`` instead — the representation the fine-tuning
-    substrate trains localized heads on.
+    substrate trains localized heads on.  ``pack=None`` runs the
+    allocation-per-op reference path; a
+    :class:`~repro.models.workspace.WeightPack` (what
+    :func:`build_functional` attaches) runs the pre-packed/arena fast
+    path with identical results and identical ``tally`` accounting.
     """
     n, c, h, wd = x.shape
     if (c, h, wd) != (cfg.in_channels, cfg.img_size, cfg.img_size):
@@ -240,9 +318,10 @@ def vit_forward(cfg: ViTConfig, weights: dict[str, np.ndarray],
             f"expected input (N, {cfg.in_channels}, {cfg.img_size}, "
             f"{cfg.img_size}), got {x.shape}")
     # Patch embedding is a stride=kernel conv.
+    arena = pack.arena if pack is not None else None
     tokens = conv2d(x, weights["patch_embed.weight"],
                     weights["patch_embed.bias"],
-                    stride=cfg.patch_size, tally=tally)
+                    stride=cfg.patch_size, tally=tally, pack=pack)
     tokens = tokens.reshape(n, cfg.dim, -1).transpose(0, 2, 1)  # (N, T-1, D)
     cls = np.broadcast_to(weights["cls_token"], (n, 1, cfg.dim))
     seq = np.concatenate([cls, tokens], axis=1) + weights["pos_embed"]
@@ -252,22 +331,24 @@ def vit_forward(cfg: ViTConfig, weights: dict[str, np.ndarray],
         y = layernorm(seq, weights[f"{p}.norm1.gamma"],
                       weights[f"{p}.norm1.beta"])
         qkv = linear(y, weights[f"{p}.qkv.weight"], weights[f"{p}.qkv.bias"],
-                     tally=tally)
-        ctx = attention(qkv, cfg.heads, tally=tally)
+                     tally=tally, pack=pack)
+        ctx = attention(qkv, cfg.heads, tally=tally, arena=arena)
         seq = seq + linear(ctx, weights[f"{p}.proj.weight"],
-                           weights[f"{p}.proj.bias"], tally=tally)
+                           weights[f"{p}.proj.bias"], tally=tally,
+                           pack=pack)
         y = layernorm(seq, weights[f"{p}.norm2.gamma"],
                       weights[f"{p}.norm2.beta"])
         y = gelu(linear(y, weights[f"{p}.fc1.weight"],
-                        weights[f"{p}.fc1.bias"], tally=tally))
+                        weights[f"{p}.fc1.bias"], tally=tally, pack=pack))
         seq = seq + linear(y, weights[f"{p}.fc2.weight"],
-                           weights[f"{p}.fc2.bias"], tally=tally)
+                           weights[f"{p}.fc2.bias"], tally=tally,
+                           pack=pack)
 
     seq = layernorm(seq, weights["norm.gamma"], weights["norm.beta"])
     if return_features:
         return seq[:, 0]
     return linear(seq[:, 0], weights["head.weight"], weights["head.bias"],
-                  tally=tally)
+                  tally=tally, pack=pack)
 
 
 # ----------------------------------------------------------------------
@@ -323,10 +404,13 @@ def init_resnet50_weights(img_size: int = 224, num_classes: int = 1000,
 def resnet50_forward(weights: dict[str, np.ndarray], x: np.ndarray,
                      img_size: int = 224,
                      tally: MacTally | None = None,
-                     return_features: bool = False) -> np.ndarray:
+                     return_features: bool = False,
+                     pack: WeightPack | None = None) -> np.ndarray:
     """ResNet50 inference: ``(N, 3, H, W) -> (N, num_classes)`` logits.
 
     ``return_features=True`` returns the pooled 2048-d embedding.
+    ``pack`` as in :func:`vit_forward`: pre-packed conv operands and
+    pooled im2col buffers, same results.
     """
     if x.shape[1:] != (3, img_size, img_size):
         raise ValueError(
@@ -338,31 +422,36 @@ def resnet50_forward(weights: dict[str, np.ndarray], x: np.ndarray,
                            weights[f"{prefix}.mean"],
                            weights[f"{prefix}.var"])
 
-    y = conv2d(x, weights["stem.conv"], stride=2, padding=3, tally=tally)
+    arena = pack.arena if pack is not None else None
+    y = conv2d(x, weights["stem.conv"], stride=2, padding=3, tally=tally,
+               pack=pack)
     y = relu(apply_bn("stem.bn", y))
-    y = maxpool2d(y, kernel=3, stride=2, padding=1)
+    y = maxpool2d(y, kernel=3, stride=2, padding=1, arena=arena)
 
     for name, cfg in _resnet_block_configs(img_size):
         identity = y
         y = relu(apply_bn(f"{name}.1.bn",
-                          conv2d(y, weights[f"{name}.1.conv"], tally=tally)))
+                          conv2d(y, weights[f"{name}.1.conv"], tally=tally,
+                                 pack=pack)))
         y = relu(apply_bn(f"{name}.2.bn",
                           conv2d(y, weights[f"{name}.2.conv"],
-                                 stride=cfg.stride, padding=1, tally=tally)))
+                                 stride=cfg.stride, padding=1, tally=tally,
+                                 pack=pack)))
         y = apply_bn(f"{name}.3.bn",
-                     conv2d(y, weights[f"{name}.3.conv"], tally=tally))
+                     conv2d(y, weights[f"{name}.3.conv"], tally=tally,
+                            pack=pack))
         if cfg.has_downsample:
             identity = apply_bn(
                 f"{name}.downsample.bn",
                 conv2d(identity, weights[f"{name}.downsample.conv"],
-                       stride=cfg.stride, tally=tally))
+                       stride=cfg.stride, tally=tally, pack=pack))
         y = relu(y + identity)
 
     pooled = global_avgpool(y)
     if return_features:
         return pooled
     return linear(pooled, weights["fc.weight"], weights["fc.bias"],
-                  tally=tally)
+                  tally=tally, pack=pack)
 
 
 # ----------------------------------------------------------------------
@@ -371,21 +460,31 @@ def resnet50_forward(weights: dict[str, np.ndarray], x: np.ndarray,
 
 @dataclasses.dataclass
 class FunctionalModel:
-    """A runnable model: config-resolved forward plus its weights."""
+    """A runnable model: config-resolved forward plus its weights.
+
+    ``pack`` (attached by :func:`build_functional`) routes calls down
+    the pre-packed/arena fast path; a directly-constructed model
+    without one runs the reference path unchanged.
+    """
 
     name: str
     weights: dict[str, np.ndarray]
     _forward: object
     input_shape: tuple[int, int, int]
     num_classes: int
+    pack: WeightPack | None = None
 
     def __call__(self, x: np.ndarray,
                  tally: MacTally | None = None) -> np.ndarray:
-        return self._forward(self.weights, x, tally)
+        if self.pack is None:
+            return self._forward(self.weights, x, tally)
+        return self._forward(self.weights, x, tally, False, self.pack)
 
     def features(self, x: np.ndarray) -> np.ndarray:
         """Penultimate embeddings ``(N, D)`` for fine-tuning."""
-        return self._forward(self.weights, x, None, True)
+        if self.pack is None:
+            return self._forward(self.weights, x, None, True)
+        return self._forward(self.weights, x, None, True, self.pack)
 
     def weight_elements(self) -> int:
         """Total stored weight elements (BN running stats excluded)."""
@@ -395,8 +494,14 @@ class FunctionalModel:
 
 
 def build_functional(name: str, seed: int = 0,
-                     num_classes: int | None = None) -> FunctionalModel:
+                     num_classes: int | None = None,
+                     packed: bool = True) -> FunctionalModel:
     """Instantiate a runnable model by zoo name.
+
+    ``packed=True`` (the default) builds the model's
+    :class:`~repro.models.workspace.WeightPack` once up front so every
+    forward runs the pre-packed fast path; ``packed=False`` keeps the
+    reference allocation-per-op behaviour (the benchmark baseline).
 
     >>> m = build_functional("vit_tiny")
     >>> m(np.zeros((1, 3, 32, 32), np.float32)).shape
@@ -408,19 +513,23 @@ def build_functional(name: str, seed: int = 0,
             cfg = dataclasses.replace(cfg, num_classes=num_classes)
         weights = init_vit_weights(cfg, seed)
 
-        def fwd(w, x, tally=None, return_features=False, _cfg=cfg):
-            return vit_forward(_cfg, w, x, tally, return_features)
+        def fwd(w, x, tally=None, return_features=False, pack=None,
+                _cfg=cfg):
+            return vit_forward(_cfg, w, x, tally, return_features, pack)
 
         return FunctionalModel(name, weights, fwd,
                                (cfg.in_channels, cfg.img_size, cfg.img_size),
-                               cfg.num_classes)
+                               cfg.num_classes,
+                               pack=WeightPack(weights) if packed else None)
     if name == "resnet50":
         classes = 1000 if num_classes is None else num_classes
         weights = init_resnet50_weights(num_classes=classes, seed=seed)
 
-        def fwd(w, x, tally=None, return_features=False):
+        def fwd(w, x, tally=None, return_features=False, pack=None):
             return resnet50_forward(w, x, tally=tally,
-                                    return_features=return_features)
+                                    return_features=return_features,
+                                    pack=pack)
 
-        return FunctionalModel(name, weights, fwd, (3, 224, 224), classes)
+        return FunctionalModel(name, weights, fwd, (3, 224, 224), classes,
+                               pack=WeightPack(weights) if packed else None)
     raise KeyError(f"unknown model {name!r}")

@@ -1,0 +1,41 @@
+"""Performance-regression harness for the hot-path optimization pass.
+
+The optimization PR claims speedups in three layers — the discrete
+-event simulator core, the serving instrumentation fast path, and the
+NumPy model/preprocessing kernels.  This package makes those claims
+*measured and enforced* rather than asserted:
+
+* :mod:`repro.perf.legacy` — the preserved seed implementations
+  (dataclass-event simulator, per-call-label metrics, allocation-per-op
+  kernels) that every speedup is measured against;
+* :mod:`repro.perf.scenarios` — deterministic, verified workloads that
+  run the same work through both implementations;
+* :mod:`repro.perf.bench` — the timing/report/regression-check driver
+  behind the ``repro bench`` CLI; the committed reference lives at
+  ``benchmarks/results/BENCH_core.json``.
+"""
+
+from repro.perf.bench import (
+    DEFAULT_TOLERANCE,
+    MIN_SPEEDUPS,
+    QUICK_MIN_SPEEDUPS,
+    check_regression,
+    load_results,
+    render_results,
+    run_bench,
+    write_results,
+)
+from repro.perf.scenarios import Scenario, build_scenarios
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "MIN_SPEEDUPS",
+    "QUICK_MIN_SPEEDUPS",
+    "Scenario",
+    "build_scenarios",
+    "check_regression",
+    "load_results",
+    "render_results",
+    "run_bench",
+    "write_results",
+]

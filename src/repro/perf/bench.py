@@ -1,0 +1,159 @@
+"""The BENCH_core harness: time each optimized layer against its seed.
+
+``run_bench`` executes every scenario from :mod:`repro.perf.scenarios`
+— first verifying that baseline and optimized runs agree, then timing
+both (best of N repeats, which rejects scheduler noise better than the
+mean) — and returns a JSON-serializable results document.
+
+``check_regression`` compares a fresh run against a committed
+reference: every scenario must hold its absolute ``min_speedup`` floor
+and stay within a relative tolerance band of the recorded speedup.
+Two references are committed under ``benchmarks/results/``:
+``BENCH_core.json`` (full workloads — the acceptance measurement) and
+``BENCH_core_quick.json`` (shrunken workloads with their own floors).
+CI runs ``repro bench --quick --check
+benchmarks/results/BENCH_core_quick.json`` so an optimization that
+quietly rots fails the build instead of the next paper figure.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.perf.scenarios import Scenario, build_scenarios
+
+#: Absolute speedup floors committed with the baseline — the acceptance
+#: bars for the optimization pass.  The regression check enforces them
+#: on every run, independent of the recorded speedups.
+MIN_SPEEDUPS: dict[str, float] = {
+    "simulator_core": 1.2,
+    "instrumented_serving": 2.0,
+    "vit_tiny_forward": 1.5,
+    "preprocess_warp": 1.0,
+}
+
+#: Floors for ``--quick`` runs: the shrunken workloads amortize fixed
+#: setup cost over far less work, so the same code shows smaller
+#: speedups (and the tiny warp loop barely exercises the grid cache).
+#: Quick mode is a CI smoke gate, not the acceptance measurement.
+QUICK_MIN_SPEEDUPS: dict[str, float] = {
+    "simulator_core": 1.2,
+    "instrumented_serving": 1.4,
+    "vit_tiny_forward": 1.5,
+    "preprocess_warp": 0.85,
+}
+
+#: Relative band around the recorded speedup (0.5 = may lose up to half
+#: the recorded advantage before failing).  Generous on purpose: CI
+#: machines are noisy, and the absolute floors do the hard gating.
+DEFAULT_TOLERANCE = 0.5
+
+
+def _best_time(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_scenario(scenario: Scenario, repeats: int,
+                 floors: dict[str, float] | None = None) -> dict:
+    """Verify agreement, then time both sides of one scenario."""
+    if floors is None:
+        floors = MIN_SPEEDUPS
+    base_result = scenario.baseline()
+    opt_result = scenario.optimized()
+    scenario.verify(base_result, opt_result)
+    baseline_s = _best_time(scenario.baseline, repeats)
+    optimized_s = _best_time(scenario.optimized, repeats)
+    return {
+        "layer": scenario.layer,
+        "description": scenario.description,
+        "baseline_seconds": baseline_s,
+        "optimized_seconds": optimized_s,
+        "speedup": baseline_s / optimized_s if optimized_s > 0
+        else float("inf"),
+        "min_speedup": floors.get(scenario.name, 1.0),
+        "repeats": repeats,
+    }
+
+
+def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run the full BENCH_core suite; returns the results document."""
+    if repeats is None:
+        repeats = 2 if quick else 4
+    floors = QUICK_MIN_SPEEDUPS if quick else MIN_SPEEDUPS
+    results: dict = {"suite": "BENCH_core", "quick": quick,
+                     "scenarios": {}}
+    for scenario in build_scenarios(quick=quick):
+        results["scenarios"][scenario.name] = run_scenario(
+            scenario, repeats, floors)
+    return results
+
+
+def write_results(results: dict, path: str | Path) -> None:
+    """Write a results document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rounded = json.loads(json.dumps(results))
+    for entry in rounded.get("scenarios", {}).values():
+        for field in ("baseline_seconds", "optimized_seconds", "speedup"):
+            entry[field] = round(entry[field], 4)
+    path.write_text(json.dumps(rounded, indent=2, sort_keys=True) + "\n")
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a previously written results document."""
+    return json.loads(Path(path).read_text())
+
+
+def check_regression(current: dict, reference: dict,
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Failure messages (empty = pass) for ``current`` vs ``reference``.
+
+    A scenario fails when it is missing, below its absolute
+    ``min_speedup`` floor, or below ``reference_speedup * (1 -
+    tolerance)``.  Quick and full runs are not comparable (workload
+    sizes differ), so a mode mismatch fails outright.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    if bool(current.get("quick")) != bool(reference.get("quick")):
+        mode = "quick" if reference.get("quick") else "full"
+        return [f"mode mismatch: reference is a {mode}-mode run; "
+                f"re-run with{'' if mode == 'quick' else 'out'} --quick "
+                "or point --check at the matching reference"]
+    failures: list[str] = []
+    for name, ref in sorted(reference.get("scenarios", {}).items()):
+        cur = current.get("scenarios", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = ref.get("min_speedup", MIN_SPEEDUPS.get(name, 1.0))
+        band = ref["speedup"] * (1.0 - tolerance)
+        required = max(floor, band)
+        if cur["speedup"] < required:
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.2f}x below required "
+                f"{required:.2f}x (floor {floor:.2f}x, reference "
+                f"{ref['speedup']:.2f}x - {tolerance:.0%} band)")
+    return failures
+
+
+def render_results(results: dict) -> str:
+    """One table row per scenario, aligned for terminal output."""
+    header = (f"{'scenario':<22} {'layer':<16} {'baseline':>10} "
+              f"{'optimized':>10} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for name, entry in sorted(results["scenarios"].items()):
+        lines.append(
+            f"{name:<22} {entry['layer']:<16} "
+            f"{entry['baseline_seconds'] * 1e3:>8.1f}ms "
+            f"{entry['optimized_seconds'] * 1e3:>8.1f}ms "
+            f"{entry['speedup']:>7.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Deterministic workloads for the perf harness, one per optimized layer.
+
+Each scenario pairs the same workload run two ways — the preserved seed
+implementation (:mod:`repro.perf.legacy`) and the optimized code — and
+verifies the two runs agree before their timings mean anything:
+
+* ``simulator_core`` — pure event churn (schedules, ties, cancels,
+  occasional foreground peeks) on the legacy dataclass-heap simulator
+  vs. the tuple-heap one; verified by identical processed-event counts.
+* ``instrumented_serving`` — the *real* serving stack (server, dynamic
+  batcher, backend instances, open-loop client, time-series sampler)
+  replayed on (legacy simulator + legacy per-call-label metrics) vs.
+  (optimized simulator + bound-handle metrics); verified by identical
+  response and event counts.
+* ``vit_tiny_forward`` — the seed allocation-per-op ViT forward vs. the
+  pre-packed/arena fast path; verified by ``allclose`` logits.
+* ``preprocess_warp`` — per-frame mesh rebuilding vs. the cached
+  sampling grids on a resize + perspective-warp frame loop; verified by
+  ``allclose`` outputs.
+
+All inputs are seeded; no wall-clock or RNG state leaks into the
+workload, so any two runs time the same work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.perf import legacy
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One benchmarked workload: baseline vs. optimized."""
+
+    name: str
+    layer: str
+    description: str
+    baseline: Callable[[], object]
+    optimized: Callable[[], object]
+    #: Raises AssertionError when the two runs' results diverge.
+    verify: Callable[[object, object], None]
+
+
+def _noop() -> None:
+    return None
+
+
+def _simulator_churn(sim, n_events: int) -> int:
+    """Schedule-heavy workload with ties, cancels, and peeks."""
+    cancelable = []
+
+    def make_cb(i: int):
+        def cb() -> None:
+            if i % 5 == 0:
+                cancelable.append(sim.schedule(0.25, _noop))
+            if i % 7 == 0 and cancelable:
+                sim.cancel(cancelable.pop())
+            if i % 63 == 0:
+                sim.peek_foreground_time()
+        return cb
+
+    for i in range(n_events):
+        # i and i+1000 collide on the same timestamp: plenty of ties.
+        sim.schedule_at((i % 1000) * 0.001, make_cb(i),
+                        daemon=(i % 17 == 0))
+    sim.run()
+    return sim.events_processed
+
+
+def _serving_replay(sim_cls, registry_cls, requests: int) -> tuple:
+    """The real serving stack end to end on the given substrate."""
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.client import OpenLoopClient
+    from repro.serving.observability import TimeSeriesSampler
+    from repro.serving.server import ModelConfig, TritonLikeServer
+
+    sim = sim_cls()
+    registry = registry_cls(clock=lambda: sim.now)
+    server = TritonLikeServer(sim, registry=registry)
+    server.register(ModelConfig(
+        "vit_tiny", lambda n: 0.0004 + 0.00012 * n,
+        batcher=BatcherConfig(max_batch_size=16, max_queue_delay=0.002)))
+    client = OpenLoopClient(server, "vit_tiny", rate_per_second=800.0,
+                            num_requests=requests, seed=7)
+    sampler = TimeSeriesSampler(server, interval=0.05)
+    client.start()
+    sampler.start()
+    sim.run()
+    return len(server.responses), sim.events_processed
+
+
+def build_scenarios(quick: bool = False) -> list[Scenario]:
+    """The BENCH_core scenario set (smaller workloads when ``quick``)."""
+    from repro.models.functional import init_vit_weights, vit_forward
+    from repro.models.vit import VIT_CONFIGS
+    from repro.models.workspace import WeightPack
+    from repro.preprocessing.ops import (ground_plane_homography,
+                                         resize_bilinear,
+                                         warp_perspective)
+    from repro.serving.events import Simulator
+    from repro.serving.observability import MetricsRegistry
+
+    n_events = 20_000 if quick else 120_000
+    n_requests = 400 if quick else 4_000
+    batch = 2 if quick else 8
+    n_frames = 4 if quick else 24
+
+    def counts_equal(a, b) -> None:
+        assert a == b, f"baseline/optimized diverged: {a} != {b}"
+
+    scenarios = [
+        Scenario(
+            name="simulator_core",
+            layer="simulator",
+            description=(f"{n_events} events with ties, cancels and "
+                         "daemon peeks"),
+            baseline=lambda: _simulator_churn(legacy.LegacySimulator(),
+                                              n_events),
+            optimized=lambda: _simulator_churn(Simulator(), n_events),
+            verify=counts_equal,
+        ),
+        Scenario(
+            name="instrumented_serving",
+            layer="instrumentation",
+            description=(f"{n_requests}-request open-loop replay through "
+                         "the instrumented serving stack"),
+            baseline=lambda: _serving_replay(
+                legacy.LegacySimulator, legacy.LegacyMetricsRegistry,
+                n_requests),
+            optimized=lambda: _serving_replay(
+                Simulator, MetricsRegistry, n_requests),
+            verify=counts_equal,
+        ),
+    ]
+
+    cfg = VIT_CONFIGS["vit_tiny"]
+    weights = init_vit_weights(cfg, seed=0)
+    pack = WeightPack(weights)
+    x = np.random.default_rng(11).standard_normal(
+        (batch, cfg.in_channels, cfg.img_size, cfg.img_size)
+    ).astype(np.float32)
+
+    def logits_close(a, b) -> None:
+        assert np.allclose(a, b, rtol=1e-4, atol=1e-5), \
+            "packed forward diverged from the seed forward"
+
+    scenarios.append(Scenario(
+        name="vit_tiny_forward",
+        layer="kernels",
+        description=f"ViT-Tiny batch-{batch} forward pass",
+        baseline=lambda: legacy.legacy_vit_forward(cfg, weights, x),
+        optimized=lambda: vit_forward(cfg, weights, x, pack=pack),
+        verify=logits_close,
+    ))
+
+    frame_rng = np.random.default_rng(5)
+    frames = [frame_rng.integers(0, 255, size=(240, 320, 3))
+              .astype(np.uint8) for _ in range(n_frames)]
+    hom = ground_plane_homography(320, 240)
+
+    def preprocess_loop(resize, warp) -> np.ndarray:
+        acc = 0.0
+        for frame in frames:
+            warped = warp(frame, hom, 240, 320)
+            acc += float(resize(warped, 224, 224).sum())
+        return acc
+
+    def sums_close(a, b) -> None:
+        assert np.isclose(a, b, rtol=1e-6), \
+            f"preprocess outputs diverged: {a} != {b}"
+
+    scenarios.append(Scenario(
+        name="preprocess_warp",
+        layer="kernels",
+        description=(f"{n_frames}-frame CRSA warp + resize loop "
+                     "(320x240 -> 224x224)"),
+        baseline=lambda: preprocess_loop(legacy.legacy_resize_bilinear,
+                                         legacy.legacy_warp_perspective),
+        optimized=lambda: preprocess_loop(resize_bilinear,
+                                          warp_perspective),
+        verify=sums_close,
+    ))
+    return scenarios

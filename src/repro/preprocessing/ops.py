@@ -15,6 +15,37 @@ import numpy as np
 Array = np.ndarray
 
 
+class _GridCache:
+    """Bounded FIFO cache for sampling-coordinate grids.
+
+    A preprocessing pipeline resizes (or warps) a stream of same-shaped
+    frames, recomputing identical target-coordinate meshes per frame;
+    those meshes depend only on the geometry, so they are cached keyed
+    by it.  Entries are marked read-only — downstream math never writes
+    into them.  The bound keeps a long multi-resolution sweep from
+    pinning every geometry it ever saw.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        self.maxsize = maxsize
+        self._entries: dict[tuple, tuple[Array, ...]] = {}
+
+    def get(self, key: tuple, build) -> tuple[Array, ...]:
+        grids = self._entries.get(key)
+        if grids is None:
+            grids = build()
+            for g in grids:
+                g.setflags(write=False)
+            if len(self._entries) >= self.maxsize:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = grids
+        return grids
+
+
+_RESIZE_GRIDS = _GridCache()
+_WARP_COORDS = _GridCache()
+
+
 def _as_float(image: Array) -> Array:
     if image.dtype == np.uint8:
         return image.astype(np.float32)
@@ -52,10 +83,14 @@ def resize_bilinear(image: Array, out_h: int, out_w: int) -> Array:
     if min(out_h, out_w) < 1:
         raise ValueError("output size must be positive")
     h, w = image.shape[:2]
-    scale_y, scale_x = h / out_h, w / out_w
-    ys = (np.arange(out_h, dtype=np.float32) + 0.5) * scale_y - 0.5
-    xs = (np.arange(out_w, dtype=np.float32) + 0.5) * scale_x - 0.5
-    grid_x, grid_y = np.meshgrid(xs, ys)
+
+    def build() -> tuple[Array, Array]:
+        scale_y, scale_x = h / out_h, w / out_w
+        ys = (np.arange(out_h, dtype=np.float32) + 0.5) * scale_y - 0.5
+        xs = (np.arange(out_w, dtype=np.float32) + 0.5) * scale_x - 0.5
+        return tuple(np.meshgrid(xs, ys))
+
+    grid_x, grid_y = _RESIZE_GRIDS.get((h, w, out_h, out_w), build)
     return _bilinear_gather(image, grid_x, grid_y).astype(np.float32)
 
 
@@ -132,11 +167,15 @@ def warp_perspective(image: Array, homography: Array,
     if min(out_h, out_w) < 1:
         raise ValueError("output size must be positive")
     inv = np.linalg.inv(homography)
-    xs = np.arange(out_w, dtype=np.float64)
-    ys = np.arange(out_h, dtype=np.float64)
-    grid_x, grid_y = np.meshgrid(xs, ys)
-    ones = np.ones_like(grid_x)
-    coords = np.stack([grid_x, grid_y, ones], axis=0).reshape(3, -1)
+
+    def build() -> tuple[Array]:
+        xs = np.arange(out_w, dtype=np.float64)
+        ys = np.arange(out_h, dtype=np.float64)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        ones = np.ones_like(grid_x)
+        return (np.stack([grid_x, grid_y, ones], axis=0).reshape(3, -1),)
+
+    (coords,) = _WARP_COORDS.get((out_h, out_w), build)
     mapped = inv @ coords
     denom = mapped[2]
     with np.errstate(divide="ignore", invalid="ignore"):

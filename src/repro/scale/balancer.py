@@ -139,19 +139,25 @@ class LoadBalancer:
         self.metrics = (registry if registry is not None
                         else MetricsRegistry(clock=lambda: sim.now))
         m = self.metrics
+        # Label-free metrics bind their single series once; the shed
+        # counter keeps a small per-reason handle cache (reasons come
+        # from the admission policy, a handful at most).
         self._c_routed = m.counter(
-            "balancer_routed_total", "Requests routed to backends.")
+            "balancer_routed_total",
+            "Requests routed to backends.").labels()
         self._c_admitted = m.counter(
             "admission_admitted_total",
-            "Requests admitted at the balancer front door.")
+            "Requests admitted at the balancer front door.").labels()
         self._c_shed = m.counter(
             "admission_rejected_total",
             "Requests shed at the front door, by reason.")
+        self._shed_handles: dict[str, object] = {}
         self._g_active = m.gauge(
-            "balancer_active_backends", "Backends receiving routes.")
+            "balancer_active_backends",
+            "Backends receiving routes.").labels()
         self._g_draining = m.gauge(
             "balancer_draining_backends",
-            "Backends draining in-flight work before release.")
+            "Backends draining in-flight work before release.").labels()
         self._update_pool_gauges()
 
     @property
@@ -254,7 +260,11 @@ class LoadBalancer:
                                             trace=request.trace,
                                             cache_hit=cache_hit)
             if not decision.admitted:
-                self._c_shed.inc(reason=decision.reason)
+                shed = self._shed_handles.get(decision.reason)
+                if shed is None:
+                    shed = self._shed_handles[decision.reason] = (
+                        self._c_shed.labels(reason=decision.reason))
+                shed.inc()
                 request.arrival_time = self.sim.now
                 if request.trace is not None:
                     request.trace.close(self.sim.now, status="rejected")

@@ -76,7 +76,7 @@ from repro.serving.tracing import (
     stage_breakdown,
     trace_of,
 )
-from repro.serving.tracectx import SpanRecord, TraceContext
+from repro.serving.tracectx import SpanPool, SpanRecord, TraceContext
 from repro.serving.trace_export import (
     critical_path,
     critical_path_summary,
@@ -124,6 +124,7 @@ __all__ = [
     "render_gantt",
     "stage_breakdown",
     "trace_of",
+    "SpanPool",
     "SpanRecord",
     "TraceContext",
     "critical_path",

@@ -89,16 +89,25 @@ class DynamicBatcher:
                  stage: str | None = None):
         self.config = config
         self._queue: deque[QueuedRequest] = deque()
+        #: Running image count across queued requests, maintained at
+        #: enqueue/dispatch so the per-event ``ready`` checks and the
+        #: time-series sampler never walk the queue.
+        self._queued_images = 0
         self._stage = stage if stage is not None else ""
         if metrics is not None:
+            # Stage is fixed per batcher: bind the label handles once so
+            # the per-request enqueue/dispatch updates skip label-key
+            # construction.
             self._c_enqueued = metrics.counter(
-                "batcher_enqueued_total", "Requests queued per stage.")
+                "batcher_enqueued_total", "Requests queued per stage.",
+                ).labels(stage=self._stage)
             self._h_wait = metrics.histogram(
                 "queue_wait_seconds",
-                "Enqueue-to-dispatch wait per stage.")
+                "Enqueue-to-dispatch wait per stage.",
+                ).labels(stage=self._stage)
             self._h_size = metrics.histogram(
                 "batch_size_images", "Dispatched batch size per stage.",
-                buckets=self.SIZE_BUCKETS)
+                buckets=self.SIZE_BUCKETS).labels(stage=self._stage)
         else:
             self._c_enqueued = self._h_wait = self._h_size = None
 
@@ -108,20 +117,21 @@ class DynamicBatcher:
     @property
     def queued_images(self) -> int:
         """Images waiting across queued requests."""
-        return sum(q.request.num_images for q in self._queue)
+        return self._queued_images
 
     def enqueue(self, request: Request, now: float) -> None:
         """Queue a request; raises QueueFullError past the bound."""
         limit = self.config.max_queue_size
-        if limit and self.queued_images + request.num_images > limit:
+        if limit and self._queued_images + request.num_images > limit:
             raise QueueFullError(request.model_name, limit)
         queued = QueuedRequest(request, now)
         if request.trace is not None:
             queued.wait_span = request.trace.begin(
                 "queue_wait", now, category="queue", stage=self._stage)
         self._queue.append(queued)
+        self._queued_images += request.num_images
         if self._c_enqueued is not None:
-            self._c_enqueued.inc(stage=self._stage)
+            self._c_enqueued.inc()
 
     def oldest_enqueue_time(self) -> float | None:
         """Enqueue time of the oldest queued request, or None."""
@@ -134,7 +144,7 @@ class DynamicBatcher:
             return False
         if not self.config.enabled:
             return True
-        if self.queued_images >= self.config.max_batch_size:
+        if self._queued_images >= self.config.max_batch_size:
             return True
         oldest = self._queue[0].enqueue_time
         # One-ulp tolerance: the server's delay timer fires at exactly
@@ -177,10 +187,8 @@ class DynamicBatcher:
         if now is not None and self._h_wait is not None:
             for index in picked:
                 self._h_wait.observe(
-                    now - self._queue[index].enqueue_time,
-                    stage=self._stage)
-            self._h_size.observe(
-                sum(r.num_images for r in batch), stage=self._stage)
+                    now - self._queue[index].enqueue_time)
+            self._h_size.observe(sum(r.num_images for r in batch))
         batch_images = sum(r.num_images for r in batch)
         for index in picked:
             queued = self._queue[index]
@@ -192,11 +200,11 @@ class DynamicBatcher:
                     stage=self._stage, batch_images=batch_images)
         for index in sorted(picked, reverse=True):
             del self._queue[index]
+        self._queued_images -= sum(r.num_images for r in batch)
         return batch
 
     def _pick_target_size(self) -> int:
-        queued = self.queued_images
-        limit = min(queued, self.config.max_batch_size)
+        limit = min(self._queued_images, self.config.max_batch_size)
         preferred = [p for p in self.config.preferred_batch_sizes
                      if p <= limit]
         return max(preferred) if preferred else limit

@@ -45,7 +45,8 @@ class OpenLoopClient:
         self._next_trace_id = itertools.count(1)
         self._c_issued = server.metrics.counter(
             "client_requests_issued_total",
-            "Requests issued by load generators, by client kind.")
+            "Requests issued by load generators, by client kind.",
+            ).labels(client="open_loop", model=model_name)
         rng = np.random.default_rng(seed)
         gaps = rng.exponential(1.0 / rate_per_second, size=num_requests)
         self.arrival_times = np.cumsum(gaps)
@@ -56,7 +57,7 @@ class OpenLoopClient:
             self.server.sim.schedule_at(float(t), self._issue)
 
     def _issue(self) -> None:
-        self._c_issued.inc(client="open_loop", model=self.model_name)
+        self._c_issued.inc()
         request = Request(self.model_name,
                           num_images=self.images_per_request)
         if self.trace:
@@ -86,7 +87,8 @@ class ClosedLoopClient:
         self.completed: list[Response] = []
         self._c_issued = server.metrics.counter(
             "client_requests_issued_total",
-            "Requests issued by load generators, by client kind.")
+            "Requests issued by load generators, by client kind.",
+            ).labels(client="closed_loop", model=model_name)
 
     def start(self) -> None:
         """Prime the window and chain re-issues on completions."""
@@ -98,7 +100,7 @@ class ClosedLoopClient:
         if self._remaining <= 0:
             return
         self._remaining -= 1
-        self._c_issued.inc(client="closed_loop", model=self.model_name)
+        self._c_issued.inc()
         self.server.submit(Request(self.model_name,
                                    num_images=self.images_per_request))
 

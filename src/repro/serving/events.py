@@ -1,31 +1,73 @@
 """Discrete-event simulation core.
 
-A minimal, deterministic event loop: events are (time, sequence, callback)
+A minimal, deterministic event loop: events are (time, sequence, handle)
 tuples on a heap; ties in time break by insertion order, so runs are fully
 reproducible.  The virtual clock only moves when events fire — simulating
 hours of serving takes milliseconds of wall time.
+
+Hot-path design (this is the innermost loop of every serving replay):
+
+* heap entries are plain ``(time, seq, event)`` tuples — ``seq`` is
+  unique, so heap comparisons resolve in C on the first two fields and
+  never call into Python-level ordering methods;
+* cancellation flips a flag on the :class:`Event` handle (O(1), no
+  auxiliary set) and the loop discards flagged entries lazily as they
+  pop, so cancel-heavy replays hold no per-cancel state;
+* same-timestamp events are dispatched as one batch: the clock is
+  assigned once and the ``until`` horizon is checked once per distinct
+  timestamp instead of once per event.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
-import itertools
 from collections.abc import Callable
 
+#: :attr:`Event.state` values.
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
-@dataclasses.dataclass(frozen=True, order=True)
+#: Relative tolerance for :meth:`Simulator.schedule_at` round-off: a
+#: target a few ULPs before ``now`` (float noise from ``t - now`` after
+#: cumulative-sum arithmetic) clamps to "fire now" instead of raising.
+_PAST_TOLERANCE = 1e-9
+
+
 class Event:
-    """A scheduled callback (ordered by time, then insertion sequence)."""
+    """A scheduled callback (ordered by time, then insertion sequence).
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
-    #: Daemon events (periodic control loops: samplers, autoscalers,
-    #: SLO monitors) never count as pending *work* — see
-    #: :meth:`Simulator.peek_foreground_time`.
-    daemon: bool = dataclasses.field(default=False, compare=False)
+    The handle :meth:`Simulator.schedule` returns; hold it to
+    :meth:`~Simulator.cancel` the callback later.  ``cancelled`` and
+    ``fired`` report the lifecycle state.
+    """
+
+    __slots__ = ("time", "seq", "callback", "daemon", "state")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None],
+                 cancelled: bool = False, daemon: bool = False):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        #: Daemon events (periodic control loops: samplers, autoscalers,
+        #: SLO monitors) never count as pending *work* — see
+        #: :meth:`Simulator.peek_foreground_time`.
+        self.daemon = daemon
+        self.state = _CANCELLED if cancelled else _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before firing."""
+        return self.state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already run."""
+        return self.state == _FIRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = ("pending", "fired", "cancelled")[self.state]
+        return (f"Event(time={self.time!r}, seq={self.seq}, "
+                f"daemon={self.daemon}, {status})")
 
 
 class Simulator:
@@ -39,16 +81,26 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
-        self._now = 0.0
-        self._cancelled: set[int] = set()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Current virtual time in seconds.  A plain attribute, not a
+        #: property: the clock is read on every metric touch and span
+        #: open/close, so the descriptor call would be pure hot-path
+        #: overhead.  Treat as read-only; only :meth:`run` advances it.
+        self.now = 0.0
+        #: Pending non-daemon events (kept exact so the common
+        #: "is the workload drained" probe is O(1)).
+        self._foreground_pending = 0
+        #: Shadow heap of non-daemon entries so *which* foreground event
+        #: is next is also cheap: same lazy-deletion discipline as the
+        #: main heap, pruned as fired/cancelled entries surface.
+        self._fg_heap: list[tuple[float, int, Event]] = []
+        #: Same-timestamp events popped but not yet fired this dispatch
+        #: round; peeks must still see them (a callback that asks "is
+        #: there work" mid-batch would otherwise miss its same-time
+        #: siblings).
+        self._dispatching: list[Event] = []
         self.events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     def schedule(self, delay: float, callback: Callable[[], None],
                  daemon: bool = False) -> Event:
@@ -62,19 +114,41 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback,
-                      daemon=daemon)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self.now + delay, seq, callback, daemon=daemon)
+        entry = (event.time, seq, event)
+        heapq.heappush(self._heap, entry)
+        if not daemon:
+            self._foreground_pending += 1
+            heapq.heappush(self._fg_heap, entry)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None],
                     daemon: bool = False) -> Event:
-        """Schedule ``callback`` at an absolute virtual time."""
-        return self.schedule(time - self._now, callback, daemon=daemon)
+        """Schedule ``callback`` at an absolute virtual time.
+
+        Targets a hair *before* ``now`` — within a few ULPs, the float
+        round-off a cumulative-sum arrival trace accumulates — clamp to
+        "fire immediately" instead of raising; genuinely past targets
+        still raise.
+        """
+        delay = time - self.now
+        if delay < 0 and -delay <= _PAST_TOLERANCE * max(1.0, abs(self.now)):
+            delay = 0.0
+        return self.schedule(delay, callback, daemon=daemon)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (no-op if it already fired)."""
-        self._cancelled.add(event.seq)
+        """Cancel a pending event (no-op if it already fired).
+
+        O(1): flips the handle's state flag; the heap entry is discarded
+        lazily when it reaches the top.  No per-cancel bookkeeping
+        outlives the event, so cancel-heavy replays stay bounded.
+        """
+        if event.state == _PENDING:
+            event.state = _CANCELLED
+            if not event.daemon:
+                self._foreground_pending -= 1
 
     def run(self, until: float | None = None,
             max_events: int = 10_000_000) -> None:
@@ -82,32 +156,62 @@ class Simulator:
 
         ``max_events`` guards against runaway self-scheduling loops.
         """
+        heap = self._heap
         processed = 0
-        while self._heap:
-            if processed >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; "
-                    "likely a self-scheduling loop")
-            event = heapq.heappop(self._heap)
-            if event.seq in self._cancelled:
-                self._cancelled.discard(event.seq)
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._heap, event)  # leave it for later
-                self._now = until
+        while heap:
+            time = heap[0][0]
+            if until is not None and time > until:
+                self.now = until
                 return
-            self._now = event.time
-            event.callback()
-            processed += 1
-            self.events_processed += 1
+            # Batch-dispatch every event sharing this timestamp: one
+            # clock assignment + horizon check per distinct time.  A
+            # callback scheduling *new* same-time events is still
+            # ordered correctly — they carry higher seqs, stay on the
+            # heap, and drain in the next round at the same timestamp.
+            batch = self._dispatching
+            while heap and heap[0][0] == time:
+                batch.append(heapq.heappop(heap)[2])
+            self.now = time
+            for index, event in enumerate(batch):
+                if event.state:  # cancelled (possibly mid-batch)
+                    continue
+                if processed >= max_events:
+                    # Re-queue the unfired tail so the simulator state
+                    # stays consistent for post-mortem inspection.
+                    for tail in batch[index:]:
+                        if not tail.state:
+                            heapq.heappush(heap,
+                                           (tail.time, tail.seq, tail))
+                    del batch[:]
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a self-scheduling loop")
+                event.state = _FIRED
+                if not event.daemon:
+                    self._foreground_pending -= 1
+                event.callback()
+                processed += 1
+                self.events_processed += 1
+            del batch[:]
+            # Fired events surface at the shadow heap's top in the same
+            # time order they were dispatched, so this prune is
+            # amortized O(1) per event and keeps the shadow heap sized
+            # by *pending* work, not total history.
+            fg = self._fg_heap
+            while fg and fg[0][2].state:
+                heapq.heappop(fg)
         if until is not None:
-            self._now = max(self._now, until)
+            self.now = max(self.now, until)
 
     def peek_time(self) -> float | None:
         """Time of the next pending event, or None when idle."""
-        while self._heap and self._heap[0].seq in self._cancelled:
-            self._cancelled.discard(heapq.heappop(self._heap).seq)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].state:
+            heapq.heappop(heap)
+        for event in self._dispatching:
+            if not event.state:
+                return self.now
+        return heap[0][0] if heap else None
 
     def peek_foreground_time(self) -> float | None:
         """Time of the next pending *non-daemon* event, or None.
@@ -116,11 +220,16 @@ class Simulator:
         loop must ask before re-arming itself: with two or more loops
         running, :meth:`peek_time` always sees the other loop's next
         tick and the loops would keep the simulation alive forever.
+        The no-work answer — the one that ends every replay — is O(1)
+        off the foreground-pending counter; the next-time answer is an
+        amortized-O(1) peek at the shadow foreground heap.
         """
-        best: float | None = None
-        for event in self._heap:
-            if event.daemon or event.seq in self._cancelled:
-                continue
-            if best is None or event.time < best:
-                best = event.time
-        return best
+        if self._foreground_pending == 0:
+            return None
+        for event in self._dispatching:
+            if not event.state and not event.daemon:
+                return self.now
+        fg = self._fg_heap
+        while fg and fg[0][2].state:
+            heapq.heappop(fg)
+        return fg[0][0] if fg else None

@@ -61,21 +61,30 @@ class BackendInstance:
         self.fault_model = fault_model
         self._stage = name.split("#")[0]
         if metrics is not None:
+            # Bound label handles: the stage label is fixed for the
+            # instance's lifetime, so every per-batch update skips the
+            # label-key build entirely.
+            stage = self._stage
             self._h_exec = metrics.histogram(
                 "execution_seconds",
-                "Successful backend execution time per stage.")
+                "Successful backend execution time per stage.",
+                ).labels(stage=stage)
             self._c_batches = metrics.counter(
                 "batches_executed_total",
-                "Successful batch executions per stage.")
+                "Successful batch executions per stage.",
+                ).labels(stage=stage)
             self._c_images = metrics.counter(
                 "images_executed_total",
-                "Images in successful executions per stage.")
+                "Images in successful executions per stage.",
+                ).labels(stage=stage)
             self._c_failures = metrics.counter(
                 "execution_failures_total",
-                "Failed backend executions per stage.")
+                "Failed backend executions per stage.",
+                ).labels(stage=stage)
             self._c_fault_seconds = metrics.counter(
                 "fault_seconds_total",
-                "Instance time lost to failed executions per stage.")
+                "Instance time lost to failed executions per stage.",
+                ).labels(stage=stage)
         else:
             self._h_exec = self._c_batches = self._c_images = None
             self._c_failures = self._c_fault_seconds = None
@@ -144,8 +153,8 @@ class BackendInstance:
                     span.args["outcome"] = "fault"
                     request.trace.end(span, self.sim.now)
                 if self._c_failures is not None:
-                    self._c_failures.inc(stage=self._stage)
-                    self._c_fault_seconds.inc(detect, stage=self._stage)
+                    self._c_failures.inc()
+                    self._c_fault_seconds.inc(detect)
                 on_failure(batch)
 
             self.sim.schedule(detect, fail)
@@ -161,9 +170,9 @@ class BackendInstance:
             for request, span in trace_spans:
                 request.trace.end(span, self.sim.now)
             if self._h_exec is not None:
-                self._h_exec.observe(duration, stage=self._stage)
-                self._c_batches.inc(stage=self._stage)
-                self._c_images.inc(images, stage=self._stage)
+                self._h_exec.observe(duration)
+                self._c_batches.inc()
+                self._c_images.inc(images)
             on_complete(batch)
 
         self.sim.schedule(duration, finish)

@@ -25,6 +25,7 @@ summarizes the per-stage histograms in the same shape as
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_left
 from collections.abc import Callable, Iterable
 
 #: Canonical label encoding: sorted (key, value) pairs.
@@ -53,13 +54,120 @@ class Metric:
         self._clock = clock
         #: Simulator time of the most recent update per label set.
         self.last_updated: dict[LabelKey, float] = {}
+        #: Bound per-label-set handles, keyed like the value stores.
+        self._children: dict[LabelKey, object] = {}
 
     def _touch(self, key: LabelKey) -> None:
         self.last_updated[key] = self._clock()
 
+    def labels(self, **labels: str):
+        """A handle bound to one label set (the steady-state fast path).
+
+        Instrumenting code resolves the handle once — at construction,
+        when the label values are known — and each subsequent update is
+        a direct store into the family's value dict: no kwargs
+        packing, no per-call sort, no key tuple allocation.  Handles
+        write through to the parent family, so exports and reads stay
+        byte-identical to the keyword-argument path.
+        """
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child(key)
+            self._children[key] = child
+        return child
+
+    def _make_child(self, key: LabelKey):
+        raise NotImplementedError(
+            f"{self.kind} metrics do not support bound handles")
+
     def label_sets(self) -> list[LabelKey]:
         """Every label set this metric has been updated with."""
         return sorted(self.last_updated)
+
+
+class BoundCounter:
+    """A :class:`Counter` handle pre-bound to one label set."""
+
+    __slots__ = ("_values", "_last", "_clock", "_key", "name")
+
+    def __init__(self, parent: "Counter", key: LabelKey):
+        self._values = parent._values
+        self._last = parent.last_updated
+        self._clock = parent._clock
+        self._key = key
+        self.name = parent.name
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the bound series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        values, key = self._values, self._key
+        values[key] = values.get(key, 0.0) + amount
+        self._last[key] = self._clock()
+
+    def value(self) -> float:
+        """Current value of the bound series (0 if never set)."""
+        return self._values.get(self._key, 0.0)
+
+
+class BoundGauge:
+    """A :class:`Gauge` handle pre-bound to one label set."""
+
+    __slots__ = ("_values", "_last", "_clock", "_key", "name")
+
+    def __init__(self, parent: "Gauge", key: LabelKey):
+        self._values = parent._values
+        self._last = parent.last_updated
+        self._clock = parent._clock
+        self._key = key
+        self.name = parent.name
+
+    def set(self, value: float) -> None:
+        """Set the bound series to ``value``."""
+        self._values[self._key] = float(value)
+        self._last[self._key] = self._clock()
+
+    def add(self, amount: float) -> None:
+        """Adjust the bound series by ``amount`` (either sign)."""
+        values, key = self._values, self._key
+        values[key] = values.get(key, 0.0) + amount
+        self._last[key] = self._clock()
+
+    def value(self) -> float:
+        """Current value of the bound series (0 if never set)."""
+        return self._values.get(self._key, 0.0)
+
+
+class BoundHistogram:
+    """A :class:`Histogram` handle pre-bound to one label set.
+
+    The series record is resolved lazily on first observation so a
+    handle that never observes leaves no empty series in the scrape
+    (exactly the keyword-path behaviour).
+    """
+
+    __slots__ = ("_parent", "_key", "_series", "_bounds", "_last",
+                 "_clock", "name")
+
+    def __init__(self, parent: "Histogram", key: LabelKey):
+        self._parent = parent
+        self._key = key
+        self._series: _HistogramSeries | None = parent._series.get(key)
+        self._bounds = parent.buckets
+        self._last = parent.last_updated
+        self._clock = parent._clock
+        self.name = parent.name
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the bound series."""
+        series = self._series
+        if series is None:
+            series = self._series = self._parent._ensure_series(self._key)
+        series.bucket_counts[bisect_left(self._bounds, value)] += 1
+        series.sum += value
+        series.count += 1
+        self._last[self._key] = self._clock()
 
 
 class Counter(Metric):
@@ -79,6 +187,9 @@ class Counter(Metric):
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
         self._touch(key)
+
+    def _make_child(self, key: LabelKey) -> BoundCounter:
+        return BoundCounter(self, key)
 
     def value(self, **labels: str) -> float:
         """Current value of the labelled series (0 if never set)."""
@@ -114,6 +225,9 @@ class Gauge(Metric):
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
         self._touch(key)
+
+    def _make_child(self, key: LabelKey) -> BoundGauge:
+        return BoundGauge(self, key)
 
     def value(self, **labels: str) -> float:
         """Current value of the labelled series (0 if never set)."""
@@ -167,22 +281,30 @@ class Histogram(Metric):
             raise ValueError("bucket bounds must be positive")
         self._series: dict[LabelKey, _HistogramSeries] = {}
 
-    def observe(self, value: float, **labels: str) -> None:
-        """Record one observation into the labelled series."""
-        key = _label_key(labels)
+    def _ensure_series(self, key: LabelKey) -> _HistogramSeries:
         series = self._series.get(key)
         if series is None:
             series = _HistogramSeries([0] * (len(self.buckets) + 1))
             self._series[key] = series
-        index = len(self.buckets)  # overflow (+Inf) bucket
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
-        series.bucket_counts[index] += 1
+        return series
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series.
+
+        The bucket index comes from a binary search over the sorted
+        bounds: ``bisect_left`` returns the first bound ``>= value``
+        (Prometheus' ``le`` semantics) and the overflow ``+Inf`` bucket
+        when the value exceeds every bound.
+        """
+        key = _label_key(labels)
+        series = self._ensure_series(key)
+        series.bucket_counts[bisect_left(self.buckets, value)] += 1
         series.sum += value
         series.count += 1
         self._touch(key)
+
+    def _make_child(self, key: LabelKey) -> BoundHistogram:
+        return BoundHistogram(self, key)
 
     def count(self, **labels: str) -> int:
         """Observations recorded for the labelled series."""
@@ -323,6 +445,8 @@ class TimeSeriesSampler:
         self.samples: list[SamplePoint] = []
         self._running = False
         self._seen_models: set[str] = set()
+        #: Bound per-model gauge handles, resolved once per model.
+        self._model_handles: dict[str, tuple] = {}
         metrics = server.metrics
         self._g_depth = metrics.gauge(
             "queue_depth", "Requests waiting per model queue.")
@@ -333,7 +457,7 @@ class TimeSeriesSampler:
         self._g_total = metrics.gauge(
             "total_instances", "Instance-group size per model.")
         self._g_inflight = metrics.gauge(
-            "inflight_batches", "Batches executing right now.")
+            "inflight_batches", "Batches executing right now.").labels()
 
     def start(self) -> None:
         """Begin sampling at the current virtual time."""
@@ -362,15 +486,25 @@ class TimeSeriesSampler:
         )
         self.samples.append(point)
         for model in models:
-            self._g_depth.set(point.queue_depth[model], model=model)
-            self._g_images.set(point.queued_images[model], model=model)
-            self._g_busy.set(point.busy_instances[model], model=model)
-            self._g_total.set(point.total_instances[model], model=model)
+            handles = self._model_handles.get(model)
+            if handles is None:
+                handles = self._model_handles[model] = (
+                    self._g_depth.labels(model=model),
+                    self._g_images.labels(model=model),
+                    self._g_busy.labels(model=model),
+                    self._g_total.labels(model=model),
+                )
+            depth, images, busy, total = handles
+            depth.set(point.queue_depth[model])
+            images.set(point.queued_images[model])
+            busy.set(point.busy_instances[model])
+            total.set(point.total_instances[model])
         self._g_inflight.set(point.inflight_batches)
         # A model unloaded since the last tick must leave the scrape:
         # its gauges would otherwise report the pre-unload values
         # forever (a stale series, the classic unload bug).
         for model in self._seen_models - models:
+            self._model_handles.pop(model, None)
             for gauge in (self._g_depth, self._g_images, self._g_busy,
                           self._g_total):
                 gauge.remove(model=model)

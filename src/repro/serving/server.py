@@ -131,6 +131,10 @@ class TritonLikeServer:
         self._h_latency = m.histogram(
             "request_latency_seconds",
             "End-to-end latency of completed requests per model.")
+        # Bound label handles resolved once per (model[, status]) so the
+        # per-request accept/respond path never rebuilds label keys.
+        self._submit_handles: dict[str, tuple] = {}
+        self._respond_handles: dict[tuple[str, str], tuple] = {}
 
     # ------------------------------------------------------------------
     # Repository management
@@ -266,9 +270,15 @@ class TritonLikeServer:
                                       model=request.model_name)
             self._respond(request, status="rejected")
             return
-        self._c_submitted.inc(model=request.model_name)
-        self._c_images_in.inc(request.num_images,
-                              model=request.model_name)
+        model = request.model_name
+        handles = self._submit_handles.get(model)
+        if handles is None:
+            handles = self._submit_handles[model] = (
+                self._c_submitted.labels(model=model),
+                self._c_images_in.labels(model=model),
+            )
+        handles[0].inc()
+        handles[1].inc(request.num_images)
         if request.model_name in self._ensembles:
             ensemble = self._ensembles[request.model_name]
             if self._cache_lookup_tensor(request):
@@ -428,11 +438,17 @@ class TritonLikeServer:
             # monotonic extension).
             request.trace.close(self.sim.now, status=status)
         self.responses.append(response)
-        self._c_responses.inc(model=request.model_name, status=status)
-        self._c_images_done.inc(request.num_images,
-                                model=request.model_name, status=status)
-        self._h_latency.observe(response.latency,
-                                model=request.model_name)
+        key = (request.model_name, status)
+        handles = self._respond_handles.get(key)
+        if handles is None:
+            handles = self._respond_handles[key] = (
+                self._c_responses.labels(model=key[0], status=status),
+                self._c_images_done.labels(model=key[0], status=status),
+                self._h_latency.labels(model=key[0]),
+            )
+        handles[0].inc()
+        handles[1].inc(request.num_images)
+        handles[2].observe(response.latency)
         if self._on_response is not None:
             self._on_response(response)
 

@@ -34,3 +34,9 @@ PYTHONPATH=src python -m repro cache --frames 80 --seed 1 \
 cmp "$CACHE_DIR/a.txt" "$CACHE_DIR/b.txt"
 cmp "$CACHE_DIR/first.json" "$CACHE_DIR/cache.json"
 echo "cache smoke ok: deterministic across runs"
+# Bench smoke + perf-regression gate: the quick BENCH_core suite must
+# verify (baseline and optimized runs agree) and hold the committed
+# quick-mode speedup floors/bands.
+PYTHONPATH=src python -m repro bench --quick \
+    --check benchmarks/results/BENCH_core_quick.json
+echo "bench smoke ok: quick suite within committed bounds"
