@@ -1,0 +1,57 @@
+"""Extension: contended, lossy uplink with an edge cache relief valve.
+
+Replays the ``repro network`` scenario — four co-located field cameras
+fair-sharing one lossy LTE uplink — and records the committed baseline
+``results/BENCH_network.json``.  The structural claims under test: the
+shared bottleneck widens uplink spans well past the uncontended
+transfer time, QoS 1 trades drops for duplicates, and the edge cache
+cuts the contended p95 by thinning the flows on the wire.
+"""
+
+import json
+
+from repro.cli import main
+
+
+def test_edge_cache_relieves_contended_uplink(benchmark, results_dir):
+    out_file = results_dir / "BENCH_network.json"
+
+    def run():
+        assert main(["network", "--out", str(out_file)]) == 0
+        return json.loads(out_file.read_text())
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    uncached = payload["uncached"]
+    cached = payload["cached"]
+    scenario = payload["scenario"]
+
+    # Contention: four lockstep senders on one link stretch every
+    # transfer toward 4x the solo serialization time.
+    assert scenario["endpoints"] == 4
+    assert scenario["loss_probability"] == 0.01
+    assert uncached["peak_concurrency"] == scenario["endpoints"]
+    solo_ms = scenario["image_kb"] * 1024.0 * 8.0 \
+        / (scenario["bandwidth_mbps"] * 1e6) * 1e3
+    assert uncached["uplink_spans"]["mean_ms"] > 2.5 * solo_ms
+
+    # Loss: a 1% lossy link retransmits on a ~256-packet payload.
+    assert uncached["retransmits"] > 0
+
+    # The cache thins the flows on the wire, so the *misses* get
+    # faster too — contended p95 drops, not just the hit latency.
+    assert cached["served"] == uncached["served"]
+    assert cached["p95_ms"] < uncached["p95_ms"]
+    assert payload["p95_speedup"] > 1.2
+    assert cached["uplink_spans"]["transfers"] \
+        < uncached["uplink_spans"]["transfers"]
+    assert cached["uplink_spans"]["mean_ms"] \
+        < uncached["uplink_spans"]["mean_ms"]
+    assert cached["uplink_bytes_saved"] > 0
+
+    # Broker QoS semantics over the same lossy link: QoS 0 pays loss
+    # in drops, QoS 1 delivers everything at the cost of duplicates.
+    qos0, qos1 = payload["broker"]["qos0"], payload["broker"]["qos1"]
+    assert qos0["dropped"] > 0 and qos0["duplicates"] == 0
+    assert qos1["dropped"] == 0
+    assert qos1["delivered"] == qos1["published"]
+    assert qos1["retries"] > 0

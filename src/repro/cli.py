@@ -577,6 +577,294 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    import numpy as np
+
+    from repro.cache.keys import fingerprint
+    from repro.cache.store import CacheStore
+    from repro.cache.tiers import (
+        CLOUD_TENSOR,
+        EDGE_RESULT,
+        CacheHierarchy,
+        CacheTier,
+    )
+    from repro.continuum.broker import Broker
+    from repro.continuum.network import get_link
+    from repro.continuum.pipeline import ContinuumReplayer
+    from repro.continuum.uplink import SharedUplink, StoreAndForward
+    from repro.data.datasets import get_dataset
+    from repro.data.synthetic import synth_frame_sequence
+    from repro.engine.latency import LatencyModel
+    from repro.hardware.platform import get_platform
+    from repro.models.zoo import get_model
+    from repro.predict.whatif import uplink_fair_share_rate
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.events import Simulator
+    from repro.serving.exporter import export_registry
+    from repro.serving.faults import LinkOutageModel
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.request import Request
+    from repro.serving.server import ModelConfig, TritonLikeServer
+
+    if args.endpoints < 1:
+        raise ValueError("--endpoints must be >= 1")
+    if args.frames < 1:
+        raise ValueError("--frames must be >= 1")
+    if args.rate <= 0:
+        raise ValueError("--rate must be positive")
+    link = get_link(args.link)
+    if args.loss is not None or args.jitter_ms is not None:
+        link = _dc.replace(
+            link,
+            loss_probability=(link.loss_probability if args.loss is None
+                              else args.loss),
+            jitter_seconds=(link.jitter_seconds
+                            if args.jitter_ms is None
+                            else args.jitter_ms / 1e3))
+    outage = None
+    if args.outage_start > 0:
+        outage = LinkOutageModel(windows=(
+            (args.outage_start,
+             args.outage_start + args.outage_seconds),))
+    spec = get_dataset(args.dataset)
+    platform = get_platform(args.platform)
+    latency = LatencyModel(get_model(args.model).graph, platform)
+    image_bytes = args.image_kb * 1024.0
+    interval = 1.0 / args.rate
+    horizon = args.frames * interval + 60.0
+
+    # Per-endpoint correlated frame sequences (shared seed family).
+    sequences = []
+    for endpoint in range(args.endpoints):
+        rng = np.random.default_rng([args.seed, endpoint])
+        frames = synth_frame_sequence(spec, args.frames,
+                                      args.scene_change_rate, rng)
+        sequences.append([fingerprint(frame) for frame in frames])
+
+    def replay(cached: bool):
+        sim = Simulator()
+        registry = MetricsRegistry(clock=lambda: sim.now)
+        server = TritonLikeServer(sim, registry=registry)
+        server.register(ModelConfig(
+            "infer", lambda n: latency.latency(max(1, n)),
+            batcher=BatcherConfig(max_batch_size=8,
+                                  max_queue_delay=0.002)))
+        uplink = SharedUplink(link, sim, seed=args.seed,
+                              registry=registry)
+        transport = uplink
+        buffer = None
+        if outage is not None:
+            buffer = StoreAndForward(uplink, sim, outage=outage,
+                                     registry=registry)
+            buffer.start(horizon)
+            transport = buffer
+        cache = None
+        if cached:
+            edge = CacheStore(capacity_bytes=64.0 * 1024.0,
+                              clock=lambda: sim.now,
+                              ttl_seconds=args.edge_ttl,
+                              name=EDGE_RESULT)
+            cloud = CacheStore(capacity_bytes=32.0 * 1024.0 * 1024.0,
+                               clock=lambda: sim.now, name=CLOUD_TENSOR)
+            cache = CacheHierarchy(
+                edge=CacheTier(EDGE_RESULT, edge,
+                               stage="uplink+serving",
+                               registry=registry),
+                cloud=CacheTier(CLOUD_TENSOR, cloud, stage="preprocess",
+                                registry=registry))
+        replayer = ContinuumReplayer(
+            server, transport,
+            edge_preprocess_time=lambda n: 0.002 * n,
+            image_bytes=image_bytes, registry=registry, cache=cache)
+        if cache is not None:
+            server.attach_cache(cache)
+        # Co-located endpoints capture in lockstep (synchronized
+        # triggers), so every tick puts `endpoints` transfers on the
+        # bottleneck at once — the contention the uplink must absorb.
+        for index in range(args.frames):
+            for endpoint in range(args.endpoints):
+                request = Request(
+                    "infer", num_images=1,
+                    request_id=index * args.endpoints + endpoint + 1,
+                    cache_key=sequences[endpoint][index])
+                request.endpoint = endpoint
+                sim.schedule_at(index * interval,
+                                lambda r=request: replayer.submit(r))
+        server.run()
+        closed = replayer.completed_traces()
+        served = [t for t in closed if t.status == "ok"]
+        return {
+            "replayer": replayer, "uplink": uplink, "buffer": buffer,
+            "cache": cache, "registry": registry, "served": served,
+            "closed": closed,
+        }
+
+    def uplink_span_stats(closed):
+        durations = sorted(
+            span.duration
+            for trace in closed for span in trace.find("uplink"))
+        if not durations:
+            return {"transfers": 0, "mean_ms": 0.0, "max_ms": 0.0}
+        return {
+            "transfers": len(durations),
+            "mean_ms": round(
+                sum(durations) / len(durations) * 1e3, 3),
+            "max_ms": round(durations[-1] * 1e3, 3),
+        }
+
+    uncontended_ms = link.transfer_seconds(image_bytes) * 1e3
+    total = args.frames * args.endpoints
+    print(f"network scenario: {args.endpoints} co-located endpoints on "
+          f"{link.name} ({link.bandwidth_bps / 1e6:g} Mbps, rtt "
+          f"{link.round_trip_seconds * 1e3:g} ms, jitter ±"
+          f"{link.jitter_seconds * 1e3:g} ms, loss "
+          f"{link.loss_probability:.2%})")
+    print(f"frames: {args.frames} per endpoint @ {args.rate:g} fps, "
+          f"{args.image_kb:g} KiB images, scene change "
+          f"{args.scene_change_rate:g}, {spec.name} (seed {args.seed})")
+    if outage is not None:
+        print(f"outage: link down {args.outage_start:g}.."
+              f"{args.outage_start + args.outage_seconds:g} s "
+              f"(store-and-forward)")
+    fair = uplink_fair_share_rate(link, args.endpoints, image_bytes)
+    print(f"whatif: fair share {fair:.2f} img/s per endpoint "
+          f"({fair * args.endpoints:.2f} aggregate ceiling, expected "
+          f"uncontended transfer {uncontended_ms:.0f} ms)")
+
+    results = {}
+    for label, cached in (("uncached", False), ("cached", True)):
+        run = replay(cached)
+        results[label] = run
+        spans = uplink_span_stats(run["closed"])
+        p95 = _cache_p95(run["served"])
+        latencies = sorted(t.latency for t in run["served"])
+        p50 = latencies[len(latencies) // 2] if latencies else 0.0
+        print(f"== {label} replay ==")
+        print(f"  served {len(run['served'])}/{total}  p50 "
+              f"{p50 * 1e3:.1f} ms  p95 {p95 * 1e3:.1f} ms")
+        uplink = run["uplink"]
+        print(f"  uplink: {spans['transfers']} transfers, "
+              f"{uplink.total_retransmits} retransmits, peak "
+              f"concurrency {uplink.peak_concurrency}")
+        if spans["transfers"]:
+            print(f"  uplink spans: mean {spans['mean_ms']:.1f} ms / "
+                  f"max {spans['max_ms']:.1f} ms "
+                  f"({spans['mean_ms'] / uncontended_ms:.2f}x the "
+                  f"uncontended transfer)")
+        if run["buffer"] is not None:
+            buffer = run["buffer"]
+            print(f"  store-and-forward: {buffer.outages} outage(s), "
+                  f"{buffer.buffered_total} buffered, max depth "
+                  f"{buffer.max_buffer_depth}, {buffer.dropped} "
+                  f"dropped")
+        if cached:
+            cache = run["cache"]
+            replayer = run["replayer"]
+            print(f"  edge cache: hit ratio "
+                  f"{cache.edge.hit_ratio:.1%}, uplink bytes saved "
+                  f"{replayer.uplink_bytes_saved:.0f} "
+                  f"({len(replayer.cache_responses)} of {total} "
+                  f"frames)")
+        run["summary"] = {
+            "served": len(run["served"]),
+            "p50_ms": round(p50 * 1e3, 3),
+            "p95_ms": round(p95 * 1e3, 3),
+            "uplink_spans": spans,
+            "retransmits": uplink.total_retransmits,
+            "peak_concurrency": uplink.peak_concurrency,
+        }
+        if cached:
+            run["summary"]["edge_hit_ratio"] = round(
+                run["cache"].edge.hit_ratio, 6)
+            run["summary"]["uplink_bytes_saved"] = \
+                run["replayer"].uplink_bytes_saved
+
+    # Broker leg: co-located sensors publishing telemetry over the same
+    # (idle) link — QoS 0 pays loss in drops, QoS 1 in duplicates.
+    broker_stats = {}
+    print(f"== broker (QoS over {link.name}) ==")
+    for qos in (0, 1):
+        sim = Simulator()
+        broker = Broker(sim, link, seed=args.seed + qos)
+        received = []
+        broker.subscribe("telemetry",
+                         lambda t, b, dup: received.append(dup))
+        for index in range(args.broker_messages):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish(
+                                "telemetry", 2048.0, qos=qos))
+        sim.run()
+        stats = {
+            "published": broker.published,
+            "delivered": broker.delivered,
+            "dropped": broker.dropped,
+            "duplicates": broker.duplicates,
+            "retries": broker.retries,
+            "failed": broker.failed,
+        }
+        broker_stats[f"qos{qos}"] = stats
+        print(f"  qos{qos}: published {stats['published']}  delivered "
+              f"{stats['delivered']}  dropped {stats['dropped']}  "
+              f"duplicates {stats['duplicates']}  retries "
+              f"{stats['retries']}  failed {stats['failed']}")
+    loss_2k = Broker(Simulator(), link).message_loss_probability(2048.0)
+    print(f"  message loss probability (2 KiB, unacknowledged): "
+          f"{loss_2k:.2%}")
+
+    print("== link metrics (cached run) ==")
+    lines = [line for line in
+             export_registry(results["cached"]["registry"]).splitlines()
+             if "link_" in line]
+    print("\n".join(lines))
+
+    if args.trace_out:
+        import pathlib
+
+        from repro.serving.trace_export import export_chrome_trace
+
+        text = export_chrome_trace(results["uncached"]["closed"])
+        pathlib.Path(args.trace_out).write_text(text)
+        print(f"wrote {args.trace_out} "
+              f"({len(results['uncached']['closed'])} traces)")
+    if args.out:
+        import json
+        import pathlib
+
+        payload = {
+            "scenario": {
+                "link": link.name,
+                "bandwidth_mbps": link.bandwidth_bps / 1e6,
+                "rtt_ms": link.round_trip_seconds * 1e3,
+                "jitter_ms": link.jitter_seconds * 1e3,
+                "loss_probability": link.loss_probability,
+                "endpoints": args.endpoints,
+                "frames_per_endpoint": args.frames,
+                "rate_per_second": args.rate,
+                "image_kb": args.image_kb,
+                "scene_change_rate": args.scene_change_rate,
+                "dataset": spec.name,
+                "model": args.model,
+                "platform": args.platform,
+                "seed": args.seed,
+            },
+            "uncached": results["uncached"]["summary"],
+            "cached": results["cached"]["summary"],
+            "broker": broker_stats,
+            "fair_share_images_per_second": round(fair, 6),
+        }
+        cached_p95 = results["cached"]["summary"]["p95_ms"]
+        if cached_p95 > 0:
+            payload["p95_speedup"] = round(
+                results["uncached"]["summary"]["p95_ms"] / cached_p95,
+                3)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import (
         check_regression,
@@ -767,6 +1055,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the per-rate results as JSON here")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "network",
+        help="replay co-located field endpoints over one contended, "
+             "lossy uplink (shared fair-share link, broker QoS, "
+             "optional outage with store-and-forward)")
+    p.add_argument("--endpoints", type=int, default=4,
+                   help="co-located cameras sharing the uplink")
+    p.add_argument("--link", default="field_lte_lossy",
+                   help="uplink preset (see repro.continuum.network)")
+    p.add_argument("--loss", type=float, default=None,
+                   help="override the preset's packet loss probability")
+    p.add_argument("--jitter-ms", type=float, default=None,
+                   help="override the preset's one-way jitter bound "
+                        "(ms)")
+    p.add_argument("--frames", type=int, default=60,
+                   help="frames per endpoint")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="per-endpoint capture rate (frames/s)")
+    p.add_argument("--image-kb", type=float, default=256.0,
+                   help="image payload per frame (KiB)")
+    p.add_argument("--scene-change-rate", type=float, default=0.05,
+                   help="per-frame scene-cut probability (drives edge "
+                        "cache hits)")
+    p.add_argument("--dataset", default="crsa",
+                   help="dataset whose frames the cameras capture")
+    p.add_argument("--model", default="resnet50",
+                   help="cloud-side model")
+    p.add_argument("--platform", default="a100",
+                   help="cloud-side platform")
+    p.add_argument("--edge-ttl", type=float, default=30.0,
+                   help="edge result freshness bound (s)")
+    p.add_argument("--outage-start", type=float, default=0.0,
+                   help="link outage start (s; 0 disables the outage)")
+    p.add_argument("--outage-seconds", type=float, default=3.0,
+                   help="link outage duration (s)")
+    p.add_argument("--broker-messages", type=int, default=200,
+                   help="sensor messages per QoS level in the broker "
+                        "leg")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="write the scenario results as JSON here")
+    p.add_argument("--trace-out", default=None,
+                   help="write the contended (uncached) replay as "
+                        "Chrome trace-event JSON here")
+    p.set_defaults(func=_cmd_network)
 
     p = sub.add_parser(
         "bench",

@@ -8,7 +8,16 @@ need: network links for edge→cloud transfer and a real orthomosaic
 stitch/tile pipeline for the offline drone workflow (Fig. 3a).
 """
 
-from repro.continuum.network import NetworkLink, LINKS, get_link
+from repro.continuum.network import (
+    LINKS,
+    LinkTelemetry,
+    NetworkLink,
+    Transfer,
+    get_link,
+    register_link,
+)
+from repro.continuum.uplink import SharedUplink, StoreAndForward
+from repro.continuum.broker import Broker
 from repro.continuum.stitching import (
     TilePlacement,
     stitch_mosaic,

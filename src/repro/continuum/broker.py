@@ -1,0 +1,216 @@
+"""MQTT-like pub/sub delivery between field endpoints and the edge.
+
+Continuum deployments rarely speak request/response end to end: sensors
+and cameras publish to a broker on the farm gateway, and edge services
+subscribe.  This module models that hop with MQTT's delivery semantics:
+
+* **QoS 0** (at most once) — fire and forget.  A message that loses a
+  packet end-to-end is simply gone; the publisher never learns.
+* **QoS 1** (at least once) — the broker expects a PUBACK.  A lost
+  message is republished after ``retry_seconds`` (bounded by
+  ``max_retries``); a delivered message whose *ack* is lost is also
+  republished, which the subscriber sees as a **duplicate** — the
+  at-least-once contract made visible.
+
+Transfers ride any transport sharing the
+:class:`~repro.continuum.network.NetworkLink` surface — including a
+:class:`~repro.continuum.uplink.SharedUplink`, so broker traffic
+contends with image uploads for the same bottleneck, and a
+:class:`~repro.continuum.uplink.StoreAndForward` buffer, so publishes
+during an outage arrive late rather than never (QoS 0 included: the
+loss being modeled is packet loss on the wire, not gateway death).
+
+Delivery outcomes are sampled from a seeded stream in event order, so
+replays are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+
+def _base_link(transport):
+    """The underlying NetworkLink behind any transport composition."""
+    seen = set()
+    obj = transport
+    while not hasattr(obj, "loss_probability"):
+        if id(obj) in seen:
+            raise TypeError("transport does not wrap a NetworkLink")
+        seen.add(id(obj))
+        inner = getattr(obj, "link", None) or getattr(obj, "transport",
+                                                      None)
+        if inner is None:
+            raise TypeError("transport does not wrap a NetworkLink")
+        obj = inner
+    return obj
+
+
+class _Message:
+    """One publish in flight (possibly across retries)."""
+
+    __slots__ = ("topic", "payload_bytes", "qos", "trace", "span",
+                 "delivered_once")
+
+    def __init__(self, topic, payload_bytes, qos, trace, span):
+        self.topic = topic
+        self.payload_bytes = payload_bytes
+        self.qos = qos
+        self.trace = trace
+        self.span = span
+        self.delivered_once = False
+
+
+class Broker:
+    """Topic-based pub/sub with QoS 0/1 delivery over a lossy link.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator clock.
+    transport:
+        Anything with the link transport surface (``schedule_transfer``
+        + pricing attributes); publishes travel as ``uplink`` legs.
+    seed:
+        Seed for the message-loss/ack-loss sample stream.
+    registry:
+        Optional metrics registry; wires
+        ``broker_messages_total{qos, outcome}``.
+    retry_seconds:
+        QoS 1 republish timeout after a missing PUBACK.
+    max_retries:
+        Republish budget per QoS 1 message (after which an undelivered
+        message counts as ``failed``).
+
+    Subscribers are callables ``callback(topic, payload_bytes,
+    duplicate)`` invoked at delivery time on the simulator clock.
+    """
+
+    def __init__(self, sim, transport, seed: int = 0, registry=None,
+                 retry_seconds: float = 1.0, max_retries: int = 2):
+        if retry_seconds <= 0:
+            raise ValueError("retry timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("retry budget must be >= 0")
+        self.sim = sim
+        self.transport = transport
+        self.link = _base_link(transport)
+        self.retry_seconds = retry_seconds
+        self.max_retries = max_retries
+        self._rng = np.random.default_rng(seed)
+        self._subs: dict[str, list[Callable]] = {}
+        self._c_messages = None
+        self._handles: dict[tuple[int, str], object] = {}
+        if registry is not None:
+            self._c_messages = registry.counter(
+                "broker_messages_total",
+                "Broker publishes by QoS and delivery outcome.")
+        #: Lifetime statistics (deterministic; the CLI prints them).
+        self.published = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicates = 0
+        self.failed = 0
+        self.retries = 0
+
+    def _count(self, qos: int, outcome: str) -> None:
+        if self._c_messages is not None:
+            key = (qos, outcome)
+            handle = self._handles.get(key)
+            if handle is None:
+                handle = self._handles[key] = self._c_messages.labels(
+                    qos=str(qos), outcome=outcome)
+            handle.inc()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str,
+                  callback: Callable[[str, float, bool], None]) -> None:
+        """Register a delivery callback for one topic."""
+        self._subs.setdefault(topic, []).append(callback)
+
+    def message_loss_probability(self, payload_bytes: float) -> float:
+        """End-to-end loss chance of one unacknowledged message.
+
+        A message survives only if every one of its packets does:
+        ``1 - (1 - p) ** packets``.
+        """
+        p = self.link.loss_probability
+        if p == 0.0:
+            return 0.0
+        return 1.0 - (1.0 - p) ** self.link.packet_count(payload_bytes)
+
+    def publish(self, topic: str, payload_bytes: float, qos: int = 0,
+                trace=None) -> None:
+        """Publish one message at the current virtual time."""
+        if qos not in (0, 1):
+            raise ValueError("QoS must be 0 or 1 (QoS 2 is not modeled)")
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        self.published += 1
+        span = None
+        if trace is not None:
+            span = trace.begin("publish", self.sim.now,
+                               category="network", topic=topic,
+                               qos=qos, payload_bytes=payload_bytes)
+        message = _Message(topic, payload_bytes, qos, trace, span)
+        self._attempt(message, attempt=1)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, message: _Message, attempt: int) -> None:
+        self.transport.schedule_transfer(
+            self.sim, message.payload_bytes,
+            lambda: self._arrived(message, attempt),
+            trace=message.trace, direction="uplink")
+
+    def _arrived(self, message: _Message, attempt: int) -> None:
+        lost = bool(self._rng.random()
+                    < self.message_loss_probability(
+                        message.payload_bytes))
+        if lost:
+            if message.qos == 0:
+                self.dropped += 1
+                self._finish(message, "dropped")
+            elif attempt <= self.max_retries:
+                self._retry(message, attempt)
+            else:
+                self.failed += 1
+                self._finish(message, "failed")
+            return
+        duplicate = message.delivered_once
+        message.delivered_once = True
+        if duplicate:
+            self.duplicates += 1
+            self._count(message.qos, "duplicate")
+        else:
+            self.delivered += 1
+        for callback in self._subs.get(message.topic, []):
+            callback(message.topic, message.payload_bytes, duplicate)
+        if message.qos == 1:
+            # The single-packet PUBACK can itself be lost; the
+            # publisher then re-sends and the subscriber sees a dupe.
+            ack_lost = bool(self._rng.random()
+                            < self.link.loss_probability)
+            if ack_lost and attempt <= self.max_retries:
+                self._retry(message, attempt)
+                return
+        self._finish(message, "delivered" if not duplicate
+                     else None)
+
+    def _retry(self, message: _Message, attempt: int) -> None:
+        self.retries += 1
+        if message.trace is not None:
+            message.trace.instant(
+                "publish_retry", self.sim.now, category="network",
+                topic=message.topic, attempt=attempt + 1)
+        self.sim.schedule(self.retry_seconds,
+                          lambda: self._attempt(message, attempt + 1))
+
+    def _finish(self, message: _Message, outcome: str | None) -> None:
+        if outcome is not None:
+            self._count(message.qos, outcome)
+        if message.span is not None and message.span.end is None:
+            if outcome is not None:
+                message.span.args["outcome"] = outcome
+            message.trace.end(message.span, self.sim.now)
+            message.span = None

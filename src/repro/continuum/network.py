@@ -5,23 +5,144 @@ transmitting large image data to the cloud.  It would be beneficial to
 leverage advanced wireless capabilities" (Section 2.2.1).  A
 :class:`NetworkLink` prices payload transfers; the presets cover the
 deployment situations the paper discusses (field LTE uplink, farm Wi-Fi,
-station Ethernet, on-device loopback).
+station Ethernet, on-device loopback) plus lossy variants of the
+wireless legs.
+
+Two pricing regimes coexist:
+
+* **Expected-value** (:meth:`NetworkLink.transfer_seconds`) — the
+  deterministic analytic cost, now including the expected retransmission
+  expansion of a lossy link (each packet must be sent ``1 / (1 - p)``
+  times on average).  Everything that *plans* — the offload policy, the
+  capacity planner, the what-if previews — uses this regime, so plans
+  stay reproducible without a RNG.
+* **Sampled** (:meth:`NetworkLink.sample_transfer`,
+  :meth:`NetworkLink.schedule_transfer` with an ``rng``) — per-transfer
+  jitter and per-packet retransmission draws from a seeded generator,
+  for the discrete-event replays where tail behaviour matters.  Same
+  seed, same samples: replays stay byte-identical.
+
+Congestion between co-located endpoints lives in
+:class:`repro.continuum.uplink.SharedUplink`; pub/sub delivery in
+:class:`repro.continuum.broker.Broker`.  Both compose over these links.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+
+
+class Transfer:
+    """Handle for one in-flight :meth:`NetworkLink.schedule_transfer`.
+
+    Wraps the scheduled arrival :class:`~repro.serving.events.Event`
+    together with the ``network`` span opened for the leg.  Cancel an
+    in-flight transfer through :meth:`cancel` — never through
+    ``sim.cancel(transfer.event)`` directly — so the span is closed (or
+    discarded) instead of leaking open into the trace export.
+    """
+
+    __slots__ = ("event", "span", "_trace", "_sim")
+
+    def __init__(self, event, span, trace, sim):
+        self.event = event
+        self.span = span
+        self._trace = trace
+        self._sim = sim
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the transfer was cancelled before arriving."""
+        return self.event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the arrival callback already ran."""
+        return self.event.fired
+
+    def cancel(self) -> None:
+        """Cancel the pending arrival and close the leg's span.
+
+        The span is stamped ``cancelled=True`` and ended at the current
+        virtual time, so the trace records a truncated leg instead of an
+        interval that never closes (drained instances and injected link
+        faults cancel transfers mid-flight; the Chrome export must still
+        validate).  No-op once the transfer arrived.
+        """
+        if self.event.fired:
+            return
+        self._sim.cancel(self.event)
+        if self.span is not None and self.span.end is None:
+            self.span.args["cancelled"] = True
+            self._trace.end(self.span, self._sim.now)
+            self.span = None
+
+
+class LinkTelemetry:
+    """Per-link Prometheus metrics, bound once and shared by transports.
+
+    Registers ``link_bytes_total`` / ``link_retransmits_total`` counters
+    and a ``link_queue_depth`` gauge on a
+    :class:`~repro.serving.observability.MetricsRegistry`; the shared
+    uplink and the store-and-forward buffer report through one of these
+    so a scrape shows every leg of the continuum's network.
+    """
+
+    def __init__(self, registry, link_name: str):
+        self.link_name = link_name
+        self._bytes = registry.counter(
+            "link_bytes_total",
+            "Payload bytes carried per link and direction.")
+        self._retransmits = registry.counter(
+            "link_retransmits_total",
+            "Packets retransmitted after loss, per link.")
+        self._queue = registry.gauge(
+            "link_queue_depth",
+            "Transfers in flight (or buffered) per link component.")
+        self._sent_handles: dict[str, object] = {}
+        self._retx = self._retransmits.labels(link=link_name)
+        self._depth_handles: dict[str, object] = {}
+
+    def sent(self, payload_bytes: float, direction: str,
+             retransmits: int = 0) -> None:
+        """Record one completed transfer."""
+        handle = self._sent_handles.get(direction)
+        if handle is None:
+            handle = self._sent_handles[direction] = self._bytes.labels(
+                link=self.link_name, direction=direction)
+        handle.inc(payload_bytes)
+        if retransmits:
+            self._retx.inc(retransmits)
+
+    def queue_depth(self, depth: int, component: str = "uplink") -> None:
+        """Publish the current in-flight/buffered transfer count."""
+        handle = self._depth_handles.get(component)
+        if handle is None:
+            handle = self._depth_handles[component] = self._queue.labels(
+                link=self.link_name, component=component)
+        handle.set(float(depth))
 
 
 @dataclasses.dataclass(frozen=True)
 class NetworkLink:
-    """A point-to-point link with bandwidth, RTT and loss overhead."""
+    """A point-to-point link with bandwidth, RTT, jitter and loss."""
 
     name: str
     bandwidth_bps: float          # usable goodput, bits/second
     round_trip_seconds: float
-    #: Multiplier on payload bytes for protocol framing/retransmission.
+    #: Multiplier on payload bytes for protocol framing.
     overhead_factor: float = 1.05
+    #: Half-width of the uniform one-way delay jitter (seconds).  The
+    #: sampled propagation delay is ``rtt/2 + U(-jitter, +jitter)``,
+    #: floored at zero; the expected-value path ignores it (zero mean).
+    jitter_seconds: float = 0.0
+    #: Per-packet loss probability.  Lost packets are retransmitted
+    #: (reliable delivery), so loss shows up as time, not drops:
+    #: expected transmissions per packet are ``1 / (1 - p)``.
+    loss_probability: float = 0.0
+    #: Packetization unit for loss/retransmission accounting.
+    mtu_bytes: float = 1500.0
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
@@ -30,14 +151,37 @@ class NetworkLink:
             raise ValueError("RTT must be non-negative")
         if self.overhead_factor < 1.0:
             raise ValueError("overhead factor must be >= 1")
+        if self.jitter_seconds < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss probability must lie in [0, 1)")
+        if self.mtu_bytes <= 0:
+            raise ValueError("MTU must be positive")
 
-    def transfer_seconds(self, payload_bytes: float) -> float:
-        """One-way transfer time of a payload (half-RTT + serialization)."""
+    # -- expected-value pricing ----------------------------------------
+    @property
+    def retransmit_expansion(self) -> float:
+        """Expected transmissions per packet: ``1 / (1 - loss)``."""
+        return 1.0 / (1.0 - self.loss_probability)
+
+    def packet_count(self, payload_bytes: float) -> int:
+        """Packets (MTU units) one payload occupies on the wire."""
         if payload_bytes < 0:
             raise ValueError("payload must be non-negative")
-        serialization = (payload_bytes * self.overhead_factor * 8.0
-                         / self.bandwidth_bps)
-        return self.round_trip_seconds / 2.0 + serialization
+        wire = payload_bytes * self.overhead_factor
+        return max(1, math.ceil(wire / self.mtu_bytes))
+
+    def serialization_seconds(self, payload_bytes: float) -> float:
+        """Expected time on the wire (loss-expanded, no propagation)."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        return (payload_bytes * self.overhead_factor * 8.0
+                * self.retransmit_expansion / self.bandwidth_bps)
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """Expected one-way transfer time (half-RTT + serialization)."""
+        return (self.round_trip_seconds / 2.0
+                + self.serialization_seconds(payload_bytes))
 
     def request_response_seconds(self, upload_bytes: float,
                                  download_bytes: float = 1024.0) -> float:
@@ -45,60 +189,141 @@ class NetworkLink:
         return (self.transfer_seconds(upload_bytes)
                 + self.transfer_seconds(download_bytes))
 
+    # -- sampled pricing -----------------------------------------------
+    def sample_retransmits(self, payload_bytes: float, rng) -> int:
+        """Draw the retransmission count for one payload.
+
+        Each of the payload's packets needs a geometric number of
+        transmissions at success probability ``1 - loss``; the excess
+        over one per packet is the retransmit count.  Lossless links
+        consume no randomness (the draw is identically zero), so
+        attaching a RNG to a clean link keeps streams untouched.
+        """
+        if self.loss_probability == 0.0:
+            return 0
+        packets = self.packet_count(payload_bytes)
+        draws = rng.geometric(1.0 - self.loss_probability, size=packets)
+        return int(draws.sum()) - packets
+
+    def sample_jitter(self, rng) -> float:
+        """Draw the one-way propagation jitter (may be negative)."""
+        if self.jitter_seconds == 0.0:
+            return 0.0
+        return float(rng.uniform(-self.jitter_seconds,
+                                 self.jitter_seconds))
+
+    def sample_transfer(self, payload_bytes: float, rng):
+        """One sampled transfer: ``(duration, retransmits, jitter)``.
+
+        Duration = max(0, half-RTT + jitter) + serialization inflated by
+        the sampled retransmits.  Deterministic for a given generator
+        state — the determinism tests replay the stream and compare.
+        """
+        retransmits = self.sample_retransmits(payload_bytes, rng)
+        jitter = self.sample_jitter(rng)
+        packets = self.packet_count(payload_bytes)
+        wire_bits = payload_bytes * self.overhead_factor * 8.0
+        serialization = (wire_bits * (packets + retransmits) / packets
+                         / self.bandwidth_bps)
+        propagation = max(0.0, self.round_trip_seconds / 2.0 + jitter)
+        return propagation + serialization, retransmits, jitter
+
+    # -- scheduling ----------------------------------------------------
     def schedule_transfer(self, sim, payload_bytes: float, on_complete,
-                          trace=None, direction: str = "uplink"):
+                          trace=None, direction: str = "uplink",
+                          rng=None, telemetry: LinkTelemetry | None = None,
+                          ) -> Transfer:
         """Put one transfer on the simulator clock.
 
-        Schedules ``on_complete`` at ``now + transfer_seconds(payload)``
-        and — when a :class:`~repro.serving.tracectx.TraceContext` is
-        passed — records the leg as a named span (``direction`` is the
-        span name: ``uplink`` or ``downlink``), so network time shows up
-        in the critical-path analysis next to queueing and inference.
-        Returns the scheduled :class:`~repro.serving.events.Event`.
+        Schedules ``on_complete`` at ``now + duration`` — the expected
+        duration without a ``rng``, a sampled one (jitter + per-packet
+        retransmission draws) with one — and, when a
+        :class:`~repro.serving.tracectx.TraceContext` is passed, records
+        the leg as a named ``network`` span (``direction`` is the span
+        name: ``uplink`` or ``downlink``).  Returns a :class:`Transfer`
+        handle; cancel through it (not ``sim.cancel``) so the span is
+        closed instead of leaking open.
         """
-        duration = self.transfer_seconds(payload_bytes)
+        retransmits = 0
+        if rng is None:
+            duration = self.transfer_seconds(payload_bytes)
+        else:
+            duration, retransmits, _ = self.sample_transfer(
+                payload_bytes, rng)
         span = None
         if trace is not None:
             span = trace.begin(direction, sim.now, category="network",
                                link=self.name,
                                payload_bytes=payload_bytes)
+            if retransmits:
+                span.args["retransmits"] = retransmits
 
         def arrive() -> None:
             if span is not None:
                 trace.end(span, sim.now)
+            if telemetry is not None:
+                telemetry.sent(payload_bytes, direction,
+                               retransmits=retransmits)
             on_complete()
 
-        return sim.schedule(duration, arrive)
+        event = sim.schedule(duration, arrive)
+        return Transfer(event, span, trace, sim)
 
     def sustainable_images_per_second(self, image_bytes: float) -> float:
         """Upload-rate ceiling for a stream of same-sized images."""
         if image_bytes <= 0:
             raise ValueError("image size must be positive")
         return self.bandwidth_bps / (image_bytes * self.overhead_factor
-                                     * 8.0)
+                                     * 8.0 * self.retransmit_expansion)
 
 
-LINKS: dict[str, NetworkLink] = {
-    link.name: link
-    for link in (
-        # Rural LTE uplink from a field deployment.
-        NetworkLink("field_lte", bandwidth_bps=10e6,
-                    round_trip_seconds=0.060),
-        # Farm-building Wi-Fi backhaul.
-        NetworkLink("farm_wifi", bandwidth_bps=80e6,
-                    round_trip_seconds=0.010),
-        # Research-station wired uplink to the cluster.
-        NetworkLink("station_ethernet", bandwidth_bps=1e9,
-                    round_trip_seconds=0.002),
-        # On-device (camera directly attached to the Jetson).
-        NetworkLink("local", bandwidth_bps=40e9,
-                    round_trip_seconds=0.0, overhead_factor=1.0),
-    )
-}
+LINKS: dict[str, NetworkLink] = {}
+
+
+def register_link(link: NetworkLink, replace: bool = False) -> NetworkLink:
+    """Register a preset under its lowercased name.
+
+    Keys are normalized at registration so :func:`get_link`'s
+    case-insensitive lookup can actually reach every preset (an
+    uppercase ``link.name`` used to be stored verbatim and become
+    unreachable).  Duplicate names are rejected unless ``replace=True``.
+    """
+    key = link.name.lower()
+    if not replace and key in LINKS:
+        raise ValueError(f"link {link.name!r} already registered")
+    LINKS[key] = link
+    return link
+
+
+for _link in (
+    # Rural LTE uplink from a field deployment.
+    NetworkLink("field_lte", bandwidth_bps=10e6,
+                round_trip_seconds=0.060),
+    # The same LTE leg as measured in the field: delay spread from
+    # cell-load variation and ~1% packet loss at the coverage fringe.
+    NetworkLink("field_lte_lossy", bandwidth_bps=10e6,
+                round_trip_seconds=0.060, jitter_seconds=0.015,
+                loss_probability=0.01),
+    # Farm-building Wi-Fi backhaul.
+    NetworkLink("farm_wifi", bandwidth_bps=80e6,
+                round_trip_seconds=0.010),
+    # Farm Wi-Fi with interference (machinery, distance to the AP).
+    NetworkLink("farm_wifi_lossy", bandwidth_bps=80e6,
+                round_trip_seconds=0.010, jitter_seconds=0.004,
+                loss_probability=0.005),
+    # Research-station wired uplink to the cluster.
+    NetworkLink("station_ethernet", bandwidth_bps=1e9,
+                round_trip_seconds=0.002),
+    # On-device (camera directly attached to the Jetson).
+    NetworkLink("local", bandwidth_bps=40e9,
+                round_trip_seconds=0.0, overhead_factor=1.0),
+):
+    register_link(_link)
+del _link
 
 
 def get_link(name: str) -> NetworkLink:
-    """Look up a preset link by name."""
+    """Look up a preset link by name (case-insensitive)."""
     try:
         return LINKS[name.lower()]
     except KeyError:

@@ -24,6 +24,12 @@ from repro.hardware.platform import PlatformSpec
 from repro.models.graph import ModelGraph
 
 
+#: Relative tolerance for the edge/cloud tie at the crossover payload:
+#: the solved boundary re-priced through float arithmetic lands within a
+#: few ULPs of exact equality, and the tie must resolve consistently.
+_TIE_REL_TOL = 1e-9
+
+
 class Placement(str, enum.Enum):
     """Which continuum tier serves a request."""
 
@@ -65,7 +71,12 @@ class OffloadPolicy:
     edge / cloud:
         The two platforms.
     link:
-        The uplink between them.
+        The uplink between them — a :class:`NetworkLink` or anything
+        sharing its pricing surface, e.g. a
+        :class:`~repro.continuum.uplink.SharedUplink` (in which case
+        the cloud path is priced *under the uplink's current
+        contention*, so decisions shift toward the edge while the
+        shared bottleneck is busy).
     edge_batch / cloud_batch:
         Operating batch sizes per side (the edge typically runs small
         batches for latency; the cloud batches aggressively).
@@ -109,10 +120,20 @@ class OffloadPolicy:
         (stamped at virtual time ``now``) carrying both priced paths —
         the trace shows *why* a request stayed on the edge or paid the
         uplink.
+
+        Ties break toward the cloud: :meth:`crossover_image_bytes`
+        documents the crossover as the largest payload at which
+        uploading still wins, so ``decide(crossover_image_bytes())``
+        must offload.  Equality is judged with a relative tolerance —
+        the crossover payload re-priced through float arithmetic lands
+        ULPs away from an exact tie, and the boundary decision must not
+        flip on rounding noise.
         """
         edge = self.edge_latency()
         cloud = self.cloud_latency(payload_bytes)
-        placement = Placement.EDGE if edge <= cloud else Placement.CLOUD
+        tie = abs(edge - cloud) <= _TIE_REL_TOL * max(edge, cloud)
+        placement = (Placement.CLOUD if tie or cloud < edge
+                     else Placement.EDGE)
         if trace is not None:
             trace.instant("offload_decision", now, category="continuum",
                           placement=placement.value,
@@ -124,18 +145,22 @@ class OffloadPolicy:
     def crossover_image_bytes(self) -> float | None:
         """Payload size where edge and cloud latencies are equal.
 
-        Below it, uploading wins (the cloud's compute advantage covers
-        the transfer); above it, the edge wins.  Returns None when one
-        side dominates at every size (e.g. the cloud is slower even for
-        a zero-byte payload).
+        The largest payload at which uploading still wins: at or below
+        it the request uploads (``decide`` places it on the cloud);
+        strictly above it, the edge wins.  Returns None when one side
+        dominates at every size (e.g. the cloud is slower even for a
+        zero-byte payload).
         """
         edge = self.edge_latency()
         base = self.cloud_latency(0.0)
         if base >= edge:
             return None  # cloud never wins
-        # transfer grows linearly: solve base + k * bytes = edge.
-        per_byte = (self.link.overhead_factor * 8.0
-                    / self.link.bandwidth_bps)
+        # Transfer cost grows linearly in payload bytes; derive the
+        # slope from the pricing function itself so loss-retransmit
+        # expansion and shared-uplink contention are priced exactly as
+        # decide() will price them, then solve base + k * bytes = edge.
+        probe = 1e6
+        per_byte = (self.cloud_latency(probe) - base) / probe
         return (edge - base) / per_byte
 
     def sustainable_offload_rate(self, payload_bytes: float) -> float:

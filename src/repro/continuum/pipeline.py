@@ -162,7 +162,11 @@ class ContinuumReplayer:
     class *executes* it as discrete events so every leg becomes a traced
     span: per request, an ``edge_preprocess`` span (the field device
     preparing the capture), an ``uplink`` transfer over the
-    :class:`~repro.continuum.network.NetworkLink`, the full serving path
+    :class:`~repro.continuum.network.NetworkLink` — or any transport
+    sharing its surface: a :class:`~repro.continuum.uplink.SharedUplink`
+    (co-located endpoints contend for the bottleneck and the uplink
+    spans widen) or a :class:`~repro.continuum.uplink.StoreAndForward`
+    buffer (outages delay delivery) — the full serving path
     inside the cloud ``target`` (admission, routing, queueing, batching,
     execution — instrumented by their own layers), and a ``downlink``
     leg returning the result.  With an
@@ -294,6 +298,11 @@ class ContinuumReplayer:
                            pool=None if sampled else self._span_pool)
         ctx.sampled = sampled
         ctx.baggage["model"] = request.model_name
+        endpoint = getattr(request, "endpoint", None)
+        if endpoint is not None:
+            # Co-located field endpoints sharing one uplink tag their
+            # requests so traces and reports can split by device.
+            ctx.baggage["endpoint"] = endpoint
         request.trace = ctx
         request.arrival_time = sim.now
         if sampled:

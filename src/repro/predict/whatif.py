@@ -115,6 +115,21 @@ def cache_effective_qps(base_qps: float, hit_ratio: float,
     return base_qps / remaining
 
 
+def uplink_fair_share_rate(link, endpoints: int,
+                           image_bytes: float) -> float:
+    """Per-endpoint upload ceiling on a shared bottleneck (images/s).
+
+    ``endpoints`` co-located devices fair-share one uplink, so each
+    sustains ``link.sustainable_images_per_second(image_bytes) /
+    endpoints`` — already discounted for the link's loss-retransmission
+    expansion.  The "can four field cameras stream through one LTE
+    modem" question, answered before deploying.
+    """
+    if endpoints < 1:
+        raise ValueError("endpoints must be >= 1")
+    return link.sustainable_images_per_second(image_bytes) / endpoints
+
+
 def preview_cache_capacity(base_qps: float, stage_fraction: float,
                            hit_ratios: tuple[float, ...] = (
                                0.0, 0.25, 0.5, 0.8, 0.9, 0.95),

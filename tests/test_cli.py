@@ -236,6 +236,81 @@ class TestCache:
         assert "error" in capsys.readouterr().err
 
 
+class TestNetwork:
+    FAST = ["network", "--frames", "15", "--broker-messages", "60",
+            "--seed", "1"]
+
+    def test_end_to_end_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "4 co-located endpoints on field_lte_lossy" in out
+        assert "== uncached replay ==" in out
+        assert "== cached replay ==" in out
+        assert "uplink spans:" in out
+        assert "retransmits" in out
+        assert "qos0:" in out and "qos1:" in out
+        assert "link_bytes_total" in out
+        assert "link_queue_depth" in out
+
+    def test_contention_widens_uplink_spans(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "network.json"
+        assert main(self.FAST + ["--out", str(out_file)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        uncached = payload["uncached"]
+        # Four lockstep senders: every span stretches toward 4x the
+        # solo serialization time, and the cache relieves the p95.
+        assert uncached["peak_concurrency"] == 4
+        solo_ms = 256.0 * 1024 * 8 / 10e6 * 1e3
+        assert uncached["uplink_spans"]["mean_ms"] > 2.5 * solo_ms
+        assert payload["cached"]["p95_ms"] < uncached["p95_ms"]
+
+    def test_output_is_deterministic_across_runs(self, capsys,
+                                                 tmp_path):
+        # Acceptance: byte-identical stdout, JSON, and Chrome trace
+        # across identical invocations.
+        out_file = tmp_path / "network.json"
+        trace_file = tmp_path / "network.trace.json"
+        args = self.FAST + ["--out", str(out_file),
+                            "--trace-out", str(trace_file)]
+        assert main(args) == 0
+        first_stdout = capsys.readouterr().out
+        first_json = out_file.read_bytes()
+        first_trace = trace_file.read_bytes()
+        assert main(args) == 0
+        assert capsys.readouterr().out == first_stdout
+        assert out_file.read_bytes() == first_json
+        assert trace_file.read_bytes() == first_trace
+
+    def test_trace_out_validates(self, capsys, tmp_path):
+        from repro.serving.trace_export import validate_chrome_trace
+
+        trace_file = tmp_path / "network.trace.json"
+        assert main(self.FAST + ["--trace-out", str(trace_file)]) == 0
+        capsys.readouterr()
+        payload = validate_chrome_trace(trace_file.read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "uplink" in names and "downlink" in names
+
+    def test_outage_buffers_instead_of_dropping(self, capsys):
+        assert main(self.FAST + ["--outage-start", "5",
+                                 "--outage-seconds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "outage: link down 5..8 s" in out
+        assert "store-and-forward:" in out
+        assert "0 dropped" in out
+
+    def test_bad_arguments_are_error_exits(self, capsys):
+        assert main(["network", "--endpoints", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["network", "--rate", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["network", "--link", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBacktest:
     def test_prints_errors(self, capsys):
         assert main(["backtest", "--platform", "v100",

@@ -1,0 +1,164 @@
+"""Tests for repro.continuum.broker — QoS 0/1 pub/sub delivery."""
+
+import pytest
+
+from repro.continuum.broker import Broker
+from repro.continuum.network import NetworkLink, get_link
+from repro.continuum.uplink import SharedUplink, StoreAndForward
+from repro.serving.events import Simulator
+from repro.serving.faults import LinkOutageModel
+from repro.serving.observability import MetricsRegistry
+from repro.serving.tracectx import TraceContext
+
+
+def lossy_link(loss=0.05):
+    return NetworkLink("lossy", bandwidth_bps=8e6,
+                       round_trip_seconds=0.02, overhead_factor=1.0,
+                       loss_probability=loss)
+
+
+def run_broker(link, count, qos, seed=0, payload=2048.0, **kwargs):
+    sim = Simulator()
+    broker = Broker(sim, link, seed=seed, **kwargs)
+    deliveries = []
+    broker.subscribe("t", lambda topic, size, dup: deliveries.append(
+        (sim.now, dup)))
+    for index in range(count):
+        sim.schedule_at(index * 0.05,
+                        lambda: broker.publish("t", payload, qos=qos))
+    sim.run()
+    return broker, deliveries
+
+
+class TestDelivery:
+    def test_lossless_link_delivers_everything(self):
+        broker, deliveries = run_broker(get_link("farm_wifi"), 20,
+                                        qos=0)
+        assert broker.delivered == 20
+        assert broker.dropped == broker.duplicates == 0
+        assert len(deliveries) == 20
+
+    def test_qos0_drops_on_loss(self):
+        broker, deliveries = run_broker(lossy_link(), 200, qos=0)
+        assert broker.published == 200
+        assert broker.dropped > 0
+        assert broker.duplicates == 0 and broker.retries == 0
+        assert broker.delivered + broker.dropped == 200
+        assert len(deliveries) == broker.delivered
+
+    def test_qos1_retries_into_delivery(self):
+        broker, deliveries = run_broker(lossy_link(), 200, qos=1,
+                                        max_retries=8)
+        assert broker.delivered == 200
+        assert broker.dropped == 0
+        assert broker.retries > 0
+        # At-least-once: the subscriber may see duplicates, never gaps.
+        assert len(deliveries) == 200 + broker.duplicates
+        assert broker.duplicates == sum(dup for _, dup in deliveries)
+
+    def test_qos1_exhausted_retries_count_as_failed(self):
+        broker, _ = run_broker(lossy_link(loss=0.6), 50, qos=1,
+                               max_retries=0)
+        assert broker.failed > 0
+        assert broker.retries == 0
+        assert broker.delivered + broker.failed + broker.duplicates \
+            >= broker.delivered + broker.failed
+
+    def test_message_loss_probability(self):
+        link = lossy_link(loss=0.01)
+        sim = Simulator()
+        broker = Broker(sim, link)
+        # 3000 B = 2 packets: survive chance 0.99^2.
+        assert broker.message_loss_probability(3000.0) == \
+            pytest.approx(1.0 - 0.99 ** 2)
+        assert Broker(sim, get_link("farm_wifi"),
+                      ).message_loss_probability(3000.0) == 0.0
+
+    def test_qos2_not_modeled(self):
+        sim = Simulator()
+        broker = Broker(sim, lossy_link())
+        with pytest.raises(ValueError, match="QoS"):
+            broker.publish("t", 100.0, qos=2)
+        with pytest.raises(ValueError):
+            broker.publish("t", -1.0)
+        with pytest.raises(ValueError):
+            Broker(sim, lossy_link(), retry_seconds=0.0)
+
+
+class TestDeterminism:
+    def stats(self, seed):
+        broker, deliveries = run_broker(lossy_link(), 100, qos=1,
+                                        seed=seed)
+        return (broker.delivered, broker.dropped, broker.duplicates,
+                broker.retries, broker.failed, deliveries)
+
+    def test_same_seed_same_outcomes(self):
+        assert self.stats(5) == self.stats(5)
+
+    def test_different_seed_different_sample_path(self):
+        assert self.stats(5)[-1] != self.stats(6)[-1]
+
+
+class TestComposition:
+    def test_broker_traffic_contends_on_a_shared_uplink(self):
+        sim = Simulator()
+        link = NetworkLink("b", bandwidth_bps=8e6,
+                           round_trip_seconds=0.0, overhead_factor=1.0)
+        uplink = SharedUplink(link, sim)
+        broker = Broker(sim, uplink)
+        assert broker.link is link
+        deliveries = []
+        broker.subscribe("t", lambda *a: deliveries.append(sim.now))
+        # A 1 MB image upload (1 s solo) shares the wire with a 1 MB
+        # publish: both serialize at half rate and land at t=2.
+        done = []
+        uplink.schedule_transfer(sim, 1e6, lambda: done.append(sim.now))
+        broker.publish("t", 1e6)
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+        assert deliveries == [pytest.approx(2.0)]
+
+    def test_broker_over_store_and_forward_arrives_late_not_never(self):
+        sim = Simulator()
+        buffer = StoreAndForward(
+            get_link("farm_wifi"), sim,
+            outage=LinkOutageModel(windows=((0.0, 2.0),)))
+        buffer.start(horizon=10.0)
+        broker = Broker(sim, buffer)
+        deliveries = []
+        broker.subscribe("t", lambda *a: deliveries.append(sim.now))
+        sim.schedule_at(0.5, lambda: broker.publish("t", 2048.0))
+        sim.run()
+        assert len(deliveries) == 1
+        assert deliveries[0] > 2.0  # held until the link came back
+        assert broker.delivered == 1 and broker.dropped == 0
+
+    def test_publish_span_records_outcome(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        trace = TraceContext(1)
+        broker.publish("t", 2048.0, qos=1, trace=trace)
+        sim.run()
+        span = trace.find("publish")[0]
+        assert span.end is not None
+        assert span.args["outcome"] == "delivered"
+        assert span.args["qos"] == 1
+
+    def test_metrics_count_outcomes(self):
+        sim = Simulator()
+        registry = MetricsRegistry(clock=lambda: sim.now)
+        broker = Broker(sim, lossy_link(), registry=registry)
+        for index in range(100):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0, qos=0))
+        sim.run()
+        counter = registry.counter("broker_messages_total")
+        assert counter.value(qos="0", outcome="delivered") == \
+            broker.delivered
+        assert counter.value(qos="0", outcome="dropped") == \
+            broker.dropped
+        assert broker.dropped > 0
+
+    def test_bare_object_rejected(self):
+        with pytest.raises(TypeError, match="NetworkLink"):
+            Broker(Simulator(), object())

@@ -45,6 +45,49 @@ class TestDecisions:
         assert decision.edge_latency_seconds == pytest.approx(
             decision.cloud_latency_seconds, rel=1e-6)
 
+    def test_decide_at_crossover_matches_its_documentation(self, policy):
+        # Regression: the crossover is documented as the largest payload
+        # at which uploading still wins, but decide() used to resolve
+        # the boundary by raw float comparison — whichever way rounding
+        # fell.  The tie must deterministically offload.
+        crossover = policy.crossover_image_bytes()
+        assert policy.decide(crossover).placement is Placement.CLOUD
+
+    def test_exact_tie_breaks_toward_the_cloud(self, policy,
+                                               monkeypatch):
+        monkeypatch.setattr(policy, "edge_latency", lambda: 0.25)
+        monkeypatch.setattr(policy, "cloud_latency",
+                            lambda payload: 0.25)
+        assert policy.decide(1e6).placement is Placement.CLOUD
+
+    def test_near_tie_within_tolerance_offloads(self, policy,
+                                                monkeypatch):
+        monkeypatch.setattr(policy, "edge_latency", lambda: 0.25)
+        # A few ULPs above the edge latency: still a tie, not a win.
+        monkeypatch.setattr(policy, "cloud_latency",
+                            lambda payload: 0.25 * (1.0 + 1e-12))
+        assert policy.decide(1e6).placement is Placement.CLOUD
+
+    def test_shared_uplink_contention_shifts_the_boundary(self,
+                                                          vit_base):
+        from repro.continuum.uplink import SharedUplink
+        from repro.serving.events import Simulator
+
+        sim = Simulator()
+        uplink = SharedUplink(get_link("farm_wifi"), sim)
+        policy = OffloadPolicy(vit_base, JETSON, A100, uplink)
+        idle_cross = policy.crossover_image_bytes()
+        # Saturate the bottleneck: the cloud path now pays fair-share
+        # serialization, so the payload window that still offloads
+        # shrinks.
+        for _ in range(4):
+            uplink.schedule_transfer(sim, 5e6, lambda: None)
+        busy_cross = policy.crossover_image_bytes()
+        assert busy_cross is None or busy_cross < idle_cross
+        sim.run()
+        assert policy.crossover_image_bytes() == pytest.approx(
+            idle_cross)
+
 
 class TestRegimeStructure:
     def test_slow_link_kills_the_cloud_option(self, vit_base):

@@ -34,6 +34,34 @@ PYTHONPATH=src python -m repro cache --frames 80 --seed 1 \
 cmp "$CACHE_DIR/a.txt" "$CACHE_DIR/b.txt"
 cmp "$CACHE_DIR/first.json" "$CACHE_DIR/cache.json"
 echo "cache smoke ok: deterministic across runs"
+# Network smoke + determinism: the contended-uplink replay must exit 0,
+# two identical invocations must produce byte-identical stdout, JSON
+# and Chrome trace, and the exported trace must pass the schema check.
+NET_DIR="$(mktemp -d -t harvest_network.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"; rm -rf "$CACHE_DIR" "$NET_DIR"' EXIT
+PYTHONPATH=src python -m repro network --frames 15 --seed 1 \
+    --broker-messages 60 --outage-start 5 --outage-seconds 3 \
+    --out "$NET_DIR/network.json" \
+    --trace-out "$NET_DIR/network.trace.json" > "$NET_DIR/a.txt"
+cp "$NET_DIR/network.json" "$NET_DIR/first.json"
+cp "$NET_DIR/network.trace.json" "$NET_DIR/first.trace.json"
+PYTHONPATH=src python -m repro network --frames 15 --seed 1 \
+    --broker-messages 60 --outage-start 5 --outage-seconds 3 \
+    --out "$NET_DIR/network.json" \
+    --trace-out "$NET_DIR/network.trace.json" > "$NET_DIR/b.txt"
+cmp "$NET_DIR/a.txt" "$NET_DIR/b.txt"
+cmp "$NET_DIR/first.json" "$NET_DIR/network.json"
+cmp "$NET_DIR/first.trace.json" "$NET_DIR/network.trace.json"
+PYTHONPATH=src python - "$NET_DIR/network.trace.json" <<'EOF'
+import sys
+from repro.serving.trace_export import validate_chrome_trace
+
+payload = validate_chrome_trace(open(sys.argv[1]).read())
+uplinks = [e for e in payload["traceEvents"]
+           if e.get("name") == "uplink"]
+assert uplinks, "network smoke produced no uplink spans"
+print(f"network smoke ok: deterministic, {len(uplinks)} uplink spans")
+EOF
 # Bench smoke + perf-regression gate: the quick BENCH_core suite must
 # verify (baseline and optimized runs agree) and hold the committed
 # quick-mode speedup floors/bands.
