@@ -25,6 +25,10 @@ Commands
                         optimized hot path against its preserved seed
                         implementation, optionally write results JSON
                         and check them against a committed reference
+``fluid``               run the BENCH_fluid harness: replay saturated
+                        farm traces through the exact DES and the
+                        hybrid fluid/DES engine, verify the parity
+                        contract, and time both engines
 """
 
 from __future__ import annotations
@@ -874,10 +878,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_results,
     )
 
+    if args.check and not 0.0 <= args.tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
     mode = "quick" if args.quick else "full"
     print(f"BENCH_core ({mode} workloads, best of "
           f"{args.repeats or ('2' if args.quick else '4')} repeats)")
     results = run_bench(quick=args.quick, repeats=args.repeats)
+    print(render_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        reference = load_results(args.check)
+        failures = check_regression(results, reference,
+                                    tolerance=args.tolerance)
+        if failures:
+            print(f"== regression check vs {args.check}: FAIL ==")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"== regression check vs {args.check}: ok ==")
+    return 0
+
+
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_results,
+        render_results,
+        run_fluid_bench,
+        write_results,
+    )
+
+    if args.check and not 0.0 <= args.tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    mode = "quick" if args.quick else "full"
+    print(f"BENCH_fluid ({mode} traces, best of "
+          f"{args.repeats or ('2' if args.quick else '1')} repeats)")
+    results = run_fluid_bench(quick=args.quick, repeats=args.repeats)
     print(render_results(results))
     if args.out:
         write_results(results, args.out)
@@ -1120,6 +1158,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed relative loss vs the reference "
                         "speedup (0.5 = half)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "fluid",
+        help="verify and time the hybrid fluid/DES engine against the "
+             "exact replay on saturated traces")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller traces (CI smoke test)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per side (default 1, 2 with "
+                        "--quick)")
+    p.add_argument("--out", default=None,
+                   help="write the results JSON here")
+    p.add_argument("--check", default=None,
+                   help="reference results JSON to gate against "
+                        "(exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed relative loss vs the reference "
+                        "speedup (0.5 = half)")
+    p.set_defaults(func=_cmd_fluid)
     return parser
 
 

@@ -14,6 +14,12 @@ Two references are committed under ``benchmarks/results/``:
 CI runs ``repro bench --quick --check
 benchmarks/results/BENCH_core_quick.json`` so an optimization that
 quietly rots fails the build instead of the next paper figure.
+
+``run_fluid_bench`` is the same harness over the BENCH_fluid suite:
+the hybrid fluid/DES engine vs the exact replay on saturated traces,
+with the parity contract as the verification step and its own
+committed references (``BENCH_fluid.json`` / ``BENCH_fluid_quick.json``,
+gated by ``repro fluid --quick --check ...`` in CI).
 """
 
 from __future__ import annotations
@@ -49,6 +55,24 @@ QUICK_MIN_SPEEDUPS: dict[str, float] = {
 #: the recorded advantage before failing).  Generous on purpose: CI
 #: machines are noisy, and the absolute floors do the hard gating.
 DEFAULT_TOLERANCE = 0.5
+
+#: Floors for the BENCH_fluid suite: the hybrid fluid/DES engine vs the
+#: exact tuple-heap replay on saturated traces.  The diurnal workload
+#: spends most of its day saturated, so nearly all arrivals integrate
+#: analytically; the step workload has a larger exact fraction.
+FLUID_MIN_SPEEDUPS: dict[str, float] = {
+    "fluid_step_parity": 3.0,
+    "fluid_burst_day": 1.5,
+}
+
+#: Quick-mode floors for BENCH_fluid (shrunken traces amortize the
+#: regime handoffs over less saturated work, and the short burst day
+#: spends most of its hour unsaturated where both engines run the same
+#: exact path — its quick speedup is mostly noise-bounded).
+QUICK_FLUID_MIN_SPEEDUPS: dict[str, float] = {
+    "fluid_step_parity": 2.0,
+    "fluid_burst_day": 1.1,
+}
 
 
 def _best_time(fn, repeats: int) -> float:
@@ -96,6 +120,32 @@ def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
     return results
 
 
+def run_fluid_bench(quick: bool = False,
+                    repeats: int | None = None) -> dict:
+    """Run the BENCH_fluid suite; returns the results document.
+
+    Every scenario's ``verify`` *is* the DES-vs-fluid parity contract
+    (exact throughput, latency quantiles within tolerance), so a
+    passing run certifies correctness before any timing counts.
+    Default repeats are low — the full baseline replays ~1M arrivals
+    through the exact engine, which is precisely the cost this suite
+    exists to measure.
+    """
+    from repro.perf.scenarios import (build_fluid_scenarios,
+                                      run_fluid_frontier)
+
+    if repeats is None:
+        repeats = 2 if quick else 1
+    floors = QUICK_FLUID_MIN_SPEEDUPS if quick else FLUID_MIN_SPEEDUPS
+    results: dict = {"suite": "BENCH_fluid", "quick": quick,
+                     "scenarios": {}}
+    for scenario in build_fluid_scenarios(quick=quick):
+        results["scenarios"][scenario.name] = run_scenario(
+            scenario, repeats, floors)
+    results["frontier"] = run_fluid_frontier(quick=quick)
+    return results
+
+
 def write_results(results: dict, path: str | Path) -> None:
     """Write a results document as stable, diff-friendly JSON."""
     path = Path(path)
@@ -104,6 +154,10 @@ def write_results(results: dict, path: str | Path) -> None:
     for entry in rounded.get("scenarios", {}).values():
         for field in ("baseline_seconds", "optimized_seconds", "speedup"):
             entry[field] = round(entry[field], 4)
+    frontier = rounded.get("frontier")
+    if frontier is not None:
+        for field in ("wall_seconds", "p95", "p99"):
+            frontier[field] = round(frontier[field], 4)
     path.write_text(json.dumps(rounded, indent=2, sort_keys=True) + "\n")
 
 
@@ -142,6 +196,24 @@ def check_regression(current: dict, reference: dict,
                 f"{name}: speedup {cur['speedup']:.2f}x below required "
                 f"{required:.2f}x (floor {floor:.2f}x, reference "
                 f"{ref['speedup']:.2f}x - {tolerance:.0%} band)")
+    ref_frontier = reference.get("frontier")
+    if ref_frontier is not None:
+        cur_frontier = current.get("frontier")
+        if cur_frontier is None:
+            failures.append(
+                f"{ref_frontier['name']}: missing from current run")
+        else:
+            ceiling = ref_frontier["max_seconds"]
+            if cur_frontier["wall_seconds"] > ceiling:
+                failures.append(
+                    f"{ref_frontier['name']}: wall time "
+                    f"{cur_frontier['wall_seconds']:.1f}s exceeds the "
+                    f"committed {ceiling:.1f}s ceiling")
+            if cur_frontier["arrivals"] != ref_frontier["arrivals"]:
+                failures.append(
+                    f"{ref_frontier['name']}: arrival count "
+                    f"{cur_frontier['arrivals']} != reference "
+                    f"{ref_frontier['arrivals']} (workload drifted)")
     return failures
 
 
@@ -156,4 +228,13 @@ def render_results(results: dict) -> str:
             f"{entry['baseline_seconds'] * 1e3:>8.1f}ms "
             f"{entry['optimized_seconds'] * 1e3:>8.1f}ms "
             f"{entry['speedup']:>7.2f}x")
+    frontier = results.get("frontier")
+    if frontier is not None:
+        lines.append(
+            f"{frontier['name']:<22} {frontier['layer']:<16} "
+            f"{'(infeasible)':>10} "
+            f"{frontier['wall_seconds'] * 1e3:>8.1f}ms "
+            f"{frontier['arrivals']:>7} arrivals, "
+            f"{frontier['fluid_intervals']} fluid stretches "
+            f"(ceiling {frontier['max_seconds']:.0f}s)")
     return "\n".join(lines)

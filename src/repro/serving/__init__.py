@@ -17,6 +17,9 @@ deterministic discrete-event core:
   routing (preprocess → infer), submission API;
 * :mod:`repro.serving.client` — open-loop (Poisson) and closed-loop load
   generators;
+* :mod:`repro.serving.fluid` — hybrid fluid/DES replay: a regime
+  controller that fast-forwards deep-saturation stretches with a
+  vectorized Lindley recursion and hands queue state back losslessly;
 * :mod:`repro.serving.metrics` — latency percentiles and throughput
   accounting;
 * :mod:`repro.serving.observability` — live Prometheus-style registry
@@ -46,6 +49,11 @@ from repro.serving.server import (
 from repro.serving.client import (
     OpenLoopClient,
     ClosedLoopClient,
+)
+from repro.serving.fluid import (
+    FluidConfig,
+    FluidInterval,
+    HybridReplayer,
 )
 from repro.serving.metrics import LatencyStats, summarize_responses
 from repro.serving.faults import FaultModel
@@ -101,6 +109,9 @@ __all__ = [
     "TritonLikeServer",
     "OpenLoopClient",
     "ClosedLoopClient",
+    "FluidConfig",
+    "FluidInterval",
+    "HybridReplayer",
     "LatencyStats",
     "summarize_responses",
     "FaultModel",

@@ -138,6 +138,48 @@ class DynamicBatcher:
         return self._queue[0].enqueue_time if self._queue else None
 
     # ------------------------------------------------------------------
+    # Fluid-regime state handoff
+    # ------------------------------------------------------------------
+    def extract_queue(self) -> list[QueuedRequest]:
+        """Detach every queued request (hybrid-engine handoff out).
+
+        The fluid integrator absorbs the detached work into its backlog
+        state; open ``queue_wait`` spans stay open on the returned
+        records so the engine can close them at their fluid completion
+        times.  No metrics fire — the requests were already counted at
+        their original enqueue.
+        """
+        queued = list(self._queue)
+        self._queue.clear()
+        self._queued_images = 0
+        return queued
+
+    def restore_queue(self, queued: list[QueuedRequest],
+                      new_enqueues: int = 0) -> None:
+        """Re-attach queued requests (hybrid-engine handoff in).
+
+        ``queued`` must be in nondecreasing enqueue-time order and the
+        live queue must be empty (the stage was detached for the fluid
+        stretch); original enqueue times are preserved so queue-delay
+        timers and wait accounting pick up exactly where the DES left
+        off.  ``new_enqueues`` counts the entries synthesized by the
+        fluid engine (arrivals that happened *during* the stretch) into
+        the enqueue counter; restored originals were already counted.
+        """
+        if self._queue:
+            raise RuntimeError(
+                "restore_queue on a non-empty queue would reorder "
+                "waiting requests")
+        times = [q.enqueue_time for q in queued]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError(
+                "restored queue must be in enqueue-time order")
+        self._queue.extend(queued)
+        self._queued_images = sum(q.request.num_images for q in queued)
+        if new_enqueues and self._c_enqueued is not None:
+            self._c_enqueued.inc(new_enqueues)
+
+    # ------------------------------------------------------------------
     def ready(self, now: float) -> bool:
         """Whether a batch should be dispatched right now."""
         if not self._queue:

@@ -15,13 +15,18 @@ Hot-path design (this is the innermost loop of every serving replay):
   pop, so cancel-heavy replays hold no per-cancel state;
 * same-timestamp events are dispatched as one batch: the clock is
   assigned once and the ``until`` horizon is checked once per distinct
-  timestamp instead of once per event.
+  timestamp instead of once per event;
+* bulk arrival injection goes through :class:`EventStream`: a sorted
+  time array merged with the heap inside :meth:`Simulator.run`, so a
+  million-arrival trace costs one stream registration and a per-arrival
+  callback — no per-arrival :class:`Event` allocation and no
+  million-entry heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 #: :attr:`Event.state` values.
 _PENDING, _FIRED, _CANCELLED = 0, 1, 2
@@ -70,6 +75,74 @@ class Event:
                 f"daemon={self.daemon}, {status})")
 
 
+class EventStream:
+    """A sorted batch of same-callback firings, merged into the loop.
+
+    Scheduling a long arrival trace as individual events costs one heap
+    entry, one :class:`Event`, and two O(log n) heap operations per
+    arrival.  A stream holds the whole sorted time array instead; the
+    run loop fires ``callback(index)`` at each time with nothing but an
+    index increment and a peek at the heap top, so replaying a
+    million-arrival trace is cheap enough to leave to Python.
+
+    Handles returned by :meth:`Simulator.add_stream`.  ``jump(index)``
+    skips the cursor forward (the hybrid fluid engine hands a
+    saturated stretch of arrivals to the flow integrator and resumes
+    the stream past it); :meth:`cancel` retires the stream outright.
+    """
+
+    __slots__ = ("times", "callback", "daemon", "index", "cancelled",
+                 "_sim")
+
+    def __init__(self, sim: "Simulator", times: Sequence[float],
+                 callback: Callable[[int], None], daemon: bool = False):
+        # ndarray fast path: tolist() yields Python floats in C, and
+        # list indexing in the drain loop beats ndarray scalar access.
+        tolist = getattr(times, "tolist", None)
+        self.times: list[float] = (tolist() if tolist is not None
+                                   else [float(t) for t in times])
+        self.callback = callback
+        self.daemon = daemon
+        self.index = 0
+        self.cancelled = False
+        self._sim = sim
+
+    @property
+    def remaining(self) -> int:
+        """Firings still pending on this stream."""
+        if self.cancelled:
+            return 0
+        return len(self.times) - self.index
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending firing, or None when exhausted."""
+        if self.cancelled or self.index >= len(self.times):
+            return None
+        return self.times[self.index]
+
+    def jump(self, index: int) -> None:
+        """Skip the cursor forward to ``index`` (never backward).
+
+        The skipped entries simply never fire; foreground-pending
+        accounting is adjusted so drained-ness stays exact.
+        """
+        if index < self.index:
+            raise ValueError(
+                f"stream cursor cannot move backward "
+                f"({self.index} -> {index})")
+        index = min(index, len(self.times))
+        if not self.daemon and not self.cancelled:
+            self._sim._foreground_pending -= index - self.index
+        self.index = index
+
+    def cancel(self) -> None:
+        """Retire the stream; pending firings never run."""
+        if not self.cancelled:
+            if not self.daemon:
+                self._sim._foreground_pending -= self.remaining
+            self.cancelled = True
+
+
 class Simulator:
     """The event loop.
 
@@ -100,6 +173,9 @@ class Simulator:
         #: there work" mid-batch would otherwise miss its same-time
         #: siblings).
         self._dispatching: list[Event] = []
+        #: Registered :class:`EventStream` sources (exhausted streams
+        #: are pruned lazily as the run loop passes over them).
+        self._streams: list[EventStream] = []
         self.events_processed = 0
 
     def schedule(self, delay: float, callback: Callable[[], None],
@@ -138,6 +214,56 @@ class Simulator:
             delay = 0.0
         return self.schedule(delay, callback, daemon=daemon)
 
+    def add_stream(self, times: Sequence[float],
+                   callback: Callable[[int], None],
+                   daemon: bool = False) -> EventStream:
+        """Register a sorted bulk source: ``callback(i)`` at ``times[i]``.
+
+        ``times`` must be nondecreasing and start at or after ``now``
+        (the same few-ULP round-off tolerance as :meth:`schedule_at`
+        applies: a first entry a hair in the past clamps to "fire
+        now").  Stream firings interleave with heap events in exact
+        time order; at an exact tie the heap event fires first, and
+        ties between streams resolve by registration order.  Compared
+        with one :meth:`schedule_at` call per entry this allocates no
+        per-entry :class:`Event` and keeps the heap small — the
+        injection path for million-arrival traces.
+        """
+        stream = EventStream(self, times, callback, daemon=daemon)
+        ts = stream.times
+        if any(b < a for a, b in zip(ts, ts[1:])):
+            raise ValueError("stream times must be nondecreasing")
+        if ts:
+            behind = self.now - ts[0]
+            if behind > 0:
+                if behind > _PAST_TOLERANCE * max(1.0, abs(self.now)):
+                    raise ValueError(
+                        f"cannot stream into the past "
+                        f"(first time {ts[0]} < now {self.now})")
+                ts[0] = self.now
+        if not daemon:
+            self._foreground_pending += len(ts)
+        self._streams.append(stream)
+        return stream
+
+    def _earliest_stream(self) -> EventStream | None:
+        """The live stream with the earliest head (pruning dead ones)."""
+        if not self._streams:
+            return None
+        best = None
+        best_time = 0.0
+        live = []
+        for stream in self._streams:
+            head = stream.peek_time()
+            if head is None:
+                continue
+            live.append(stream)
+            if best is None or head < best_time:
+                best, best_time = stream, head
+        if len(live) != len(self._streams):
+            self._streams = live
+        return best
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already fired).
 
@@ -154,11 +280,22 @@ class Simulator:
             max_events: int = 10_000_000) -> None:
         """Process events until the heap drains or ``until`` is reached.
 
-        ``max_events`` guards against runaway self-scheduling loops.
+        ``max_events`` guards against runaway self-scheduling loops
+        (stream firings count toward the budget too).
         """
         heap = self._heap
         processed = 0
-        while heap:
+        while True:
+            stream = self._earliest_stream() if self._streams else None
+            if not heap and stream is None:
+                break
+            if stream is not None and (
+                    not heap or stream.times[stream.index] < heap[0][0]):
+                processed = self._drain_stream(stream, until,
+                                               max_events, processed)
+                if processed < 0:  # hit the ``until`` horizon
+                    return
+                continue
             time = heap[0][0]
             if until is not None and time > until:
                 self.now = until
@@ -203,15 +340,69 @@ class Simulator:
         if until is not None:
             self.now = max(self.now, until)
 
+    def _drain_stream(self, stream: EventStream, until: float | None,
+                      max_events: int, processed: int) -> int:
+        """Fire ``stream`` entries until something else must run first.
+
+        Returns the updated processed-event count, or ``-1`` when the
+        ``until`` horizon was reached (the caller returns).  The inner
+        loop is the bulk-arrival hot path: per firing it costs one list
+        index, one heap-top peek, and the callback — a callback may
+        schedule heap events, cancel or jump this stream, or register
+        new streams, so every guard is re-checked each iteration.
+        """
+        heap = self._heap
+        times = stream.times
+        n = len(times)
+        multi = len(self._streams) > 1
+        while True:
+            i = stream.index
+            if i >= n or stream.cancelled:
+                break
+            t = times[i]
+            if heap and heap[0][0] <= t:
+                break  # tie rule: heap events fire first
+            if multi or len(self._streams) > 1:
+                multi = True
+                other = min((s.peek_time() for s in self._streams
+                             if s is not stream
+                             and s.peek_time() is not None),
+                            default=None)
+                if other is not None and other < t:
+                    break
+            if until is not None and t > until:
+                self.now = until
+                return -1
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a self-scheduling loop")
+            if t > self.now:
+                self.now = t
+            stream.index = i + 1
+            if not stream.daemon:
+                self._foreground_pending -= 1
+            stream.callback(i)
+            processed += 1
+            self.events_processed += 1
+        return processed
+
     def peek_time(self) -> float | None:
-        """Time of the next pending event, or None when idle."""
+        """Time of the next pending event or stream firing, or None."""
         heap = self._heap
         while heap and heap[0][2].state:
             heapq.heappop(heap)
         for event in self._dispatching:
             if not event.state:
                 return self.now
-        return heap[0][0] if heap else None
+        best = heap[0][0] if heap else None
+        if self._streams:
+            stream = self._earliest_stream()
+            if stream is not None:
+                head = stream.peek_time()
+                if best is None or head < best:
+                    best = head
+        return best
 
     def peek_foreground_time(self) -> float | None:
         """Time of the next pending *non-daemon* event, or None.
@@ -232,4 +423,11 @@ class Simulator:
         fg = self._fg_heap
         while fg and fg[0][2].state:
             heapq.heappop(fg)
-        return fg[0][0] if fg else None
+        best = fg[0][0] if fg else None
+        for stream in self._streams:
+            if stream.daemon:
+                continue
+            head = stream.peek_time()
+            if head is not None and (best is None or head < best):
+                best = head
+        return best

@@ -57,6 +57,10 @@ class BackendInstance:
         self.service_time = service_time
         self.sim = sim
         self.busy = False
+        #: Images in the batch executing right now (0 while idle) — the
+        #: hybrid fluid engine reads this to seed its backlog state with
+        #: in-flight work at a regime switch.
+        self.current_images = 0
         self.stats = InstanceStats()
         self.fault_model = fault_model
         self._stage = name.split("#")[0]
@@ -120,6 +124,7 @@ class BackendInstance:
             raise ValueError(
                 f"service time for {images} images is negative")
         self.busy = True
+        self.current_images = images
         start = self.sim.now
         span_keys = [(request, self._span_key(request))
                      for request in batch]
@@ -142,6 +147,7 @@ class BackendInstance:
 
             def fail() -> None:
                 self.busy = False
+                self.current_images = 0
                 self.stats.failures += 1
                 self.stats.fault_seconds += detect
                 # Close the attempt's span at detection time: the slot
@@ -162,6 +168,7 @@ class BackendInstance:
 
         def finish() -> None:
             self.busy = False
+            self.current_images = 0
             self.stats.batches_served += 1
             self.stats.images_served += images
             self.stats.busy_seconds += duration

@@ -28,6 +28,8 @@ import dataclasses
 from bisect import bisect_left
 from collections.abc import Callable, Iterable
 
+import numpy as np
+
 #: Canonical label encoding: sorted (key, value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -169,6 +171,32 @@ class BoundHistogram:
         series.count += 1
         self._last[self._key] = self._clock()
 
+    def observe_many(self, values) -> None:
+        """Record a whole array of observations in one vectorized pass.
+
+        The bulk ingestion path for the hybrid fluid engine: a
+        saturated stretch produces its latency samples as one ndarray,
+        and folding them in one value at a time would cost a Python
+        bisect per sample.  ``searchsorted`` + ``bincount`` reproduce
+        the scalar path's bucketing exactly.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        series = self._series
+        if series is None:
+            series = self._series = self._parent._ensure_series(self._key)
+        counts = np.bincount(
+            np.searchsorted(self._bounds, values, side="left"),
+            minlength=len(self._bounds) + 1)
+        bucket_counts = series.bucket_counts
+        for index, count in enumerate(counts):
+            if count:
+                bucket_counts[index] += int(count)
+        series.sum += float(values.sum())
+        series.count += int(values.size)
+        self._last[self._key] = self._clock()
+
 
 class Counter(Metric):
     """A monotonically increasing value per label set."""
@@ -302,6 +330,11 @@ class Histogram(Metric):
         series.sum += value
         series.count += 1
         self._touch(key)
+
+    def observe_many(self, values, **labels: str) -> None:
+        """Vectorized batch ingestion into the labelled series (see
+        :meth:`BoundHistogram.observe_many`)."""
+        self.labels(**labels).observe_many(values)
 
     def _make_child(self, key: LabelKey) -> BoundHistogram:
         return BoundHistogram(self, key)

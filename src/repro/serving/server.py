@@ -510,6 +510,12 @@ class TritonLikeServer:
             raise KeyError(f"unknown model {model!r}")
         return self._batchers[model].config
 
+    def model_config(self, model: str) -> ModelConfig:
+        """The repository entry for a loaded model."""
+        if model not in self._models:
+            raise KeyError(f"unknown model {model!r}")
+        return self._models[model]
+
     def inject_faults(self, model: str, fault_model) -> None:
         """Attach a :class:`~repro.serving.faults.FaultModel` to a
         loaded model's instances (chaos testing of a live repository)."""
@@ -545,3 +551,94 @@ class TritonLikeServer:
     def inflight_batches(self) -> int:
         """Batches executing right now (each busy instance holds one)."""
         return self.busy_instances()
+
+    def inflight_images(self, model: str | None = None) -> int:
+        """Images inside currently-executing batches."""
+        names = [model] if model is not None else list(self._instances)
+        return sum(inst.current_images for name in names
+                   for inst in self._instances[name])
+
+    # ------------------------------------------------------------------
+    # Hybrid fluid/DES state handoff (see :mod:`repro.serving.fluid`)
+    # ------------------------------------------------------------------
+    def handoff_out(self, model: str) -> list:
+        """Detach a model's queued work for a fluid stretch.
+
+        Returns the batcher's :class:`~repro.serving.batcher.
+        QueuedRequest` records (original enqueue times and open wait
+        spans intact) and cancels the armed queue-delay timer — the
+        fluid integrator owns the queue until :meth:`handoff_in`.
+        In-flight batches are *not* touched: their completion events
+        stay on the heap and fire normally, which is what carries the
+        in-flight leg of the state across the boundary.
+        """
+        if model not in self._batchers:
+            raise KeyError(f"unknown model {model!r}")
+        stale = self._timer_events.pop(model, None)
+        if stale is not None:
+            self.sim.cancel(stale)
+        self._timer_pending.discard(model)
+        return self._batchers[model].extract_queue()
+
+    def handoff_in(self, model: str, queued: list,
+                   new_enqueues: int = 0) -> None:
+        """Re-attach queue state after a fluid stretch and resume.
+
+        ``queued`` is the exit backlog in enqueue-time order — restored
+        originals from :meth:`handoff_out` and/or records synthesized
+        for arrivals that landed during the stretch (``new_enqueues``
+        of them, for the enqueue counter).  Pumping restarts dispatch
+        and re-arms the queue-delay timer from the restored state.
+        """
+        if model not in self._batchers:
+            raise KeyError(f"unknown model {model!r}")
+        self._batchers[model].restore_queue(queued,
+                                            new_enqueues=new_enqueues)
+        self._pump(model)
+
+    def record_fluid_summary(self, model: str, *,
+                             submitted_requests: int = 0,
+                             submitted_images: int = 0,
+                             completed_requests: int = 0,
+                             completed_images: int = 0,
+                             latencies=None,
+                             busy_seconds: float = 0.0) -> None:
+        """Fold a fluid-integrated stretch into the serving metrics.
+
+        The fluid regime never materializes per-request objects, so the
+        engine reports the stretch in aggregate: submission/response
+        counters move in bulk, latency samples ingest through the
+        histogram's vectorized path, and the integrated busy time is
+        spread evenly across the instance pool so utilization
+        accounting matches what the DES would have recorded.
+        """
+        if model not in self._models:
+            raise KeyError(f"unknown model {model!r}")
+        if submitted_requests:
+            handles = self._submit_handles.get(model)
+            if handles is None:
+                handles = self._submit_handles[model] = (
+                    self._c_submitted.labels(model=model),
+                    self._c_images_in.labels(model=model),
+                )
+            handles[0].inc(submitted_requests)
+            handles[1].inc(submitted_images)
+        if completed_requests:
+            key = (model, "ok")
+            handles = self._respond_handles.get(key)
+            if handles is None:
+                handles = self._respond_handles[key] = (
+                    self._c_responses.labels(model=model, status="ok"),
+                    self._c_images_done.labels(model=model,
+                                               status="ok"),
+                    self._h_latency.labels(model=model),
+                )
+            handles[0].inc(completed_requests)
+            handles[1].inc(completed_images)
+            if latencies is not None:
+                handles[2].observe_many(latencies)
+        if busy_seconds:
+            instances = self._instances[model]
+            share = busy_seconds / len(instances)
+            for instance in instances:
+                instance.stats.busy_seconds += share

@@ -5,8 +5,9 @@ land batches of imagery mid-morning, ground vehicles stream during field
 hours, and nights are quiet.  This module generates such traces
 (deterministic, seeded) and replays them into a server or load balancer:
 
-* :func:`diurnal_trace` — a field-hours demand curve (cosine bump over
-  daylight) sampled as a non-homogeneous Poisson process via thinning;
+* :func:`diurnal_trace` — a field-hours demand curve (a half-sine arc
+  over daylight) sampled as a non-homogeneous Poisson process via
+  thinning;
 * :func:`burst_trace` — idle background load with survey-upload bursts
   (the offline scenario's arrival pattern seen from the cluster);
 * :func:`step_trace` — a flat base rate with one sustained step to a
@@ -14,6 +15,12 @@ hours, and nights are quiet.  This module generates such traces
   scale out under the step and drain back after it);
 * :class:`TraceReplayer` — schedules a trace against any ``submit``-able
   target on the simulator clock.
+
+Trace generation is version 2: thinning draws its exponential gaps and
+acceptance uniforms in NumPy blocks (a million-arrival trace generates
+in well under a second) instead of two scalar draws per candidate.  The
+sampled distribution is identical but the per-seed realization differs
+from v1, so generated trace names carry a ``/v2`` suffix.
 """
 
 from __future__ import annotations
@@ -37,11 +44,18 @@ class ArrivalTrace:
     duration: float
 
     def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(
+                f"trace duration must be positive, got {self.duration}"
+                " (mean_rate and rate_histogram divide by it)")
         times = self.arrival_times
-        if any(b < a for a, b in zip(times, times[1:])):
-            raise ValueError("arrival times must be nondecreasing")
-        if times and times[-1] > self.duration:
-            raise ValueError("arrivals extend past the trace duration")
+        if times:
+            arr = np.asarray(times, dtype=float)
+            if arr.size > 1 and bool(np.any(np.diff(arr) < 0)):
+                raise ValueError("arrival times must be nondecreasing")
+            if float(arr[-1]) > self.duration:
+                raise ValueError(
+                    "arrivals extend past the trace duration")
 
     def __len__(self) -> int:
         return len(self.arrival_times)
@@ -61,27 +75,48 @@ class ArrivalTrace:
         return [float(c) / width for c in counts]
 
 
+#: Candidate block size for vectorized thinning (draws per RNG call).
+_THINNING_BLOCK = 16384
+
+
 def _thinning(rate_fn, peak_rate: float, duration: float,
-              rng: np.random.Generator) -> list[float]:
-    """Sample a non-homogeneous Poisson process by thinning."""
-    times = []
+              rng: np.random.Generator,
+              block: int = _THINNING_BLOCK) -> list[float]:
+    """Sample a non-homogeneous Poisson process by thinning.
+
+    Candidates come from a homogeneous process at ``peak_rate`` and are
+    accepted with probability ``rate_fn(t) / peak_rate``; ``rate_fn``
+    must evaluate elementwise on an ndarray (and tolerate times past
+    ``duration`` — the last block overshoots).  Gaps and acceptance
+    uniforms are drawn one block at a time instead of two scalar draws
+    per candidate, which is what makes million-arrival traces cheap.
+    """
+    if peak_rate <= 0:
+        raise ValueError("peak rate must be positive")
+    chunks: list[np.ndarray] = []
     t = 0.0
-    while True:
-        t += rng.exponential(1.0 / peak_rate)
-        if t >= duration:
-            break
-        if rng.random() < rate_fn(t) / peak_rate:
-            times.append(t)
-    return times
+    while t < duration:
+        gaps = rng.exponential(1.0 / peak_rate, size=block)
+        candidates = t + np.cumsum(gaps)
+        accepted = rng.random(block) * peak_rate < rate_fn(candidates)
+        t = float(candidates[-1])
+        keep = candidates[accepted & (candidates < duration)]
+        if keep.size:
+            chunks.append(keep)
+    if not chunks:
+        return []
+    return np.concatenate(chunks).tolist()
 
 
 def diurnal_trace(duration: float = 86400.0, peak_rate: float = 50.0,
                   base_rate: float = 0.5,
                   daylight: tuple[float, float] = (6 * 3600, 20 * 3600),
                   seed: int = 0) -> ArrivalTrace:
-    """Field-hours demand: a cosine bump between dawn and dusk.
+    """Field-hours demand: a half-sine arc between dawn and dusk.
 
-    ``peak_rate`` requests/s at solar noon, ``base_rate`` overnight.
+    The rate rises from ``base_rate`` at dawn along ``sin(pi * phase)``
+    to ``peak_rate`` requests/s at solar noon and falls back to
+    ``base_rate`` overnight.
     """
     if peak_rate <= base_rate:
         raise ValueError("peak rate must exceed the base rate")
@@ -89,16 +124,15 @@ def diurnal_trace(duration: float = 86400.0, peak_rate: float = 50.0,
     if not 0 <= dawn < dusk <= duration:
         raise ValueError("daylight window must fit inside the trace")
 
-    def rate(t: float) -> float:
-        if not dawn <= t <= dusk:
-            return base_rate
-        phase = (t - dawn) / (dusk - dawn)  # 0..1 across daylight
-        return base_rate + (peak_rate - base_rate) * \
-            math.sin(math.pi * phase)
+    def rate(t: np.ndarray) -> np.ndarray:
+        phase = np.clip((t - dawn) / (dusk - dawn), 0.0, 1.0)
+        bump = (peak_rate - base_rate) * np.sin(math.pi * phase)
+        return base_rate + np.where((t >= dawn) & (t <= dusk), bump,
+                                    0.0)
 
     rng = np.random.default_rng(seed)
     times = _thinning(rate, peak_rate, duration, rng)
-    return ArrivalTrace("diurnal", tuple(times), duration)
+    return ArrivalTrace("diurnal/v2", tuple(times), duration)
 
 
 def burst_trace(duration: float = 3600.0, background_rate: float = 1.0,
@@ -108,18 +142,34 @@ def burst_trace(duration: float = 3600.0, background_rate: float = 1.0,
     """Survey-upload pattern: quiet background plus dense bursts."""
     if bursts < 0 or burst_seconds <= 0:
         raise ValueError("bad burst parameters")
+    if burst_seconds > duration:
+        raise ValueError(
+            f"burst_seconds ({burst_seconds}) cannot exceed the trace "
+            f"duration ({duration}); burst starts would be negative")
+    if background_rate < 0 or burst_rate <= 0:
+        raise ValueError("rates must be nonnegative (burst positive)")
     rng = np.random.default_rng(seed)
     starts = np.sort(rng.uniform(0, duration - burst_seconds,
                                  size=bursts))
 
-    def rate(t: float) -> float:
-        for s in starts:
-            if s <= t < s + burst_seconds:
-                return burst_rate
-        return background_rate
+    def rate(t: np.ndarray) -> np.ndarray:
+        if starts.size == 0:
+            return np.full(np.shape(t), float(background_rate))
+        # Burst spans share one length, so if any burst covers t the
+        # nearest start at or before t does — one searchsorted pass.
+        idx = np.searchsorted(starts, t, side="right") - 1
+        prev = starts[np.maximum(idx, 0)]
+        in_burst = (idx >= 0) & (t < prev + burst_seconds)
+        return np.where(in_burst, float(burst_rate),
+                        float(background_rate))
 
-    times = _thinning(rate, burst_rate, duration, rng)
-    return ArrivalTrace("burst", tuple(times), duration)
+    # The thinning envelope must dominate the rate everywhere: between
+    # bursts the rate is background_rate, which a nightly-upload
+    # pattern can set *above* burst_rate — clipping the envelope at
+    # burst_rate silently under-sampled that background.
+    peak = max(background_rate, burst_rate)
+    times = _thinning(rate, peak, duration, rng)
+    return ArrivalTrace("burst/v2", tuple(times), duration)
 
 
 def step_trace(duration: float = 60.0, base_rate: float = 5.0,
@@ -137,13 +187,14 @@ def step_trace(duration: float = 60.0, base_rate: float = 5.0,
     if not 0 <= step_start < step_end <= duration:
         raise ValueError("step window must fit inside the trace")
 
-    def rate(t: float) -> float:
-        return step_rate if step_start <= t < step_end else base_rate
+    def rate(t: np.ndarray) -> np.ndarray:
+        return np.where((t >= step_start) & (t < step_end),
+                        float(step_rate), float(base_rate))
 
     rng = np.random.default_rng(seed)
     peak = max(base_rate, step_rate)
     times = _thinning(rate, peak, duration, rng)
-    return ArrivalTrace("step", tuple(times), duration)
+    return ArrivalTrace("step/v2", tuple(times), duration)
 
 
 class TraceReplayer:
@@ -177,11 +228,25 @@ class TraceReplayer:
         self._next_trace_id = itertools.count(1)
         self.submitted = 0
 
-    def schedule(self, trace: ArrivalTrace) -> None:
-        """Arm every arrival on the simulator (scaled by time_scale)."""
-        for t in trace.arrival_times:
-            self.target.sim.schedule_at(
-                t * self.time_scale, self._submit_one)
+    def schedule(self, trace: ArrivalTrace):
+        """Arm every arrival on the simulator (scaled by time_scale).
+
+        Batched injection: the whole trace registers as one
+        :class:`~repro.serving.events.EventStream` instead of one
+        ``schedule_at`` call (heap entry + Event) per arrival, so a
+        million-arrival trace arms in one call and holds no heap
+        state.  Returns the stream handle (None for an empty trace).
+        """
+        times = np.asarray(trace.arrival_times, dtype=float)
+        if self.time_scale != 1.0:
+            times = times * self.time_scale
+        if times.size == 0:
+            return None
+        return self.target.sim.add_stream(times, self._submit_indexed)
+
+    def _submit_indexed(self, index: int) -> None:
+        """Stream callback: the arrival index is implicit in order."""
+        self._submit_one()
 
     def _submit_one(self) -> None:
         self.submitted += 1

@@ -152,3 +152,151 @@ class TestDaemonEvents:
         sim.schedule(1.0, lambda: None)  # the actual workload
         sim.run(max_events=100)  # raises if the loops self-sustain
         assert sim.now < 2.0
+
+
+class TestDispatchEdgeCases:
+    def test_cancel_mid_batch_keeps_foreground_accounting(self):
+        # Two same-timestamp events: the first cancels the second after
+        # both were popped into the dispatch batch.  The victim must not
+        # fire and must be decremented from the foreground counter
+        # exactly once (by the cancel, not again by the skip).
+        sim = Simulator()
+        fired = []
+        holder = {}
+        sim.schedule(1.0, lambda: sim.cancel(holder["victim"]))
+        holder["victim"] = sim.schedule(
+            1.0, lambda: fired.append("victim"))
+        sim.schedule(2.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["after"]
+        assert sim.peek_foreground_time() is None
+
+    def test_max_events_requeues_unfired_tail(self):
+        # Tripping the budget mid-batch must push the unfired tail back
+        # on the heap (main and shadow state stay consistent) so the
+        # simulation can resume after the post-mortem.
+        sim = Simulator()
+        fired = []
+        for tag in "abcd":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=2)
+        assert fired == ["a", "b"]
+        assert sim.peek_foreground_time() == 1.0
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+        assert sim.peek_foreground_time() is None
+
+    def test_peek_foreground_sees_same_time_siblings(self):
+        # A callback asking "is there work" mid-batch must see its
+        # same-timestamp sibling still waiting in the dispatch list.
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.peek_foreground_time()))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+
+    def test_peek_foreground_ignores_daemon_siblings(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.peek_foreground_time()))
+        sim.schedule(1.0, lambda: None, daemon=True)
+        sim.run()
+        assert seen == [None]
+
+
+class TestEventStream:
+    def test_stream_interleaves_with_heap_events(self):
+        sim = Simulator()
+        order = []
+        sim.add_stream([1.0, 3.0],
+                       lambda i: order.append(("s", i, sim.now)))
+        sim.schedule(2.0, lambda: order.append(("e", sim.now)))
+        sim.run()
+        assert order == [("s", 0, 1.0), ("e", 2.0), ("s", 1, 3.0)]
+
+    def test_heap_wins_ties(self):
+        sim = Simulator()
+        order = []
+        sim.add_stream([1.0], lambda i: order.append("stream"))
+        sim.schedule(1.0, lambda: order.append("event"))
+        sim.run()
+        assert order == ["event", "stream"]
+
+    def test_streams_tie_by_registration_order(self):
+        sim = Simulator()
+        order = []
+        sim.add_stream([1.0], lambda i: order.append("first"))
+        sim.add_stream([1.0], lambda i: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_until_pauses_and_resumes_inside_stream(self):
+        sim = Simulator()
+        fired = []
+        sim.add_stream([1.0, 2.0, 3.0], lambda i: fired.append(i))
+        sim.run(until=2.5)
+        assert fired == [0, 1]
+        assert sim.now == 2.5
+        sim.run()
+        assert fired == [0, 1, 2]
+
+    def test_nondecreasing_enforced(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            Simulator().add_stream([2.0, 1.0], lambda i: None)
+
+    def test_cannot_stream_into_the_past(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.add_stream([1.0], lambda i: None)
+
+    def test_jump_skips_entries_and_keeps_accounting(self):
+        sim = Simulator()
+        fired = []
+        stream = sim.add_stream([1.0, 2.0, 3.0, 4.0],
+                                lambda i: fired.append(i))
+        sim.schedule(1.5, lambda: stream.jump(3))
+        sim.run()
+        assert fired == [0, 3]
+        assert sim.peek_foreground_time() is None
+
+    def test_jump_backward_rejected(self):
+        sim = Simulator()
+        stream = sim.add_stream([1.0, 2.0], lambda i: None)
+        sim.run()
+        with pytest.raises(ValueError, match="backward"):
+            stream.jump(0)
+
+    def test_cancel_stops_remaining_firings(self):
+        sim = Simulator()
+        fired = []
+        stream = sim.add_stream([1.0, 2.0], lambda i: fired.append(i))
+        sim.schedule(1.5, stream.cancel)
+        sim.run()
+        assert fired == [0]
+        assert stream.remaining == 0
+        assert sim.peek_foreground_time() is None
+
+    def test_daemon_stream_invisible_to_foreground_peek(self):
+        sim = Simulator()
+        stream = sim.add_stream([1.0, 2.0], lambda i: None, daemon=True)
+        assert sim.peek_foreground_time() is None
+        assert sim.peek_time() == 1.0
+        sim.run()
+        assert stream.remaining == 0
+
+    def test_callback_scheduled_events_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def fire(i):
+            if i == 0:
+                sim.schedule(0.5, lambda: order.append("mid"))
+            order.append(i)
+
+        sim.add_stream([1.0, 2.0], fire)
+        sim.run()
+        assert order == [0, "mid", 1]

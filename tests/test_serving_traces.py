@@ -158,3 +158,76 @@ class TestMetricsExporter:
     def test_parser_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_metrics("metric_name not_a_number")
+
+
+class TestTraceRegressions:
+    """Regressions from the v2 arrival-trace bugfix sweep."""
+
+    def test_burst_envelope_covers_dense_background(self):
+        # Nightly-upload shape: background above the burst rate.  The
+        # thinning envelope used to clip at burst_rate, realizing ~5/s
+        # where the model says ~38/s.
+        trace = burst_trace(duration=2000.0, background_rate=40.0,
+                            bursts=2, burst_rate=5.0,
+                            burst_seconds=50.0, seed=7)
+        expected = (40.0 * 1900.0 + 5.0 * 100.0) / 2000.0
+        assert trace.mean_rate == pytest.approx(expected, rel=0.05)
+
+    def test_burst_window_must_fit_duration(self):
+        # Used to draw burst starts from a negative-span uniform.
+        with pytest.raises(ValueError, match="burst_seconds"):
+            burst_trace(duration=10.0, bursts=1, burst_seconds=30.0)
+
+    def test_burst_rate_validation(self):
+        with pytest.raises(ValueError, match="rates"):
+            burst_trace(background_rate=-0.5)
+        with pytest.raises(ValueError, match="rates"):
+            burst_trace(burst_rate=0.0)
+
+    def test_nonpositive_duration_rejected(self):
+        # Used to surface later as ZeroDivisionError from mean_rate.
+        for bad in (0.0, -3.0):
+            with pytest.raises(ValueError, match="duration"):
+                ArrivalTrace("t", (), duration=bad)
+
+    def test_diurnal_docs_match_the_sine_implementation(self):
+        # Docstrings promised a "cosine bump" while rate() implements a
+        # half-sine arc.
+        import repro.serving.traces as traces
+        for doc in (traces.__doc__, diurnal_trace.__doc__):
+            assert "cosine" not in doc
+            assert "sine" in doc
+
+    def test_generated_traces_carry_v2_names(self):
+        from repro.serving.traces import step_trace
+        assert diurnal_trace(duration=86400, peak_rate=1.0,
+                             base_rate=0.1, seed=1).name == "diurnal/v2"
+        assert burst_trace(duration=60, bursts=0, seed=1).name == "burst/v2"
+        assert step_trace(duration=60, seed=1).name == "step/v2"
+
+
+class TestBatchedReplay:
+    def _server(self):
+        server = TritonLikeServer()
+        server.register(ModelConfig(
+            "m", lambda n: 0.001,
+            batcher=BatcherConfig(max_batch_size=16,
+                                  max_queue_delay=0.002)))
+        return server
+
+    def test_schedule_returns_stream_handle(self):
+        server = self._server()
+        trace = ArrivalTrace("t", (0.5, 1.0, 1.5), duration=2.0)
+        stream = TraceReplayer(server, "m").schedule(trace)
+        assert stream is not None
+        assert stream.remaining == 3
+        server.run()
+        assert stream.remaining == 0
+        assert len(server.responses) == 3
+
+    def test_empty_trace_schedules_nothing(self):
+        server = self._server()
+        stream = TraceReplayer(server, "m").schedule(
+            ArrivalTrace("t", (), duration=1.0))
+        assert stream is None
+        assert server.sim.peek_time() is None

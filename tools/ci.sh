@@ -68,3 +68,10 @@ EOF
 PYTHONPATH=src python -m repro bench --quick \
     --check benchmarks/results/BENCH_core_quick.json
 echo "bench smoke ok: quick suite within committed bounds"
+# Fluid smoke + parity gate: the quick BENCH_fluid suite must hold the
+# DES-vs-hybrid parity contract (exact throughput, tail quantiles in
+# tolerance — verified inside the harness) and the committed quick-mode
+# speedup floors and frontier wall-clock ceiling.
+PYTHONPATH=src python -m repro fluid --quick \
+    --check benchmarks/results/BENCH_fluid_quick.json
+echo "fluid smoke ok: parity verified, quick suite within bounds"
