@@ -29,6 +29,15 @@ Commands
                         farm traces through the exact DES and the
                         hybrid fluid/DES engine, verify the parity
                         contract, and time both engines
+``profile``             run deterministic serving scenarios with the
+                        sim-time profiler and exemplars enabled; print
+                        the cost tree, folded stacks, the exemplar-
+                        joined tail attribution, and the fluid regime
+                        timeline
+``profile-bench``       run the BENCH_profile harness: verify the
+                        zero-cost-when-disabled contract (scrapes stay
+                        byte-identical) and bound the enabled
+                        profiler's overhead
 """
 
 from __future__ import annotations
@@ -933,6 +942,206 @@ def _cmd_fluid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.continuum.network import get_link
+    from repro.continuum.pipeline import ContinuumReplayer
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.events import Simulator
+    from repro.serving.exporter import export_registry
+    from repro.serving.fluid import HybridReplayer, render_regime_timeline
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.profiler import SimProfiler
+    from repro.serving.server import ModelConfig, TritonLikeServer
+    from repro.serving.trace_export import explain_tail, render_attribution
+    from repro.serving.traces import TraceReplayer, burst_trace, step_trace
+
+    if not 0.0 < args.sample_rate <= 1.0:
+        raise ValueError("--sample-rate must lie in (0, 1]")
+    link = get_link(args.link)
+
+    # Leg 1: a continuum step trace with the profiler and exemplars on.
+    # Everything printed derives from sim time, so two runs with the
+    # same arguments produce byte-identical output (the CI contract).
+    sim = Simulator()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    profiler = SimProfiler(clock=lambda: sim.now)
+    server = TritonLikeServer(sim, registry=registry)
+    server.register(ModelConfig(
+        "infer", lambda n: 0.004 + 0.0012 * n,
+        batcher=BatcherConfig(max_batch_size=8,
+                              max_queue_delay=0.002)))
+    server.attach_profiler(profiler)
+    server.enable_exemplars()
+    replayer = ContinuumReplayer(
+        server, link,
+        edge_preprocess_time=lambda n: 0.002 * n,
+        image_bytes=args.image_kb * 1024.0,
+        registry=registry, trace_sample_rate=args.sample_rate,
+        exemplars=True, profiler=profiler)
+    trace = step_trace(duration=args.duration, base_rate=args.base_rate,
+                       step_rate=args.step_rate,
+                       step_start=args.duration * 0.2,
+                       step_end=args.duration * 0.6, seed=args.seed)
+    driver = TraceReplayer(replayer, "infer")
+    driver.schedule(trace)
+    server.run()
+
+    closed = replayer.completed_traces()
+    print(f"profile scenario: continuum step trace behind {link.name}, "
+          f"{len(trace)} requests over {args.duration:g} s "
+          f"(sample rate {args.sample_rate:g}, seed {args.seed})")
+    print(f"  traces: {len(closed)} closed of {len(replayer.traces)} "
+          f"retained")
+    print("== profile tree (sim-time) ==")
+    print(profiler.render_tree("sim"), end="")
+    print("== folded stacks (sim-time) ==")
+    print(profiler.render_folded("sim"), end="")
+    print("== exemplars ==")
+    exemplar_lines = [line for line in
+                      export_registry(registry).splitlines()
+                      if " # {" in line]
+    print("\n".join(exemplar_lines))
+    print("== tail attribution ==")
+    report = explain_tail(registry, replayer.traces,
+                          quantile=args.quantile)
+    print(render_attribution(report), end="")
+
+    # Leg 2: a saturated burst trace through the hybrid engine, so the
+    # regime controller's decisions become visible.
+    sim2 = Simulator()
+    registry2 = MetricsRegistry(clock=lambda: sim2.now)
+    profiler2 = SimProfiler(clock=lambda: sim2.now)
+    server2 = TritonLikeServer(sim2, registry=registry2)
+    server2.register(ModelConfig(
+        "infer", lambda n: 0.004 + 0.0012 * n,
+        batcher=BatcherConfig(max_batch_size=32,
+                              max_queue_delay=0.005)))
+    server2.attach_profiler(profiler2)
+    hybrid = HybridReplayer(server2, "infer")
+    trace2 = burst_trace(duration=args.fluid_duration,
+                         background_rate=2.0, bursts=2,
+                         burst_rate=args.burst_rate,
+                         burst_seconds=args.fluid_duration * 0.15,
+                         seed=args.seed)
+    hybrid.schedule(trace2)
+    server2.run()
+
+    intervals = int(registry2.get("fluid_intervals_total").total())
+    folded = int(registry2.get("fluid_folded_arrivals_total").total())
+    print(f"== fluid regime ({len(trace2)} burst arrivals over "
+          f"{args.fluid_duration:g} s) ==")
+    print(render_regime_timeline(hybrid), end="")
+    print(f"  fluid_intervals_total {intervals}  "
+          f"fluid_folded_arrivals_total {folded}")
+    print("== fluid profile tree (sim-time) ==")
+    print(profiler2.render_tree("sim"), end="")
+
+    if args.forward:
+        # Kernel-phase attribution for one real forward pass.  Wall
+        # times never reproduce, so only the sim column (zeros) and
+        # the deterministic phase/count structure are printed.
+        import numpy as np
+
+        from repro.models.functional import (
+            init_vit_weights,
+            set_kernel_profiler,
+            vit_forward,
+        )
+        from repro.models.vit import VIT_CONFIGS
+
+        cfg = VIT_CONFIGS["vit_tiny"]
+        weights = init_vit_weights(cfg, seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        x = rng.standard_normal(
+            (2, cfg.in_channels, cfg.img_size, cfg.img_size),
+            ).astype(np.float32)
+        kernel_profiler = SimProfiler()
+        set_kernel_profiler(kernel_profiler)
+        try:
+            vit_forward(cfg, weights, x)
+        finally:
+            set_kernel_profiler(None)
+        print("== kernel phases (vit_tiny forward, counts) ==")
+        for path, (_, _, count) in kernel_profiler.nodes().items():
+            print(f"  {';'.join(path):<24s} x{count}")
+
+    if args.folded_out:
+        import pathlib
+
+        pathlib.Path(args.folded_out).write_text(
+            profiler.render_folded("sim"))
+        print(f"wrote {args.folded_out}")
+    if args.speedscope:
+        import pathlib
+
+        pathlib.Path(args.speedscope).write_text(
+            profiler.export_speedscope("repro-profile", "sim"))
+        print(f"wrote {args.speedscope}")
+    if args.out:
+        import json
+        import pathlib
+
+        payload = {
+            "scenario": {
+                "link": link.name,
+                "duration_seconds": args.duration,
+                "base_rate": args.base_rate,
+                "step_rate": args.step_rate,
+                "sample_rate": args.sample_rate,
+                "fluid_duration_seconds": args.fluid_duration,
+                "burst_rate": args.burst_rate,
+                "quantile": args.quantile,
+                "seed": args.seed,
+            },
+            "continuum": {
+                "folded_sim": profiler.folded("sim"),
+                "closed_traces": len(closed),
+                "attribution": report,
+            },
+            "fluid": {
+                "folded_sim": profiler2.folded("sim"),
+                "intervals": intervals,
+                "folded_arrivals": folded,
+            },
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_profile_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_results,
+        render_results,
+        run_profile_bench,
+        write_results,
+    )
+
+    if args.check and not 0.0 <= args.tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    mode = "quick" if args.quick else "full"
+    print(f"BENCH_profile ({mode} workloads, best of "
+          f"{args.repeats or ('2' if args.quick else '4')} repeats)")
+    results = run_profile_bench(quick=args.quick, repeats=args.repeats)
+    print(render_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        reference = load_results(args.check)
+        failures = check_regression(results, reference,
+                                    tolerance=args.tolerance)
+        if failures:
+            print(f"== regression check vs {args.check}: FAIL ==")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"== regression check vs {args.check}: ok ==")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -1177,6 +1386,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed relative loss vs the reference "
                         "speedup (0.5 = half)")
     p.set_defaults(func=_cmd_fluid)
+
+    p = sub.add_parser(
+        "profile",
+        help="run deterministic serving scenarios with the profiler "
+             "and exemplars on; print the sim-time cost tree, folded "
+             "stacks, tail attribution, and fluid regime timeline")
+    p.add_argument("--link", default="station_ethernet",
+                   help="edge->cloud network link preset")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="continuum step-trace length (s)")
+    p.add_argument("--base-rate", type=float, default=40.0,
+                   help="background arrival rate (requests/s)")
+    p.add_argument("--step-rate", type=float, default=120.0,
+                   help="arrival rate during the step (requests/s)")
+    p.add_argument("--image-kb", type=float, default=128.0,
+                   help="uplink payload per image (KiB)")
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="fraction of traces retained (deterministic "
+                        "fractional sampling)")
+    p.add_argument("--quantile", type=float, default=0.99,
+                   help="tail quantile the attribution report explains")
+    p.add_argument("--fluid-duration", type=float, default=120.0,
+                   help="hybrid burst-trace length (s)")
+    p.add_argument("--burst-rate", type=float, default=1200.0,
+                   help="burst arrival rate (requests/s; must exceed "
+                        "the pool's saturated rate to go fluid)")
+    p.add_argument("--forward", action="store_true",
+                   help="also profile one vit_tiny forward pass and "
+                        "print its kernel-phase counts")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="write the profile report as JSON here")
+    p.add_argument("--speedscope", default=None,
+                   help="write the continuum profile as speedscope "
+                        "JSON here")
+    p.add_argument("--folded-out", default=None,
+                   help="write the continuum folded stacks here "
+                        "(collapsed flamegraph text)")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "profile-bench",
+        help="measure the profiler's overhead contract: attached-but-"
+             "disabled must be free, enabled must stay cheap")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke test)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per side (default 4, 2 with "
+                        "--quick)")
+    p.add_argument("--out", default=None,
+                   help="write the results JSON here")
+    p.add_argument("--check", default=None,
+                   help="reference results JSON to gate against "
+                        "(exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed relative loss vs the reference "
+                        "speedup (0.5 = half)")
+    p.set_defaults(func=_cmd_profile_bench)
     return parser
 
 

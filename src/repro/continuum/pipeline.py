@@ -203,7 +203,8 @@ class ContinuumReplayer:
                  offload=None, registry=None,
                  latency_buckets=None, cache=None,
                  cache_lookup_time: float = 0.0002,
-                 trace_sample_rate: float = 1.0):
+                 trace_sample_rate: float = 1.0,
+                 exemplars: bool = False, profiler=None):
         if image_bytes <= 0:
             raise ValueError("image_bytes must be positive")
         if result_bytes < 0:
@@ -212,6 +213,9 @@ class ContinuumReplayer:
             raise ValueError("cache_lookup_time must be >= 0")
         if not 0.0 <= trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must lie in [0, 1]")
+        if exemplars and registry is None:
+            raise ValueError(
+                "exemplars need a registry to record into")
         self.target = target
         self.link = link
         self.edge_preprocess_time = edge_preprocess_time
@@ -236,6 +240,13 @@ class ContinuumReplayer:
         #: fraction.  The default of 1.0 keeps everything (the
         #: byte-identical legacy behaviour).
         self.trace_sample_rate = trace_sample_rate
+        #: Whether end-to-end latency observations carry OpenMetrics
+        #: exemplars (deterministic: every finalized request has a
+        #: trace id even when its spans are sampled out).
+        self._exemplars = bool(exemplars)
+        #: Optional :class:`~repro.serving.profiler.SimProfiler`;
+        #: attributes each leg's sim time to ``continuum;<leg>``.
+        self.profiler = profiler
         self._span_pool = SpanPool()
         self._sample_accum = 0.0
         self._next_trace_id = itertools.count(1)
@@ -260,6 +271,8 @@ class ContinuumReplayer:
                 "delivery).",
                 buckets=(latency_buckets if latency_buckets is not None
                          else DEFAULT_BUCKETS))
+            if self._exemplars:
+                self._h_latency.enable_exemplars()
             self._c_requests = registry.counter(
                 "continuum_requests_total",
                 "Continuum requests by placement and final status.")
@@ -328,6 +341,9 @@ class ContinuumReplayer:
         duration = self.edge_preprocess_time(request.num_images)
         if duration < 0:
             raise ValueError("edge preprocess time must be >= 0")
+        if self.profiler is not None:
+            self.profiler.record(("continuum", "edge_preprocess"),
+                                 sim_seconds=duration)
         if placement == "edge":
             sim.schedule(duration,
                          lambda: self._edge_serve(request, pre_span))
@@ -357,6 +373,9 @@ class ContinuumReplayer:
             ctx.close(self.sim.now, status="ok")
             self.cache_responses.append(
                 Response(request, self.sim.now, status="ok"))
+            if self.profiler is not None:
+                self.profiler.record(("continuum", "cache_hit"),
+                                     sim_seconds=self.cache_lookup_time)
             self._finalize(ctx, request)
 
         self.sim.schedule(self.cache_lookup_time, served)
@@ -366,9 +385,13 @@ class ContinuumReplayer:
         ctx.end(pre_span, self.sim.now)
         span = ctx.begin("edge_inference", self.sim.now,
                          category="continuum")
+        t0 = self.sim.now
 
         def done() -> None:
             ctx.end(span, self.sim.now)
+            if self.profiler is not None:
+                self.profiler.record(("continuum", "edge_inference"),
+                                     sim_seconds=self.sim.now - t0)
             ctx.close(self.sim.now, status="ok")
             self.edge_responses.append(
                 Response(request, self.sim.now, status="ok"))
@@ -381,8 +404,12 @@ class ContinuumReplayer:
         ctx.end(pre_span, self.sim.now)
         ctx.baggage["awaiting_downlink"] = True
         payload = self.image_bytes * request.num_images
+        t0 = self.sim.now
 
         def arrived() -> None:
+            if self.profiler is not None:
+                self.profiler.record(("continuum", "uplink"),
+                                     sim_seconds=self.sim.now - t0)
             self.target.submit(request)
             # A synchronous rejection (admission shed, drain refusal,
             # queue-full) closes the trace before submit returns and
@@ -406,8 +433,12 @@ class ContinuumReplayer:
         if response.status == "rejected":
             self._finalize(ctx, response.request)
             return
+        t0 = self.sim.now
 
         def delivered() -> None:
+            if self.profiler is not None:
+                self.profiler.record(("continuum", "downlink"),
+                                     sim_seconds=self.sim.now - t0)
             ctx.close(self.sim.now, status=response.status)
             if (self.cache is not None and response.status == "ok"
                     and response.request.cache_key is not None):
@@ -438,7 +469,11 @@ class ContinuumReplayer:
                     self._h_latency.labels(model=model),
                     self._c_requests.labels(placement=placement,
                                             status=status))
-            handles[0].observe(ctx.latency)
+            if self._exemplars:
+                handles[0].observe(ctx.latency,
+                                   trace_id=str(ctx.trace_id))
+            else:
+                handles[0].observe(ctx.latency)
             handles[1].inc()
         if not ctx.sampled:
             # Metrics recorded above; the spans go back to the pool and

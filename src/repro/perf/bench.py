@@ -20,6 +20,14 @@ the hybrid fluid/DES engine vs the exact replay on saturated traces,
 with the parity contract as the verification step and its own
 committed references (``BENCH_fluid.json`` / ``BENCH_fluid_quick.json``,
 gated by ``repro fluid --quick --check ...`` in CI).
+
+``run_profile_bench`` prices the observability layer itself (the
+BENCH_profile suite): the same serving replay bare, with a profiler
+attached but disabled, and with it enabled.  Verification compares
+metrics scrapes byte for byte across modes, and the committed
+references (``BENCH_profile.json`` / ``BENCH_profile_quick.json``,
+gated by ``repro profile-bench --quick --check ...`` in CI) bound the
+overhead each mode may cost.
 """
 
 from __future__ import annotations
@@ -72,6 +80,25 @@ FLUID_MIN_SPEEDUPS: dict[str, float] = {
 QUICK_FLUID_MIN_SPEEDUPS: dict[str, float] = {
     "fluid_step_parity": 2.0,
     "fluid_burst_day": 1.1,
+}
+
+#: Floors for the BENCH_profile suite.  These bound *overhead*, not
+#: gains: baseline is the bare replay, "optimized" the instrumented
+#: one, so 1.0 means the instrumentation is free.  Attached-but-
+#: disabled must stay within noise of free (the zero-cost contract);
+#: the enabled profiler pays real perf_counter calls per batch and may
+#: cost up to half the run before the gate trips.
+PROFILE_MIN_SPEEDUPS: dict[str, float] = {
+    "profile_off_overhead": 0.85,
+    "profile_on_overhead": 0.5,
+}
+
+#: Quick-mode floors for BENCH_profile: the shrunken replay amortizes
+#: interpreter warm-up over less work, so both ratios sit closer to
+#: the noise floor.
+QUICK_PROFILE_MIN_SPEEDUPS: dict[str, float] = {
+    "profile_off_overhead": 0.8,
+    "profile_on_overhead": 0.45,
 }
 
 
@@ -143,6 +170,28 @@ def run_fluid_bench(quick: bool = False,
         results["scenarios"][scenario.name] = run_scenario(
             scenario, repeats, floors)
     results["frontier"] = run_fluid_frontier(quick=quick)
+    return results
+
+
+def run_profile_bench(quick: bool = False,
+                      repeats: int | None = None) -> dict:
+    """Run the BENCH_profile suite; returns the results document.
+
+    Each scenario's verify step compares the metrics scrape of the
+    bare and instrumented runs byte for byte, so a passing run
+    certifies the zero-instrumentation-cost contract before any
+    timing counts.
+    """
+    from repro.perf.scenarios import build_profile_scenarios
+
+    if repeats is None:
+        repeats = 2 if quick else 4
+    floors = QUICK_PROFILE_MIN_SPEEDUPS if quick else PROFILE_MIN_SPEEDUPS
+    results: dict = {"suite": "BENCH_profile", "quick": quick,
+                     "scenarios": {}}
+    for scenario in build_profile_scenarios(quick=quick):
+        results["scenarios"][scenario.name] = run_scenario(
+            scenario, repeats, floors)
     return results
 
 

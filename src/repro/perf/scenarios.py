@@ -24,6 +24,13 @@ exact tuple-heap replay on saturated farm traces — verification is the
 parity contract itself: identical completion counts and latency
 quantiles within a stated tolerance.
 
+A third suite, :func:`build_profile_scenarios` (``BENCH_profile``),
+prices the observability layer itself: the same serving replay with no
+profiler, with a profiler attached but disabled (must be free — the
+zero-cost contract), and with the profiler enabled (must stay cheap).
+Verification asserts byte-identical metrics scrapes across all three,
+so instrumenting a run can never change what it reports.
+
 All inputs are seeded; no wall-clock or RNG state leaks into the
 workload, so any two runs time the same work.
 """
@@ -97,6 +104,86 @@ def _serving_replay(sim_cls, registry_cls, requests: int) -> tuple:
     sampler.start()
     sim.run()
     return len(server.responses), sim.events_processed
+
+
+def _profiled_replay(requests: int, mode: str) -> tuple:
+    """The serving replay with the profiler ``"none"``/``"off"``/``"on"``.
+
+    Returns ``(responses, events_processed, scrape)`` — the scrape is
+    part of the result on purpose: the verify step compares it byte for
+    byte across modes, which *is* the zero-instrumentation-cost
+    contract (attaching a profiler must not change what a run reports).
+    """
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.client import OpenLoopClient
+    from repro.serving.events import Simulator
+    from repro.serving.exporter import export_registry
+    from repro.serving.observability import (MetricsRegistry,
+                                             TimeSeriesSampler)
+    from repro.serving.profiler import SimProfiler
+    from repro.serving.server import ModelConfig, TritonLikeServer
+
+    sim = Simulator()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    server = TritonLikeServer(sim, registry=registry)
+    server.register(ModelConfig(
+        "vit_tiny", lambda n: 0.0004 + 0.00012 * n,
+        batcher=BatcherConfig(max_batch_size=16, max_queue_delay=0.002)))
+    if mode != "none":
+        server.attach_profiler(SimProfiler(clock=lambda: sim.now,
+                                           enabled=(mode == "on")))
+    client = OpenLoopClient(server, "vit_tiny", rate_per_second=800.0,
+                            num_requests=requests, seed=7)
+    sampler = TimeSeriesSampler(server, interval=0.05)
+    client.start()
+    sampler.start()
+    sim.run()
+    return (len(server.responses), sim.events_processed,
+            export_registry(registry))
+
+
+def build_profile_scenarios(quick: bool = False) -> list[Scenario]:
+    """The BENCH_profile suite: the profiler's own overhead.
+
+    Both scenarios share the baseline (no profiler at all); the
+    "optimized" side is the instrumented run, so the reported speedup
+    is the *overhead ratio* — 1.0 means free, and the floors bound how
+    far below free each mode may fall.
+    """
+    requests = 1500 if quick else 6000
+
+    def replay(mode: str):
+        def run() -> tuple:
+            return _profiled_replay(requests, mode)
+        return run
+
+    def identical(a, b) -> None:
+        assert a[0] == b[0], (
+            f"response counts diverged: {a[0]} vs {b[0]}")
+        assert a[1] == b[1], (
+            f"event counts diverged: {a[1]} vs {b[1]}")
+        assert a[2] == b[2], (
+            "metrics scrape changed with the profiler attached")
+
+    return [
+        Scenario(
+            name="profile_off_overhead",
+            layer="observability",
+            description="serving replay: bare vs profiler attached "
+                        "but disabled (the zero-cost contract)",
+            baseline=replay("none"),
+            optimized=replay("off"),
+            verify=identical),
+        Scenario(
+            name="profile_on_overhead",
+            layer="observability",
+            description="serving replay: bare vs profiler enabled "
+                        "(full sim;run / serve;* / control;* "
+                        "attribution)",
+            baseline=replay("none"),
+            optimized=replay("on"),
+            verify=identical),
+    ]
 
 
 def build_scenarios(quick: bool = False) -> list[Scenario]:

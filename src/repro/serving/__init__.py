@@ -28,7 +28,11 @@ deterministic discrete-event core:
 * :mod:`repro.serving.tracectx` — distributed-tracing contexts carried
   by requests across continuum and serving layers;
 * :mod:`repro.serving.trace_export` — Chrome/Perfetto trace-event JSON
-  export and critical-path analysis over those contexts;
+  export, critical-path analysis over those contexts, and the
+  exemplar-joined tail-latency attribution report;
+* :mod:`repro.serving.profiler` — sim-time/wall-clock cost attribution
+  across the component hierarchy with folded-stack and speedscope
+  export;
 * :mod:`repro.serving.slo` — error budgets and multi-window burn-rate
   alerting over the registry's latency histograms.
 """
@@ -54,6 +58,7 @@ from repro.serving.fluid import (
     FluidConfig,
     FluidInterval,
     HybridReplayer,
+    render_regime_timeline,
 )
 from repro.serving.metrics import LatencyStats, summarize_responses
 from repro.serving.faults import FaultModel
@@ -67,6 +72,7 @@ from repro.serving.traces import (
 from repro.serving.exporter import (
     export_metrics,
     export_registry,
+    parse_exemplars,
     parse_metrics,
 )
 from repro.serving.observability import (
@@ -84,11 +90,14 @@ from repro.serving.tracing import (
     stage_breakdown,
     trace_of,
 )
+from repro.serving.profiler import ProfileScope, SimProfiler
 from repro.serving.tracectx import SpanPool, SpanRecord, TraceContext
 from repro.serving.trace_export import (
     critical_path,
     critical_path_summary,
+    explain_tail,
     export_chrome_trace,
+    render_attribution,
     render_critical_path,
     validate_chrome_trace,
 )
@@ -112,6 +121,7 @@ __all__ = [
     "FluidConfig",
     "FluidInterval",
     "HybridReplayer",
+    "render_regime_timeline",
     "LatencyStats",
     "summarize_responses",
     "FaultModel",
@@ -123,6 +133,7 @@ __all__ = [
     "diurnal_trace",
     "export_metrics",
     "export_registry",
+    "parse_exemplars",
     "parse_metrics",
     "Counter",
     "Gauge",
@@ -135,12 +146,16 @@ __all__ = [
     "render_gantt",
     "stage_breakdown",
     "trace_of",
+    "ProfileScope",
+    "SimProfiler",
     "SpanPool",
     "SpanRecord",
     "TraceContext",
     "critical_path",
     "critical_path_summary",
+    "explain_tail",
     "export_chrome_trace",
+    "render_attribution",
     "render_critical_path",
     "validate_chrome_trace",
     "BurnAlert",

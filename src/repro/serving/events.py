@@ -177,6 +177,11 @@ class Simulator:
         #: are pruned lazily as the run loop passes over them).
         self._streams: list[EventStream] = []
         self.events_processed = 0
+        #: Optional :class:`~repro.serving.profiler.SimProfiler`; when
+        #: attached (and enabled) :meth:`run` brackets the whole loop
+        #: in a ``("sim", "run")`` scope.  Checked once per ``run()``
+        #: call, never inside the dispatch loop.
+        self.profiler = None
 
     def schedule(self, delay: float, callback: Callable[[], None],
                  daemon: bool = False) -> Event:
@@ -283,6 +288,14 @@ class Simulator:
         ``max_events`` guards against runaway self-scheduling loops
         (stream firings count toward the budget too).
         """
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            with profiler.scope("sim", "run"):
+                self._run(until, max_events)
+            return
+        self._run(until, max_events)
+
+    def _run(self, until: float | None, max_events: int) -> None:
         heap = self._heap
         processed = 0
         while True:

@@ -71,12 +71,22 @@ def export_registry(registry: MetricsRegistry,
         elif isinstance(metric, Histogram):
             for key, series in metric.items():
                 labels = dict(key)
-                for bound, cumulative in metric.cumulative_buckets(
-                        **labels):
-                    lines.append(_line(
+                exemplars = series.exemplars
+                for index, (bound, cumulative) in enumerate(
+                        metric.cumulative_buckets(**labels)):
+                    line = _line(
                         f"{name}_bucket",
                         {**labels, "le": _bound_label(bound)},
-                        cumulative))
+                        cumulative)
+                    if exemplars is not None:
+                        exemplar = exemplars.get(index)
+                        if exemplar is not None:
+                            value, trace_id, stamp = exemplar
+                            line += (
+                                f' # {{trace_id='
+                                f'"{_escape_label(trace_id)}"}} '
+                                f"{value:g} {stamp:g}")
+                    lines.append(line)
                 lines.append(_line(f"{name}_sum", labels, series.sum))
                 lines.append(_line(f"{name}_count", labels,
                                    series.count))
@@ -148,26 +158,32 @@ def export_metrics(server: TritonLikeServer,
     return text + export_registry(server.metrics, prefix=prefix)
 
 
-def _parse_labels(blob: str, line: str) -> list[tuple[str, str]]:
-    """Parse ``key="value",...`` honoring escapes inside quoted values.
+def _parse_labels(line: str, i: int,
+                  ) -> tuple[list[tuple[str, str]], int]:
+    """Parse a ``key="value",...}`` block starting just past its ``{``.
 
-    A naive split on ``,`` or strip of ``"`` corrupts any value
-    containing those characters; this walker undoes exactly the escapes
-    :func:`_escape_label` writes (``\\\\``, ``\\"``, ``\\n``).
+    Returns ``(labels, index just past the closing brace)``, honoring
+    escapes inside quoted values: a naive split on ``,`` or strip of
+    ``"`` corrupts any value containing those characters, so this
+    walker undoes exactly the escapes :func:`_escape_label` writes
+    (``\\\\``, ``\\"``, ``\\n``).  Scanning for the *unquoted* closing
+    brace is what lets a value legally contain ``}`` or the exemplar
+    marker text itself.
     """
     labels: list[tuple[str, str]] = []
-    i = 0
-    while i < len(blob):
-        eq = blob.index("=", i)
-        key = blob[i:eq]
-        if blob[eq + 1] != '"':
+    if i < len(line) and line[i] == "}":
+        return labels, i + 1
+    while True:
+        eq = line.index("=", i)
+        key = line[i:eq]
+        if line[eq + 1] != '"':
             raise ValueError(f"unquoted label value in {line!r}")
         i = eq + 2
         value: list[str] = []
         while True:
-            ch = blob[i]
+            ch = line[i]
             if ch == "\\":
-                nxt = blob[i + 1]
+                nxt = line[i + 1]
                 value.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
                 i += 2
             elif ch == '"':
@@ -177,11 +193,71 @@ def _parse_labels(blob: str, line: str) -> list[tuple[str, str]]:
                 value.append(ch)
                 i += 1
         labels.append((key, "".join(value)))
-        if i < len(blob):
-            if blob[i] != ",":
-                raise ValueError(f"malformed label block in {line!r}")
-            i += 1
-    return labels
+        if i >= len(line):
+            raise ValueError(f"unterminated label block in {line!r}")
+        if line[i] == "}":
+            return labels, i + 1
+        if line[i] != ",":
+            raise ValueError(f"malformed label block in {line!r}")
+        i += 1
+
+
+def _parse_sample(line: str) -> tuple[
+        str, tuple[tuple[str, str], ...], float,
+        tuple[tuple[tuple[str, str], ...], float, float | None] | None]:
+    """Split one sample line into (name, labels, value, exemplar).
+
+    Handles the optional OpenMetrics exemplar suffix
+    ``# {trace_id="..."} value timestamp`` — the reason the value can
+    no longer be read with a right-partition on the last space.
+    ``exemplar`` is ``(labels, value, timestamp_or_None)`` or ``None``.
+    """
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        name = line[:brace]
+        try:
+            labels, i = _parse_labels(line, brace + 1)
+        except (IndexError, KeyError, ValueError) as exc:
+            raise ValueError(
+                f"malformed label block in {line!r}") from exc
+        rest = line[i:]
+    elif space != -1:
+        name, labels, rest = line[:space], [], line[space:]
+    else:
+        raise ValueError(f"bad metric line {line!r}")
+    fields = rest.strip().split(None, 1)
+    if not fields:
+        raise ValueError(f"bad metric line {line!r}")
+    try:
+        value = float(fields[0])
+    except ValueError as exc:
+        raise ValueError(f"bad metric line {line!r}") from exc
+    exemplar = None
+    if len(fields) > 1:
+        suffix = fields[1].strip()
+        if not suffix.startswith("#"):
+            raise ValueError(f"bad metric line {line!r}")
+        ex_brace = suffix.find("{")
+        if ex_brace == -1 or suffix[1:ex_brace].strip():
+            raise ValueError(f"malformed exemplar in {line!r}")
+        try:
+            ex_labels, j = _parse_labels(suffix, ex_brace + 1)
+        except (IndexError, KeyError, ValueError) as exc:
+            raise ValueError(
+                f"malformed exemplar in {line!r}") from exc
+        ex_fields = suffix[j:].split()
+        if not 1 <= len(ex_fields) <= 2:
+            raise ValueError(f"malformed exemplar in {line!r}")
+        try:
+            ex_value = float(ex_fields[0])
+            ex_stamp = (float(ex_fields[1])
+                        if len(ex_fields) == 2 else None)
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed exemplar in {line!r}") from exc
+        exemplar = (tuple(sorted(ex_labels)), ex_value, ex_stamp)
+    return name, tuple(sorted(labels)), value, exemplar
 
 
 def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
@@ -190,28 +266,42 @@ def parse_metrics(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
 
     Round-trips :func:`export_registry` output exactly, including label
     values containing quotes, backslashes, commas, braces, or newlines;
-    ignores comments.
+    ignores comments and OpenMetrics exemplar suffixes (see
+    :func:`parse_exemplars` for those).
     """
     out: dict = {}
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, _, value_part = line.rpartition(" ")
-        try:
-            value = float(value_part)
-        except ValueError as exc:
-            raise ValueError(f"bad metric line {line!r}") from exc
-        if "{" in name_part:
-            name, _, label_blob = name_part.partition("{")
-            if not label_blob.endswith("}"):
-                raise ValueError(f"unterminated label block in {line!r}")
-            try:
-                labels = _parse_labels(label_blob[:-1], line)
-            except (IndexError, KeyError, ValueError) as exc:
-                raise ValueError(
-                    f"malformed label block in {line!r}") from exc
-            out[(name, tuple(sorted(labels)))] = value
-        else:
-            out[(name_part, ())] = value
+        name, labels, value, _ = _parse_sample(line)
+        out[(name, labels)] = value
+    return out
+
+
+def parse_exemplars(text: str) -> dict[
+        tuple[str, tuple[tuple[str, str], ...]],
+        dict]:
+    """Extract OpenMetrics exemplars from exposition text.
+
+    Returns ``{(metric, labels): {"labels": {...}, "value": v,
+    "timestamp": t}}`` for every sample line carrying a
+    ``# {trace_id="..."} value timestamp`` suffix — the read side of
+    the exemplars :func:`export_registry` renders for histograms with
+    :meth:`~repro.serving.observability.Histogram.enable_exemplars`.
+    """
+    out: dict = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, _, exemplar = _parse_sample(line)
+        if exemplar is None:
+            continue
+        ex_labels, ex_value, ex_stamp = exemplar
+        out[(name, labels)] = {
+            "labels": dict(ex_labels),
+            "value": ex_value,
+            "timestamp": ex_stamp,
+        }
     return out

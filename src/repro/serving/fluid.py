@@ -52,12 +52,14 @@ traffic source during a fluid stretch.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from repro.serving.batcher import QueuedRequest
 from repro.serving.request import Request
 from repro.serving.server import TritonLikeServer
+from repro.serving.tracectx import TraceContext
 from repro.serving.traces import ArrivalTrace
 
 
@@ -172,6 +174,21 @@ class HybridReplayer:
         self._fluid_latencies: list[np.ndarray] = []
         #: Requests submitted through the exact DES path.
         self.submitted = 0
+        #: Regime boundary instants (``fluid_enter`` / ``fluid_exit``),
+        #: so HybridReplayer runs export a visible regime timeline
+        #: instead of silently folding stretches away.
+        self.timeline = TraceContext(0, start=0.0,
+                                     root_name="regime_timeline")
+        metrics = server.metrics
+        self._c_intervals = metrics.counter(
+            "fluid_intervals_total",
+            "Fluid-regime stretches entered per model.",
+        ).labels(model=model_name)
+        self._c_folded = metrics.counter(
+            "fluid_folded_arrivals_total",
+            "Arrivals integrated analytically instead of fired "
+            "through the DES, per model.",
+        ).labels(model=model_name)
 
     # ------------------------------------------------------------------
     # Replay
@@ -227,6 +244,7 @@ class HybridReplayer:
         """Integrate the saturated stretch and arm the exit handoff."""
         server, model, cfg = self.server, self.model_name, self.config
         sim = server.sim
+        wall0 = time.perf_counter()
         t0 = sim.now
         queued = server.handoff_out(model)
         inflight = server.inflight_images(model)
@@ -325,11 +343,26 @@ class HybridReplayer:
             resume_time,
             lambda: server.handoff_in(model, restored,
                                       new_enqueues=n_synth))
+        entry_backlog = int(img_q.sum()) + inflight
         self.intervals.append(FluidInterval(
             entered=t0, resumed=resume_time,
             integrated_requests=n_complete,
             restored_requests=len(restored),
-            entry_backlog_images=int(img_q.sum()) + inflight))
+            entry_backlog_images=entry_backlog))
+        self._c_intervals.inc()
+        self._c_folded.inc(n_new)
+        self.timeline.instant(
+            "fluid_enter", t0, category="regime",
+            queued_requests=nq, backlog_images=entry_backlog)
+        self.timeline.instant(
+            "fluid_exit", resume_time, category="regime",
+            integrated_requests=n_complete,
+            restored_requests=len(restored))
+        profiler = server.profiler
+        if profiler is not None:
+            profiler.record(("regime", "fluid"),
+                            sim_seconds=resume_time - t0,
+                            wall_seconds=time.perf_counter() - wall0)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -356,3 +389,50 @@ class HybridReplayer:
         return {"count": int(values.size),
                 "mean": float(values.mean()),
                 "p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+def render_regime_timeline(replayer: HybridReplayer,
+                           width: int = 48) -> str:
+    """Deterministic text view of a hybrid run's regime history.
+
+    A strip of ``width`` cells covers ``[0, end]`` ('#' = the cell lies
+    mostly inside a fluid stretch, '+' = partially, '.' = exact DES),
+    followed by one table row per :class:`FluidInterval` — making the
+    stretches the engine folded away visible at a glance.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    intervals = replayer.intervals
+    sim_end = replayer.server.sim.now
+    if not intervals:
+        return (f"regime timeline: exact DES throughout "
+                f"({sim_end:g} sim-s, 0 fluid stretches)\n")
+    end = max(sim_end, max(iv.resumed for iv in intervals))
+    fluid_total = sum(iv.resumed - iv.entered for iv in intervals)
+    share = fluid_total / end if end > 0 else 0.0
+    plural = "es" if len(intervals) != 1 else ""
+    lines = [
+        f"regime timeline: {len(intervals)} fluid stretch{plural}, "
+        f"{fluid_total:.3f} of {end:.3f} sim-s fluid ({share:.0%})",
+    ]
+    cells = []
+    for i in range(width):
+        a = end * i / width
+        b = end * (i + 1) / width
+        overlap = sum(max(0.0, min(iv.resumed, b) - max(iv.entered, a))
+                      for iv in intervals)
+        frac = overlap / (b - a) if b > a else 0.0
+        cells.append("#" if frac >= 0.5 else "+" if frac > 0.0 else ".")
+    lines.append("".join(cells))
+    lines.append("('#'=fluid, '+'=mixed, '.'=exact DES)")
+    header = (f"{'entered':>10} {'resumed':>10} {'span s':>9} "
+              f"{'integrated':>10} {'restored':>9} {'backlog':>8}")
+    lines.append(header)
+    for iv in intervals:
+        lines.append(
+            f"{iv.entered:>10.3f} {iv.resumed:>10.3f} "
+            f"{iv.resumed - iv.entered:>9.3f} "
+            f"{iv.integrated_requests:>10d} "
+            f"{iv.restored_requests:>9d} "
+            f"{iv.entry_backlog_images:>8d}")
+    return "\n".join(lines) + "\n"

@@ -92,6 +92,11 @@ class BackendInstance:
         else:
             self._h_exec = self._c_batches = self._c_images = None
             self._c_failures = self._c_fault_seconds = None
+        #: Optional :class:`~repro.serving.profiler.SimProfiler` (wired
+        #: by ``TritonLikeServer.attach_profiler``); attributes batch
+        #: service time to ``serve;<stage>;execute`` and fault
+        #: detection windows to ``serve;<stage>;fault``.
+        self.profiler = None
 
     def _span_key(self, request: Request) -> str:
         """Span key for this execution attempt of ``request``.
@@ -161,6 +166,10 @@ class BackendInstance:
                 if self._c_failures is not None:
                     self._c_failures.inc()
                     self._c_fault_seconds.inc(detect)
+                if self.profiler is not None:
+                    self.profiler.record(
+                        ("serve", self._stage, "fault"),
+                        sim_seconds=detect)
                 on_failure(batch)
 
             self.sim.schedule(detect, fail)
@@ -180,6 +189,10 @@ class BackendInstance:
                 self._h_exec.observe(duration)
                 self._c_batches.inc()
                 self._c_images.inc(images)
+            if self.profiler is not None:
+                self.profiler.record(
+                    ("serve", self._stage, "execute"),
+                    sim_seconds=duration)
             on_complete(batch)
 
         self.sim.schedule(duration, finish)

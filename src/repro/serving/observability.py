@@ -25,6 +25,7 @@ summarizes the per-stage histograms in the same shape as
 from __future__ import annotations
 
 import dataclasses
+import time
 from bisect import bisect_left
 from collections.abc import Callable, Iterable
 
@@ -161,14 +162,27 @@ class BoundHistogram:
         self._clock = parent._clock
         self.name = parent.name
 
-    def observe(self, value: float) -> None:
-        """Record one observation into the bound series."""
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation into the bound series.
+
+        ``trace_id`` attaches an OpenMetrics exemplar — the
+        ``(value, trace_id, sim_time)`` witness for the bucket the
+        observation lands in (last observation wins, which is
+        deterministic under the sim clock) — when the family has
+        exemplars enabled; it is ignored otherwise.
+        """
         series = self._series
         if series is None:
             series = self._series = self._parent._ensure_series(self._key)
-        series.bucket_counts[bisect_left(self._bounds, value)] += 1
+        index = bisect_left(self._bounds, value)
+        series.bucket_counts[index] += 1
         series.sum += value
         series.count += 1
+        if trace_id is not None and self._parent._exemplars_enabled:
+            exemplars = series.exemplars
+            if exemplars is None:
+                exemplars = series.exemplars = {}
+            exemplars[index] = (value, str(trace_id), self._clock())
         self._last[self._key] = self._clock()
 
     def observe_many(self, values) -> None:
@@ -281,11 +295,19 @@ class Gauge(Metric):
 
 @dataclasses.dataclass
 class _HistogramSeries:
-    """Bucket counts + sum + count for one label set."""
+    """Bucket counts + sum + count for one label set.
+
+    ``exemplars`` maps a bucket index to the most recent
+    ``(value, trace_id, sim_time)`` observation that carried a trace
+    id — the OpenMetrics exemplar for that bucket.  It stays ``None``
+    until the family opts in via :meth:`Histogram.enable_exemplars`,
+    so plain histograms pay nothing.
+    """
 
     bucket_counts: list[int]
     sum: float = 0.0
     count: int = 0
+    exemplars: dict[int, tuple[float, str, float]] | None = None
 
 
 class Histogram(Metric):
@@ -308,6 +330,19 @@ class Histogram(Metric):
         if any(b <= 0 for b in self.buckets):
             raise ValueError("bucket bounds must be positive")
         self._series: dict[LabelKey, _HistogramSeries] = {}
+        self._exemplars_enabled = False
+
+    def enable_exemplars(self) -> "Histogram":
+        """Opt this family into per-bucket exemplar recording.
+
+        After enabling, ``observe(value, trace_id=...)`` stores the
+        ``(value, trace_id, sim_time)`` witness for the bucket hit and
+        the exporter renders it in OpenMetrics ``# {trace_id="..."}``
+        syntax.  Off by default so the scrape of an unrelated run
+        stays byte-identical.
+        """
+        self._exemplars_enabled = True
+        return self
 
     def _ensure_series(self, key: LabelKey) -> _HistogramSeries:
         series = self._series.get(key)
@@ -316,19 +351,27 @@ class Histogram(Metric):
             self._series[key] = series
         return series
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(self, value: float, *, trace_id: str | None = None,
+                **labels: str) -> None:
         """Record one observation into the labelled series.
 
         The bucket index comes from a binary search over the sorted
         bounds: ``bisect_left`` returns the first bound ``>= value``
         (Prometheus' ``le`` semantics) and the overflow ``+Inf`` bucket
-        when the value exceeds every bound.
+        when the value exceeds every bound.  ``trace_id`` attaches an
+        exemplar when the family has :meth:`enable_exemplars` on.
         """
         key = _label_key(labels)
         series = self._ensure_series(key)
-        series.bucket_counts[bisect_left(self.buckets, value)] += 1
+        index = bisect_left(self.buckets, value)
+        series.bucket_counts[index] += 1
         series.sum += value
         series.count += 1
+        if trace_id is not None and self._exemplars_enabled:
+            exemplars = series.exemplars
+            if exemplars is None:
+                exemplars = series.exemplars = {}
+            exemplars[index] = (value, str(trace_id), self._clock())
         self._touch(key)
 
     def observe_many(self, values, **labels: str) -> None:
@@ -416,9 +459,22 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "",
                   buckets: Iterable[float] = DEFAULT_BUCKETS,
                   ) -> Histogram:
-        """Get or create a fixed-bucket :class:`Histogram`."""
-        return self._get_or_create(Histogram, name, help,
-                                   buckets=buckets)
+        """Get or create a fixed-bucket :class:`Histogram`.
+
+        Re-requesting an existing histogram with a *different* bucket
+        layout raises: silently returning the old layout would leave
+        the caller observing into bounds it never asked for, skewing
+        every quantile derived from the scrape.
+        """
+        requested = tuple(sorted(buckets))
+        metric = self._get_or_create(Histogram, name, help,
+                                     buckets=requested)
+        if metric.buckets != requested:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}, conflicting with requested "
+                f"{requested}")
+        return metric
 
     def get(self, name: str) -> Metric | None:
         """Look up a metric by name (None if absent)."""
@@ -477,6 +533,9 @@ class TimeSeriesSampler:
         self.max_samples = max_samples
         self.samples: list[SamplePoint] = []
         self._running = False
+        #: Set (sticky) when the run hit ``max_samples`` — a capped
+        #: time series is visibly capped, never silently short.
+        self.truncated = False
         self._seen_models: set[str] = set()
         #: Bound per-model gauge handles, resolved once per model.
         self._model_handles: dict[str, tuple] = {}
@@ -547,9 +606,25 @@ class TimeSeriesSampler:
     def _tick(self) -> None:
         if not self._running:
             return
-        self.sample_now()
+        profiler = getattr(self.server, "profiler", None)
+        if profiler is not None:
+            wall0 = time.perf_counter()
+            self.sample_now()
+            profiler.record(("control", "sampler"),
+                            wall_seconds=time.perf_counter() - wall0)
+        else:
+            self.sample_now()
         if len(self.samples) >= self.max_samples:
             self._running = False
+            if not self.truncated:
+                self.truncated = True
+                # Created lazily at first truncation so the scrape of
+                # an uncapped run is byte-identical to before this
+                # counter existed.
+                self.server.metrics.counter(
+                    "sampler_truncated_total",
+                    "Sampler runs stopped early by max_samples.",
+                ).inc()
             return
         # Re-arm only while workload events are pending: a heap holding
         # nothing but control-loop daemon ticks means the run is over

@@ -106,6 +106,13 @@ class TritonLikeServer:
         self._cache_tensor_bytes = 0.0
         self.responses: list[Response] = []
         self._on_response: Callable[[Response], None] | None = None
+        #: Optional :class:`~repro.serving.profiler.SimProfiler`; see
+        #: :meth:`attach_profiler`.  ``None`` keeps every
+        #: instrumentation site on its zero-cost branch.
+        self.profiler = None
+        #: Whether completed-request latency observations carry
+        #: exemplars (see :meth:`enable_exemplars`).
+        self._exemplars = False
         m = self.metrics
         self._c_submitted = m.counter(
             "requests_submitted_total", "Requests accepted by model.")
@@ -157,6 +164,11 @@ class TritonLikeServer:
                             metrics=self.metrics)
             for i in range(config.instances)
         ]
+        if self.profiler is not None:
+            # Models loaded after attach_profiler() get the same hooks.
+            self._batchers[config.name].profiler = self.profiler
+            for instance in self._instances[config.name]:
+                instance.profiler = self.profiler
 
     def register_ensemble(self, config: EnsembleConfig) -> None:
         """Load a shared-preprocessing ensemble.
@@ -212,6 +224,37 @@ class TritonLikeServer:
     def on_response(self, callback: Callable[[Response], None]) -> None:
         """Register a completion callback (e.g. closed-loop clients)."""
         self._on_response = callback
+
+    def attach_profiler(self, profiler) -> None:
+        """Wire a :class:`~repro.serving.profiler.SimProfiler` through
+        the whole serving stack.
+
+        Propagates to the simulator (the ``sim;run`` wall scope), every
+        loaded batcher (``serve;<stage>;queue_wait``), and every backend
+        instance (``serve;<stage>;execute`` / ``fault``); models
+        registered later inherit it.  Attaching a *disabled* profiler
+        is the supported always-on wiring: each site guards on the
+        attribute and a disabled profiler's methods are O(1) no-ops.
+        """
+        self.profiler = profiler
+        self.sim.profiler = profiler
+        for batcher in self._batchers.values():
+            batcher.profiler = profiler
+        for instances in self._instances.values():
+            for instance in instances:
+                instance.profiler = profiler
+
+    def enable_exemplars(self) -> None:
+        """Record request-latency exemplars for traced requests.
+
+        Enables exemplars on the ``request_latency_seconds`` family;
+        each completed traced request then stamps its
+        ``(latency, trace_id, sim_time)`` witness on the bucket it
+        lands in, linking the aggregate histogram back to a concrete
+        trace (see :func:`repro.serving.trace_export.explain_tail`).
+        """
+        self._exemplars = True
+        self._h_latency.enable_exemplars()
 
     def attach_cache(self, cache, tensor_bytes: float = 602112.0) -> None:
         """Enable the cloud preprocessed-tensor cache on this server.
@@ -448,7 +491,11 @@ class TritonLikeServer:
             )
         handles[0].inc()
         handles[1].inc(request.num_images)
-        handles[2].observe(response.latency)
+        if self._exemplars and request.trace is not None:
+            handles[2].observe(response.latency,
+                               trace_id=str(request.trace.trace_id))
+        else:
+            handles[2].observe(response.latency)
         if self._on_response is not None:
             self._on_response(response)
 

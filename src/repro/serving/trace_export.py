@@ -229,6 +229,177 @@ def _entry(latency: float, stages: dict[str, float],
     return entry
 
 
+def explain_tail(registry, traces: list[TraceContext],
+                 histogram: str = "continuum_latency_seconds",
+                 quantile: float = 0.99,
+                 intervals=None, sim_end: float | None = None) -> dict:
+    """Answer "why is the p99 high" by joining metrics with traces.
+
+    Three observability layers meet here:
+
+    1. the *histogram* (aggregated over its label sets) locates the
+       tail — the first bucket at which cumulative count reaches the
+       requested quantile — and yields the exemplar witnesses stamped
+       on tail buckets (``(value, trace_id, sim_time)``, recorded when
+       the family has exemplars enabled);
+    2. each exemplar's trace id joins back to a concrete closed trace,
+       whose :func:`critical_path` decomposition attributes the
+       latency to stages;
+    3. optionally, the fluid-regime ``intervals`` of a
+       :class:`~repro.serving.fluid.HybridReplayer` summarize how much
+       of the run was integrated analytically (``sim_end`` scales the
+       share; defaults to the last interval's resume time).
+
+    Returns a deterministic report dict; render with
+    :func:`render_attribution`.  The stage breakdown aggregates over
+    the joined exemplar witnesses, falling back to the quantile
+    witness from :func:`critical_path_summary` when no exemplar joins
+    (exemplars disabled, or their traces sampled out).
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must lie in (0, 1)")
+    closed = [t for t in traces if t.closed]
+    if not closed:
+        raise ValueError("no closed traces to explain")
+    hist = registry.get(histogram) if registry is not None else None
+    if hist is None:
+        raise KeyError(f"histogram {histogram!r} is not in the registry")
+    n_buckets = len(hist.buckets) + 1
+    aggregate = [0] * n_buckets
+    for _key, series in hist.items():
+        for index, count in enumerate(series.bucket_counts):
+            aggregate[index] += count
+    total = sum(aggregate)
+    threshold = None
+    tail_index = n_buckets - 1
+    tail_count = 0
+    if total:
+        target = math.ceil(quantile * total)
+        running = 0
+        for index, count in enumerate(aggregate):
+            running += count
+            if running >= target:
+                tail_index = index
+                break
+        threshold = (hist.buckets[tail_index - 1]
+                     if tail_index > 0 else 0.0)
+        tail_count = sum(aggregate[tail_index:])
+    exemplars: list[dict] = []
+    for key, series in hist.items():
+        if not series.exemplars:
+            continue
+        for index in sorted(series.exemplars):
+            if index < tail_index:
+                continue
+            value, trace_id, stamp = series.exemplars[index]
+            bound = (hist.buckets[index] if index < len(hist.buckets)
+                     else float("inf"))
+            exemplars.append({
+                "bucket_le": bound, "value": value,
+                "trace_id": trace_id, "sim_time": stamp,
+                "labels": dict(key)})
+    exemplars.sort(key=lambda e: (-e["value"], e["trace_id"]))
+    by_id = {str(t.trace_id): t for t in closed}
+    witnesses: list[dict] = []
+    stages_agg: dict[str, float] = {}
+    for exemplar in exemplars:
+        trace = by_id.get(exemplar["trace_id"])
+        if trace is None:
+            continue
+        stages = critical_path(trace)
+        for name, seconds in stages.items():
+            stages_agg[name] = stages_agg.get(name, 0.0) + seconds
+        top = (max(stages.items(), key=lambda kv: (kv[1], kv[0]))[0]
+               if stages else "untracked")
+        witnesses.append({
+            "trace_id": trace.trace_id,
+            "latency_seconds": trace.latency,
+            "stages": stages,
+            "top_stage": top})
+    quantile_key = f"p{quantile * 100:g}"
+    witness = critical_path_summary(
+        closed, quantiles=(quantile,))[quantile_key]
+    if not stages_agg:
+        stages_agg = dict(witness["stages"])
+    agg_total = sum(stages_agg.values())
+    stage_shares = [
+        {"stage": name, "seconds": seconds,
+         "share": seconds / agg_total if agg_total > 0 else 0.0}
+        for name, seconds in sorted(stages_agg.items(),
+                                    key=lambda kv: (-kv[1], kv[0]))]
+    report = {
+        "histogram": histogram,
+        "quantile": quantile,
+        "observations": total,
+        "threshold_seconds": threshold,
+        "tail_observations": tail_count,
+        "witness": witness,
+        "tail_exemplars": exemplars,
+        "exemplar_witnesses": witnesses,
+        "stages": stage_shares,
+    }
+    if intervals is not None:
+        fluid_total = sum(iv.resumed - iv.entered for iv in intervals)
+        end = sim_end
+        if end is None:
+            end = max((iv.resumed for iv in intervals), default=0.0)
+        report["regime"] = {
+            "fluid_intervals": len(intervals),
+            "fluid_seconds": fluid_total,
+            "sim_seconds": end,
+            "fluid_share": (fluid_total / end
+                            if end and end > 0 else 0.0),
+        }
+    return report
+
+
+def render_attribution(report: dict) -> str:
+    """Deterministic text rendering of an :func:`explain_tail` report."""
+    quantile_key = f"p{report['quantile'] * 100:g}"
+    lines: list[str] = []
+    threshold = report["threshold_seconds"]
+    if threshold is None:
+        lines.append(
+            f"why is {quantile_key} high: no observations in "
+            f"{report['histogram']}")
+    else:
+        lines.append(
+            f"why is {quantile_key} high: {report['histogram']} tail "
+            f"starts past {threshold * 1e3:g} ms "
+            f"({report['tail_observations']} of "
+            f"{report['observations']} observations)")
+    witness = report["witness"]
+    lines.append(
+        f"{quantile_key} witness: trace {witness['trace_id']} at "
+        f"{witness['latency_seconds'] * 1e3:.2f} ms "
+        f"(tracked {witness['tracked_fraction']:.0%})")
+    lines.append("tail stage breakdown:")
+    for entry in report["stages"]:
+        lines.append(
+            f"  {entry['stage']:<16s} {entry['seconds'] * 1e3:9.2f}ms "
+            f"{entry['share']:5.0%}")
+    if report["tail_exemplars"]:
+        lines.append("tail exemplars (bucket -> trace witness):")
+        for exemplar in report["tail_exemplars"]:
+            bound = exemplar["bucket_le"]
+            bound_text = ("+Inf" if bound == float("inf")
+                          else f"{bound:g}")
+            lines.append(
+                f"  le={bound_text:<8s} trace "
+                f"{exemplar['trace_id']:<6s} "
+                f"{exemplar['value'] * 1e3:9.2f}ms "
+                f"@ t={exemplar['sim_time']:.3f}s")
+    regime = report.get("regime")
+    if regime is not None:
+        plural = "es" if regime["fluid_intervals"] != 1 else ""
+        lines.append(
+            f"regime: {regime['fluid_intervals']} fluid "
+            f"stretch{plural}, {regime['fluid_seconds']:.3f} of "
+            f"{regime['sim_seconds']:.3f} sim-s fluid "
+            f"({regime['fluid_share']:.0%})")
+    return "\n".join(lines) + "\n"
+
+
 def render_critical_path(summary: dict[str, dict]) -> str:
     """Text table: stages as rows, quantile witnesses as columns.
 

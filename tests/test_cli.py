@@ -321,3 +321,70 @@ class TestBacktest:
     def test_same_platform_error(self, capsys):
         assert main(["backtest", "--platform", "a100",
                      "--donor", "a100"]) == 2
+
+
+class TestProfile:
+    FAST = ["profile", "--duration", "3", "--fluid-duration", "30",
+            "--burst-rate", "900"]
+
+    def test_end_to_end_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "== profile tree (sim-time) ==" in out
+        assert "serve" in out and "continuum" in out
+        assert "== folded stacks (sim-time) ==" in out
+        assert "sim;run " in out
+        assert "== exemplars ==" in out
+        assert ' # {trace_id="' in out
+        assert "== tail attribution ==" in out
+        assert "why is p99 high" in out
+        assert "== fluid regime" in out
+        assert "fluid_intervals_total" in out
+        assert "== fluid profile tree (sim-time) ==" in out
+
+    def test_output_is_deterministic_across_runs(self, capsys):
+        assert main(self.FAST) == 0
+        first = capsys.readouterr().out
+        assert main(self.FAST) == 0
+        assert capsys.readouterr().out == first
+
+    def test_forward_prints_kernel_phase_counts(self, capsys):
+        assert main(self.FAST + ["--forward"]) == 0
+        out = capsys.readouterr().out
+        assert "== kernel phases (vit_tiny forward, counts) ==" in out
+        assert "kernel;patch_embed" in out
+        # vit_tiny has 12 blocks: attention and mlp fire once each.
+        assert "kernel;attention" in out and "x12" in out
+
+    def test_artifacts_are_written_and_deterministic(self, capsys,
+                                                     tmp_path):
+        args = self.FAST + [
+            "--out", str(tmp_path / "p.json"),
+            "--speedscope", str(tmp_path / "p.speedscope.json"),
+            "--folded-out", str(tmp_path / "p.folded")]
+        assert main(args) == 0
+        capsys.readouterr()
+        import json
+        doc = json.loads((tmp_path / "p.json").read_text())
+        assert doc["continuum"]["closed_traces"] > 0
+        assert "sim;run" in doc["continuum"]["folded_sim"]
+        speedscope = json.loads(
+            (tmp_path / "p.speedscope.json").read_text())
+        assert speedscope["profiles"][0]["unit"] == "microseconds"
+        folded_1 = (tmp_path / "p.folded").read_text()
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "p.folded").read_text() == folded_1
+
+    def test_bad_sample_rate_is_an_error_exit(self, capsys):
+        assert main(["profile", "--sample-rate", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfileBench:
+    def test_quick_run_reports_overhead_ratios(self, capsys):
+        assert main(["profile-bench", "--quick", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_profile" in out
+        assert "profile_off_overhead" in out
+        assert "profile_on_overhead" in out

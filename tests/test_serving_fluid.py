@@ -221,3 +221,89 @@ class TestParityWithExactDES:
                 float(np.quantile(des, q)), rel=0.10), key
         assert summary["mean"] == pytest.approx(
             float(des.mean()), rel=0.10)
+
+
+class TestRegimeObservability:
+    def _run_saturated(self):
+        server = make_server()
+        replayer = HybridReplayer(server, "crop", config=FLUID)
+        replayer.schedule(saturating_trace())
+        server.run()
+        return server, replayer
+
+    def test_counters_track_intervals_and_folded_arrivals(self):
+        server, replayer = self._run_saturated()
+        metrics = server.metrics
+        intervals = metrics.get("fluid_intervals_total")
+        folded = metrics.get("fluid_folded_arrivals_total")
+        assert intervals.value(model="crop") == len(replayer.intervals)
+        # Every trace arrival either fired through the DES (submitted)
+        # or was folded into a fluid stretch — the counter owns the
+        # remainder exactly.
+        total = len(saturating_trace())
+        assert folded.value(model="crop") == total - replayer.submitted
+        assert folded.value(model="crop") > 0
+
+    def test_timeline_instants_bracket_every_interval(self):
+        _, replayer = self._run_saturated()
+        enters = replayer.timeline.find("fluid_enter")
+        exits = replayer.timeline.find("fluid_exit")
+        assert len(enters) == len(exits) == len(replayer.intervals)
+        for enter, exit_, interval in zip(enters, exits,
+                                          replayer.intervals):
+            assert enter.start == pytest.approx(interval.entered)
+            assert exit_.start == pytest.approx(interval.resumed)
+            assert enter.args["backlog_images"] == \
+                interval.entry_backlog_images
+            assert exit_.args["integrated_requests"] == \
+                interval.integrated_requests
+            assert exit_.args["restored_requests"] == \
+                interval.restored_requests
+
+    def test_exact_run_keeps_zero_counters_and_empty_timeline(self):
+        server = make_server()
+        trace = step_trace(duration=120.0, base_rate=5.0,
+                           step_rate=20.0, step_start=30.0,
+                           step_end=60.0, seed=1)
+        replayer = HybridReplayer(server, "crop", config=FLUID)
+        replayer.schedule(trace)
+        server.run()
+        assert server.metrics.get(
+            "fluid_intervals_total").value(model="crop") == 0
+        assert replayer.timeline.find("fluid_enter") == []
+
+    def test_render_regime_timeline_saturated(self):
+        from repro.serving.fluid import render_regime_timeline
+
+        _, replayer = self._run_saturated()
+        text = render_regime_timeline(replayer)
+        assert "regime timeline:" in text
+        assert "#" in text
+        assert "entered" in text and "restored" in text
+        assert len(text.splitlines()) == 4 + len(replayer.intervals)
+
+    def test_render_regime_timeline_exact_run(self):
+        from repro.serving.fluid import render_regime_timeline
+
+        server = make_server()
+        replayer = HybridReplayer(server, "crop", config=FLUID)
+        replayer.schedule(step_trace(duration=60.0, base_rate=5.0,
+                                     step_rate=10.0, step_start=10.0,
+                                     step_end=20.0, seed=1))
+        server.run()
+        assert "exact DES throughout" in render_regime_timeline(replayer)
+
+    def test_render_regime_timeline_is_deterministic(self):
+        from repro.serving.fluid import render_regime_timeline
+
+        _, first = self._run_saturated()
+        _, second = self._run_saturated()
+        assert render_regime_timeline(first) == \
+            render_regime_timeline(second)
+
+    def test_render_width_validated(self):
+        from repro.serving.fluid import render_regime_timeline
+
+        _, replayer = self._run_saturated()
+        with pytest.raises(ValueError):
+            render_regime_timeline(replayer, width=5)

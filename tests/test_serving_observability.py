@@ -354,3 +354,126 @@ class TestDefaultBuckets:
     def test_sorted_and_positive(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
         assert all(b > 0 for b in DEFAULT_BUCKETS)
+
+
+class TestHistogramBucketConflict:
+    def test_conflicting_buckets_raise(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(0.1, 0.5, 1.0))
+        with pytest.raises(ValueError, match="conflicting"):
+            reg.histogram("lat", buckets=(0.2, 0.8))
+
+    def test_same_buckets_any_order_return_same_instance(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 0.5, 1.0))
+        assert reg.histogram("lat", buckets=(1.0, 0.1, 0.5)) is h
+
+    def test_default_buckets_still_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+
+class TestExemplars:
+    def test_disabled_by_default(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, trace_id="42", model="m")
+        series = h._series[next(iter(h._series))]
+        assert series.exemplars is None
+
+    def test_recorded_per_bucket_last_wins(self):
+        clock = [0.0]
+        reg = MetricsRegistry(clock=lambda: clock[0])
+        h = reg.histogram("lat", buckets=(0.1, 1.0)).enable_exemplars()
+        h.observe(0.05, trace_id="1", model="m")
+        clock[0] = 2.0
+        h.observe(0.07, trace_id="2", model="m")
+        h.observe(0.5, trace_id="3", model="m")
+        series = h._series[next(iter(h._series))]
+        assert series.exemplars[0] == (0.07, "2", 2.0)
+        assert series.exemplars[1] == (0.5, "3", 2.0)
+
+    def test_bound_handle_records_exemplars_too(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0)).enable_exemplars()
+        bound = h.labels(model="m")
+        bound.observe(0.05, trace_id="7")
+        series = h._series[next(iter(h._series))]
+        assert series.exemplars[0] == (0.05, "7", 0.0)
+
+    def test_exported_in_openmetrics_syntax_and_parsed_back(self):
+        from repro.serving.exporter import parse_exemplars
+
+        clock = [3.5]
+        reg = MetricsRegistry(clock=lambda: clock[0])
+        h = reg.histogram("lat", buckets=(0.1, 1.0)).enable_exemplars()
+        h.observe(0.05, trace_id="41", model="m")
+        text = export_registry(reg)
+        assert ('harvest_lat_bucket{le="0.1",model="m"} 1 '
+                '# {trace_id="41"} 0.05 3.5') in text
+        exemplars = parse_exemplars(text)
+        key = ("harvest_lat_bucket", (("le", "0.1"), ("model", "m")))
+        assert exemplars[key] == {
+            "labels": {"trace_id": "41"}, "value": 0.05,
+            "timestamp": 3.5}
+
+    def test_parse_metrics_ignores_exemplar_suffixes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0)).enable_exemplars()
+        h.observe(0.05, trace_id="41", model="m")
+        h.observe(0.5, model="m")
+        parsed = parse_metrics(export_registry(reg))
+        assert parsed[("harvest_lat_bucket",
+                       (("le", "0.1"), ("model", "m")))] == 1
+        assert parsed[("harvest_lat_count", (("model", "m"),))] == 2
+
+    def test_scrape_without_trace_ids_is_unchanged(self):
+        def scrape(enable: bool, with_ids: bool) -> str:
+            reg = MetricsRegistry()
+            h = reg.histogram("lat", buckets=(0.1, 1.0))
+            if enable:
+                h.enable_exemplars()
+            for i, v in enumerate((0.05, 0.5, 2.0)):
+                h.observe(v, trace_id=(str(i) if with_ids else None),
+                          model="m")
+            return export_registry(reg)
+
+        assert scrape(False, False) == scrape(True, False)
+        assert scrape(False, True) == scrape(False, False)
+
+
+class TestSamplerTruncation:
+    def _server(self):
+        sim = Simulator()
+        server = TritonLikeServer(sim)
+        server.register(ModelConfig(
+            "m", lambda n: 0.004,
+            batcher=BatcherConfig(max_batch_size=4,
+                                  max_queue_delay=0.002)))
+        client = OpenLoopClient(server, "m", rate_per_second=200.0,
+                                num_requests=60, seed=1)
+        client.start()
+        return server
+
+    def test_truncated_run_sets_flag_and_counter(self):
+        server = self._server()
+        sampler = TimeSeriesSampler(server, interval=0.01,
+                                    max_samples=5)
+        sampler.start()
+        server.run()
+        assert sampler.truncated
+        assert len(sampler.samples) == 5
+        counter = server.metrics.get("sampler_truncated_total")
+        assert counter is not None and counter.total() == 1
+        assert "harvest_sampler_truncated_total 1" in \
+            export_registry(server.metrics)
+
+    def test_uncapped_run_scrape_has_no_truncation_series(self):
+        server = self._server()
+        sampler = TimeSeriesSampler(server, interval=0.01)
+        sampler.start()
+        server.run()
+        assert not sampler.truncated
+        assert len(sampler.samples) < sampler.max_samples
+        assert server.metrics.get("sampler_truncated_total") is None
+        assert "sampler_truncated" not in export_registry(server.metrics)

@@ -305,3 +305,70 @@ class TestContinuumInstrumentation:
         second.submit(Request("m"))
         assert first.traces[0].trace_id == 1
         assert second.traces[0].trace_id == 1
+
+
+class TestContinuumExemplarsAndProfile:
+    def _run(self, sample_rate=1.0, exemplars=True, profiler=False,
+             requests=60):
+        from repro.serving.exporter import export_registry
+        from repro.serving.profiler import SimProfiler
+
+        sim = Simulator()
+        registry = MetricsRegistry(clock=lambda: sim.now)
+        server = TritonLikeServer(sim, registry=registry)
+        server.register(ModelConfig(
+            "m", lambda n: 0.01,
+            batcher=BatcherConfig(max_batch_size=4,
+                                  max_queue_delay=0.002)))
+        prof = SimProfiler(clock=lambda: sim.now) if profiler else None
+        replayer = ContinuumReplayer(
+            server, get_link("station_ethernet"),
+            edge_preprocess_time=lambda n: 0.002 * n,
+            image_bytes=100_000.0, registry=registry,
+            trace_sample_rate=sample_rate, exemplars=exemplars,
+            profiler=prof)
+        for i in range(requests):
+            sim.schedule_at(0.01 * i,
+                            lambda: replayer.submit(Request("m")))
+        sim.run()
+        return replayer, export_registry(registry), prof
+
+    def test_exemplars_deterministic_under_sampling(self):
+        from repro.serving.exporter import parse_exemplars
+
+        _, first, _ = self._run(sample_rate=0.3)
+        _, second, _ = self._run(sample_rate=0.3)
+        assert first == second
+        exemplars = parse_exemplars(first)
+        assert exemplars  # latency buckets carry trace witnesses
+        for (name, _), info in exemplars.items():
+            assert name == "harvest_continuum_latency_seconds_bucket"
+            assert info["labels"]["trace_id"].isdigit()
+
+    def test_exemplar_witnesses_survive_trace_sampling(self):
+        # Sampling drops span retention, not exemplar coverage: every
+        # finalized request records an exemplar, and last-wins leaves
+        # the final trace as the bucket witness.
+        from repro.serving.exporter import parse_exemplars
+
+        replayer, scrape, _ = self._run(sample_rate=0.3)
+        assert len(replayer.traces) < 60
+        ids = {int(info["labels"]["trace_id"])
+               for info in parse_exemplars(scrape).values()}
+        assert ids == {60}
+
+    def test_exemplars_off_by_default_keeps_scrape_clean(self):
+        _, scrape, _ = self._run(exemplars=False)
+        assert " # {" not in scrape
+
+    def test_profiler_attributes_continuum_legs(self):
+        replayer, _, prof = self._run(profiler=True)
+        nodes = prof.nodes()
+        [ctx] = [replayer.traces[0]]
+        for leg in ("edge_preprocess", "uplink", "downlink"):
+            sim_s, _, count = nodes[("continuum", leg)]
+            assert count == 60
+            span = ctx.find(leg)[0]
+            assert sim_s > 0
+            # Per-request leg cost matches the first trace's span.
+            assert sim_s / count == pytest.approx(span.duration)

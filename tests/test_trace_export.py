@@ -201,3 +201,107 @@ class TestCriticalPathSummary:
         assert any(line.startswith("queue_wait") for line in lines)
         assert lines[-2].startswith("total")
         assert lines[-1].startswith("tracked")
+
+
+class TestExplainTail:
+    def _setup(self, exemplars=True):
+        from repro.serving.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        h = reg.histogram("continuum_latency_seconds",
+                          buckets=(0.05, 0.1, 0.5))
+        if exemplars:
+            h.enable_exemplars()
+        traces = []
+        for i in range(1, 10):
+            ctx = _simple_trace(trace_id=i, latency=0.04)
+            traces.append(ctx)
+            h.observe(ctx.latency, trace_id=str(i), model="m")
+        slow = _simple_trace(trace_id=10, start=2.0, latency=0.3)
+        traces.append(slow)
+        h.observe(slow.latency, trace_id="10", model="m")
+        return reg, traces
+
+    def test_locates_tail_and_joins_exemplar_witness(self):
+        from repro.serving.trace_export import explain_tail
+
+        reg, traces = self._setup()
+        report = explain_tail(reg, traces)
+        assert report["observations"] == 10
+        # 9 of 10 land in the first bucket; p99 needs all 10, so the
+        # tail starts past the second bound.
+        assert report["threshold_seconds"] == pytest.approx(0.1)
+        assert report["tail_observations"] == 1
+        [exemplar] = report["tail_exemplars"]
+        assert exemplar["trace_id"] == "10"
+        assert exemplar["value"] == pytest.approx(0.3)
+        [witness] = report["exemplar_witnesses"]
+        assert witness["trace_id"] == 10
+        assert witness["top_stage"] == "execute"
+
+    def test_stage_shares_sorted_and_sum_to_one(self):
+        from repro.serving.trace_export import explain_tail
+
+        reg, traces = self._setup()
+        report = explain_tail(reg, traces)
+        shares = [entry["share"] for entry in report["stages"]]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) == pytest.approx(1.0)
+        assert report["stages"][0]["stage"] == "execute"
+
+    def test_falls_back_to_quantile_witness_without_exemplars(self):
+        from repro.serving.trace_export import explain_tail
+
+        reg, traces = self._setup(exemplars=False)
+        report = explain_tail(reg, traces)
+        assert report["tail_exemplars"] == []
+        assert report["exemplar_witnesses"] == []
+        assert report["stages"]  # still attributed, via the witness
+        assert report["witness"]["stages"]
+
+    def test_regime_section_from_fluid_intervals(self):
+        from repro.serving.fluid import FluidInterval
+        from repro.serving.trace_export import explain_tail
+
+        reg, traces = self._setup()
+        intervals = [FluidInterval(entered=1.0, resumed=3.0,
+                                   integrated_requests=100,
+                                   restored_requests=2,
+                                   entry_backlog_images=512)]
+        report = explain_tail(reg, traces, intervals=intervals,
+                              sim_end=10.0)
+        assert report["regime"] == {
+            "fluid_intervals": 1, "fluid_seconds": 2.0,
+            "sim_seconds": 10.0, "fluid_share": 0.2}
+
+    def test_validation(self):
+        from repro.serving.observability import MetricsRegistry
+        from repro.serving.trace_export import explain_tail
+
+        reg, traces = self._setup()
+        with pytest.raises(ValueError, match="quantile"):
+            explain_tail(reg, traces, quantile=1.0)
+        with pytest.raises(ValueError, match="no closed traces"):
+            explain_tail(reg, [TraceContext(1)])
+        with pytest.raises(KeyError, match="not in the registry"):
+            explain_tail(MetricsRegistry(), traces)
+
+    def test_render_attribution_deterministic_text(self):
+        from repro.serving.fluid import FluidInterval
+        from repro.serving.trace_export import (explain_tail,
+                                                render_attribution)
+
+        reg, traces = self._setup()
+        intervals = [FluidInterval(1.0, 3.0, 100, 2, 512)]
+        report = explain_tail(reg, traces, intervals=intervals,
+                              sim_end=10.0)
+        text = render_attribution(report)
+        assert "why is p99 high" in text
+        assert "tail starts past 100 ms (1 of 10 observations)" in text
+        assert "p99 witness: trace 10" in text
+        assert "tail stage breakdown:" in text
+        assert "execute" in text
+        assert "le=0.5      trace 10" in text
+        assert "regime: 1 fluid stretch, 2.000 of 10.000 sim-s" in text
+        assert text == render_attribution(
+            explain_tail(reg, traces, intervals=intervals, sim_end=10.0))

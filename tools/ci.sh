@@ -75,3 +75,33 @@ echo "bench smoke ok: quick suite within committed bounds"
 PYTHONPATH=src python -m repro fluid --quick \
     --check benchmarks/results/BENCH_fluid_quick.json
 echo "fluid smoke ok: parity verified, quick suite within bounds"
+# Profile smoke + determinism: the profiled replay must exit 0 and two
+# identical invocations must produce byte-identical stdout, report
+# JSON, speedscope JSON, and folded stacks.
+PROF_DIR="$(mktemp -d -t harvest_profile.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"; rm -rf "$CACHE_DIR" "$NET_DIR" "$PROF_DIR"' EXIT
+PYTHONPATH=src python -m repro profile --duration 4 \
+    --fluid-duration 40 --burst-rate 900 --seed 1 \
+    --out "$PROF_DIR/profile.json" \
+    --speedscope "$PROF_DIR/profile.speedscope.json" \
+    --folded-out "$PROF_DIR/profile.folded" > "$PROF_DIR/a.txt"
+cp "$PROF_DIR/profile.json" "$PROF_DIR/first.json"
+cp "$PROF_DIR/profile.speedscope.json" "$PROF_DIR/first.speedscope.json"
+cp "$PROF_DIR/profile.folded" "$PROF_DIR/first.folded"
+PYTHONPATH=src python -m repro profile --duration 4 \
+    --fluid-duration 40 --burst-rate 900 --seed 1 \
+    --out "$PROF_DIR/profile.json" \
+    --speedscope "$PROF_DIR/profile.speedscope.json" \
+    --folded-out "$PROF_DIR/profile.folded" > "$PROF_DIR/b.txt"
+cmp "$PROF_DIR/a.txt" "$PROF_DIR/b.txt"
+cmp "$PROF_DIR/first.json" "$PROF_DIR/profile.json"
+cmp "$PROF_DIR/first.speedscope.json" "$PROF_DIR/profile.speedscope.json"
+cmp "$PROF_DIR/first.folded" "$PROF_DIR/profile.folded"
+echo "profile smoke ok: deterministic across runs"
+# Profiler overhead gate: the quick BENCH_profile suite must verify the
+# zero-instrumentation-cost contract (bare vs attached-but-disabled vs
+# enabled scrapes byte-identical) and hold the committed overhead
+# floors.
+PYTHONPATH=src python -m repro profile-bench --quick \
+    --check benchmarks/results/BENCH_profile_quick.json
+echo "profile-bench smoke ok: zero-cost contract verified, within bounds"
