@@ -38,6 +38,14 @@ Commands
                         zero-cost-when-disabled contract (scrapes stay
                         byte-identical) and bound the enabled
                         profiler's overhead
+``faas``                replay a sparse nighttime diurnal trace
+                        through the serverless backend: cold-start
+                        p99 inflation, scale-to-zero reaping, the
+                        GB-second cost meter, and the serverless-vs-
+                        provisioned break-even
+``faas-bench``          run the BENCH_faas harness: the serverless
+                        backend vs a provisioned replica on the same
+                        sparse trace, and scale-to-zero vs never-reap
 """
 
 from __future__ import annotations
@@ -1142,6 +1150,243 @@ def _cmd_profile_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faas(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.latency import LatencyModel
+    from repro.faas import (
+        FaaSBackend,
+        FaaSFunctionConfig,
+        get_faas_platform,
+    )
+    from repro.hardware.platform import get_platform
+    from repro.models.zoo import get_model
+    from repro.predict.whatif import compare_serverless
+    from repro.scale.autoscaler import (
+        FaaSConcurrencyPolicy,
+        FaaSPolicyConfig,
+    )
+    from repro.serving.events import Simulator
+    from repro.serving.exporter import export_registry
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.slo import SLOConfig, SLOMonitor
+    from repro.serving.traces import TraceReplayer, sparse_diurnal_trace
+
+    platform = get_platform(args.platform)
+    faas_platform = get_faas_platform(args.faas_platform)
+    latency = LatencyModel(get_model(args.model).graph, platform)
+    execute_seconds = latency.latency(1)
+
+    trace = sparse_diurnal_trace(
+        duration=args.duration, peak_rate=args.peak_rate,
+        night_rate=args.night_rate, seed=args.seed)
+
+    sim = Simulator()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    backend = FaaSBackend(sim, registry=registry, seed=args.seed)
+    backend.register(FaaSFunctionConfig(
+        "infer", lambda n: latency.latency(max(1, n)),
+        platform=faas_platform,
+        concurrency_limit=args.concurrency,
+        keep_alive_seconds=args.keep_alive))
+
+    # SLO burn alerts drive the provisioned-concurrency floor: the
+    # windows are sized so the sparse nighttime rate still produces
+    # enough completions to evaluate (cold starts at night are the
+    # breach this policy exists to absorb).
+    monitor = SLOMonitor(sim, registry, SLOConfig(
+        latency_threshold_seconds=args.slo_ms / 1e3,
+        objective=0.99, interval=10.0, fast_window_seconds=150.0,
+        slow_window_seconds=600.0, min_window_samples=2,
+        rearm_seconds=60.0))
+    policy = FaaSConcurrencyPolicy(backend, "infer", FaaSPolicyConfig(
+        interval=10.0, min_provisioned=0,
+        max_provisioned=args.max_provisioned, step=1,
+        hold_seconds=args.hold_seconds))
+    monitor.on_alert(policy.notify_slo_alert)
+
+    replayer = TraceReplayer(backend, "infer")
+    replayer.schedule(trace)
+    monitor.start()
+    policy.start()
+    sim.run()
+
+    stats = backend.function_stats("infer")
+    served = [r for r in backend.responses if r.status == "ok"]
+    cold = [r.latency for r in served
+            if "faas:cold_start_seconds" in r.request.stage_times]
+    warm = [r.latency for r in served
+            if "faas:cold_start_seconds" not in r.request.stage_times]
+
+    def quantile(values: list[float], frac: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1,
+                           round(frac * (len(ordered) - 1)))]
+
+    warm_p50, warm_p99 = quantile(warm, 0.50), quantile(warm, 0.99)
+    cold_p50, cold_p99 = quantile(cold, 0.50), quantile(cold, 0.99)
+    inflation = cold_p99 / warm_p99 if warm_p99 > 0 else float("inf")
+
+    print("== faas scenario ==")
+    print(f"  function 'infer': {args.model} on {args.platform}, "
+          f"platform {faas_platform.name}")
+    print(f"  execute {execute_seconds * 1e3:.1f} ms/image, memory "
+          f"{faas_platform.memory_gb:.1f} GB, concurrency limit "
+          f"{args.concurrency}")
+    print(f"  cold start: sandbox "
+          f"{faas_platform.cold_start_base_seconds:.2f} s +/- "
+          f"{faas_platform.cold_start_jitter_seconds:.2f} s, init "
+          f"{faas_platform.init_seconds:.2f} s "
+          f"({faas_platform.artifact_bytes / 1e6:.0f} MB artifact)")
+    print(f"  keep-alive {args.keep_alive:.0f} s, trace {trace.name}: "
+          f"{len(trace.arrival_times)} arrivals over "
+          f"{trace.duration:.0f} s (peak {args.peak_rate:g} rps, "
+          f"night floor {args.night_rate:g} rps)")
+
+    print("== cold-start inflation ==")
+    print(f"  invocations {stats.invocations} (cold "
+          f"{stats.cold_starts} / warm {stats.warm_starts})")
+    print(f"  warm latency p50 {warm_p50 * 1e3:8.1f} ms  p99 "
+          f"{warm_p99 * 1e3:8.1f} ms")
+    print(f"  cold latency p50 {cold_p50 * 1e3:8.1f} ms  p99 "
+          f"{cold_p99 * 1e3:8.1f} ms  ({inflation:.1f}x warm p99)")
+
+    print("== scale-to-zero ==")
+    print(f"  sandboxes spawned {stats.cold_starts + stats.prewarms} "
+          f"(prewarmed {stats.prewarms}), reaped {stats.reaps}, peak "
+          f"pool {stats.peak_instances}")
+    print(f"  warm pool at end {backend.total_instances()}")
+
+    print("== provisioned-concurrency policy ==")
+    print(f"  slo burn alerts {len(monitor.alerts)} -> policy events "
+          f"{len(policy.events)}")
+    shown = policy.events[:args.max_events]
+    for event in shown:
+        print(f"  t={event.time:8.1f}s {event.action:<9} -> "
+              f"{event.provisioned} ({event.reason})")
+    if len(policy.events) > len(shown):
+        print(f"  ... {len(policy.events) - len(shown)} more")
+
+    costs = backend.cost_summary()
+    print("== cost (GB-seconds meter) ==")
+    print(f"  on-demand {costs['gb_seconds']:.1f} GB-s "
+          f"(${costs['compute_usd']:.6f}) + {costs['invocations']} "
+          f"invocations (${costs['invocation_usd']:.6f})")
+    print(f"  provisioned-warm {costs['provisioned_gb_seconds']:.1f} "
+          f"GB-s (${costs['provisioned_usd']:.6f})")
+    print(f"  total ${costs['total_usd']:.6f}")
+
+    whatif = compare_serverless(
+        trace, execute_seconds=execute_seconds,
+        memory_gb=faas_platform.memory_gb,
+        replica_cost_per_hour=args.replica_cost_per_hour,
+        replica_qps_capacity=1.0 / execute_seconds,
+        cost_model=backend.cost.model)
+    print("== whatif: serverless vs provisioned ==")
+    print(f"  per-invocation ${whatif['per_invocation_usd']:.7f}, "
+          f"replica ${args.replica_cost_per_hour:.3f}/h x "
+          f"{whatif['replicas']} (sized for the "
+          f"{whatif['peak_rate']:.1f} rps peak)")
+    print(f"  break-even {whatif['break_even_qps']:.2f} qps: "
+          f"provisioned becomes cheaper above this rate")
+    print(f"  trace verdict: serverless "
+          f"${whatif['serverless_total_usd']:.6f} vs provisioned "
+          f"${whatif['provisioned_total_usd']:.6f} -> "
+          f"{whatif['cheaper']}")
+    print(f"  serverless is the cheaper regime in "
+          f"{whatif['crossover_hours']:.1f} h of the trace's "
+          f"{trace.duration / 3600:.1f} h")
+
+    print("== faas metrics ==")
+    for line in export_registry(registry).splitlines():
+        if line.startswith("harvest_faas_") and \
+                not line.startswith("# "):
+            print(f"  {line}")
+
+    if args.out:
+        import pathlib
+
+        payload = {
+            "scenario": {
+                "model": args.model,
+                "platform": args.platform,
+                "faas_platform": faas_platform.name,
+                "execute_seconds": round(execute_seconds, 6),
+                "keep_alive_seconds": args.keep_alive,
+                "concurrency_limit": args.concurrency,
+                "duration": trace.duration,
+                "arrivals": len(trace.arrival_times),
+                "seed": args.seed,
+            },
+            "latency": {
+                "invocations": stats.invocations,
+                "cold_starts": stats.cold_starts,
+                "warm_starts": stats.warm_starts,
+                "warm_p50": round(warm_p50, 6),
+                "warm_p99": round(warm_p99, 6),
+                "cold_p50": round(cold_p50, 6),
+                "cold_p99": round(cold_p99, 6),
+                "inflation_x": round(inflation, 3),
+            },
+            "scale_to_zero": {
+                "spawned": stats.cold_starts + stats.prewarms,
+                "prewarms": stats.prewarms,
+                "reaps": stats.reaps,
+                "peak_pool": stats.peak_instances,
+            },
+            "policy": {
+                "alerts": len(monitor.alerts),
+                "events": [
+                    {"time": round(e.time, 3), "action": e.action,
+                     "provisioned": e.provisioned, "reason": e.reason}
+                    for e in policy.events],
+            },
+            "cost": {k: round(v, 8) if isinstance(v, float) else v
+                     for k, v in costs.items()},
+            "whatif": {
+                k: (round(v, 8) if isinstance(v, float) else v)
+                for k, v in whatif.items() if k != "bins"},
+        }
+        pathlib.Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_faas_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_results,
+        render_results,
+        run_faas_bench,
+        write_results,
+    )
+
+    if args.check and not 0.0 <= args.tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    mode = "quick" if args.quick else "full"
+    print(f"BENCH_faas ({mode} workloads, best of "
+          f"{args.repeats or ('2' if args.quick else '4')} repeats)")
+    results = run_faas_bench(quick=args.quick, repeats=args.repeats)
+    print(render_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        reference = load_results(args.check)
+        failures = check_regression(results, reference,
+                                    tolerance=args.tolerance)
+        if failures:
+            print(f"== regression check vs {args.check}: FAIL ==")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"== regression check vs {args.check}: ok ==")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -1444,6 +1689,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed relative loss vs the reference "
                         "speedup (0.5 = half)")
     p.set_defaults(func=_cmd_profile_bench)
+
+    p = sub.add_parser(
+        "faas",
+        help="replay a sparse nighttime diurnal trace through the "
+             "serverless backend; print cold-start inflation, "
+             "scale-to-zero stats, the GB-second bill, and the "
+             "serverless-vs-provisioned crossover")
+    p.add_argument("--model", default="vit_base",
+                   help="model the function serves")
+    p.add_argument("--platform", default="jetson",
+                   help="hardware whose latency curve the function "
+                        "executes at")
+    p.add_argument("--faas-platform", default="container_faas",
+                   help="serverless platform preset (see "
+                        "repro.faas.platform)")
+    p.add_argument("--duration", type=float, default=7200.0,
+                   help="trace length (s; the daylight window scales "
+                        "with it)")
+    p.add_argument("--peak-rate", type=float, default=6.0,
+                   help="solar-noon arrival rate (requests/s)")
+    p.add_argument("--night-rate", type=float, default=0.02,
+                   help="nighttime arrival floor (requests/s)")
+    p.add_argument("--keep-alive", type=float, default=45.0,
+                   help="idle seconds before a warm instance is "
+                        "reaped")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="per-function instance limit")
+    p.add_argument("--slo-ms", type=float, default=100.0,
+                   help="latency threshold the burn-rate monitor "
+                        "defends (ms)")
+    p.add_argument("--max-provisioned", type=int, default=2,
+                   help="provisioned-concurrency ceiling for the "
+                        "policy")
+    p.add_argument("--hold-seconds", type=float, default=900.0,
+                   help="calm seconds before the policy releases a "
+                        "pinned instance")
+    p.add_argument("--replica-cost-per-hour", type=float, default=0.02,
+                   help="amortized cost of one provisioned edge "
+                        "replica ($/h)")
+    p.add_argument("--max-events", type=int, default=12,
+                   help="policy events printed before eliding")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default=None,
+                   help="write the scenario results as JSON here")
+    p.set_defaults(func=_cmd_faas)
+
+    p = sub.add_parser(
+        "faas-bench",
+        help="run the BENCH_faas harness: the serverless backend vs "
+             "a provisioned replica on the same sparse trace, and "
+             "scale-to-zero vs never-reap")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke test)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per side (default 4, 2 with "
+                        "--quick)")
+    p.add_argument("--out", default=None,
+                   help="write the results JSON here")
+    p.add_argument("--check", default=None,
+                   help="reference results JSON to gate against "
+                        "(exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed relative loss vs the reference "
+                        "speedup (0.5 = half)")
+    p.set_defaults(func=_cmd_faas_bench)
     return parser
 
 

@@ -47,6 +47,98 @@ def _base_link(transport):
     return obj
 
 
+class Subscription:
+    """One subscriber's endpoint on the broker: callback + queue.
+
+    The broker fans every delivered message out to *all* subscriptions
+    on the topic; each gets its own copy and its own accounting, so a
+    slow irrigation planner cannot make the alerting service miss a
+    frost warning.  With ``service_seconds == 0`` (the default) the
+    callback runs synchronously at delivery time — exactly the
+    pre-fan-out behavior, no extra simulator events.  A positive
+    ``service_seconds`` models a subscriber that processes messages
+    one at a time: deliveries enter a per-subscriber FIFO and the
+    callback fires when processing *completes*; ``max_queue`` (0 =
+    unbounded) bounds the backlog, overflow increments ``dropped``
+    without ever touching other subscribers.
+
+    QoS 1 duplicate visibility is per subscriber: every subscription
+    sees the ``duplicate`` flag on every redelivered copy (counted in
+    ``duplicates``), because deduplication is the *application's* job
+    under at-least-once delivery.
+    """
+
+    __slots__ = ("broker", "topic", "callback", "name",
+                 "service_seconds", "max_queue", "received",
+                 "delivered", "duplicates", "dropped",
+                 "max_queue_depth", "_queue", "_busy")
+
+    def __init__(self, broker, topic: str, callback, name: str,
+                 service_seconds: float = 0.0, max_queue: int = 0):
+        if service_seconds < 0:
+            raise ValueError("service time must be >= 0")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.broker = broker
+        self.topic = topic
+        self.callback = callback
+        self.name = name
+        self.service_seconds = service_seconds
+        self.max_queue = max_queue
+        #: Copies handed to this subscriber (before its queue).
+        self.received = 0
+        #: Callbacks actually completed.
+        self.delivered = 0
+        #: Copies flagged as QoS 1 redeliveries.
+        self.duplicates = 0
+        #: Copies lost to this subscriber's own full queue.
+        self.dropped = 0
+        #: High-water mark of the backlog.
+        self.max_queue_depth = 0
+        self._queue: list = []
+        self._busy = False
+
+    @property
+    def queue_depth(self) -> int:
+        """Messages waiting in this subscriber's backlog."""
+        return len(self._queue)
+
+    def _offer(self, topic: str, payload_bytes: float,
+               duplicate: bool) -> None:
+        self.received += 1
+        if duplicate:
+            self.duplicates += 1
+        if self.service_seconds == 0.0:
+            # Fast path == the pre-queue contract: synchronous
+            # delivery, no simulator events, byte-identical replays.
+            self.delivered += 1
+            self.callback(topic, payload_bytes, duplicate)
+            return
+        if self.max_queue and len(self._queue) >= self.max_queue:
+            self.dropped += 1
+            return
+        self._queue.append((topic, payload_bytes, duplicate))
+        self.max_queue_depth = max(self.max_queue_depth,
+                                   len(self._queue))
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        self._busy = True
+        topic, payload_bytes, duplicate = self._queue[0]
+
+        def done() -> None:
+            self._queue.pop(0)
+            self.delivered += 1
+            self.callback(topic, payload_bytes, duplicate)
+            if self._queue:
+                self._serve_next()
+            else:
+                self._busy = False
+
+        self.broker.sim.schedule(self.service_seconds, done)
+
+
 class _Message:
     """One publish in flight (possibly across retries)."""
 
@@ -84,7 +176,9 @@ class Broker:
         message counts as ``failed``).
 
     Subscribers are callables ``callback(topic, payload_bytes,
-    duplicate)`` invoked at delivery time on the simulator clock.
+    duplicate)``; :meth:`subscribe` wraps each in a
+    :class:`Subscription` with its own delivery queue, and every
+    subscription on a topic receives every delivered message (fan-out).
     """
 
     def __init__(self, sim, transport, seed: int = 0, registry=None,
@@ -99,7 +193,7 @@ class Broker:
         self.retry_seconds = retry_seconds
         self.max_retries = max_retries
         self._rng = np.random.default_rng(seed)
-        self._subs: dict[str, list[Callable]] = {}
+        self._subs: dict[str, list[Subscription]] = {}
         self._c_messages = None
         self._handles: dict[tuple[int, str], object] = {}
         if registry is not None:
@@ -125,9 +219,29 @@ class Broker:
 
     # ------------------------------------------------------------------
     def subscribe(self, topic: str,
-                  callback: Callable[[str, float, bool], None]) -> None:
-        """Register a delivery callback for one topic."""
-        self._subs.setdefault(topic, []).append(callback)
+                  callback: Callable[[str, float, bool], None],
+                  name: str | None = None,
+                  service_seconds: float = 0.0,
+                  max_queue: int = 0) -> Subscription:
+        """Register a subscriber for one topic.
+
+        Returns the :class:`Subscription`, whose per-subscriber queue
+        knobs and counters are documented there.  The defaults (no
+        service time, unbounded queue) deliver synchronously — the
+        original single-subscriber contract.
+        """
+        subs = self._subs.setdefault(topic, [])
+        subscription = Subscription(
+            self, topic, callback,
+            name=name if name is not None
+            else f"{topic}#{len(subs)}",
+            service_seconds=service_seconds, max_queue=max_queue)
+        subs.append(subscription)
+        return subscription
+
+    def subscriptions(self, topic: str) -> list[Subscription]:
+        """All subscriptions on one topic, in subscribe order."""
+        return list(self._subs.get(topic, []))
 
     def message_loss_probability(self, payload_bytes: float) -> float:
         """End-to-end loss chance of one unacknowledged message.
@@ -184,8 +298,9 @@ class Broker:
             self._count(message.qos, "duplicate")
         else:
             self.delivered += 1
-        for callback in self._subs.get(message.topic, []):
-            callback(message.topic, message.payload_bytes, duplicate)
+        for subscription in self._subs.get(message.topic, []):
+            subscription._offer(message.topic, message.payload_bytes,
+                                duplicate)
         if message.qos == 1:
             # The single-packet PUBACK can itself be lost; the
             # publisher then re-sends and the subscriber sees a dupe.

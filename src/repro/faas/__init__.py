@@ -1,0 +1,32 @@
+"""Serverless (FaaS) execution model: cold starts, scale-to-zero, and
+the GB-second cost meter.
+
+The paper benchmarks HARVEST inference on provisioned platforms; this
+package models the alternative deployment the sparse nighttime farm
+trace invites — Functions-as-a-Service, where instances spawn on
+demand, idle capacity is reaped, and the bill is metered per
+invocation instead of per replica-hour.  See ``docs/serverless.md``.
+"""
+
+from repro.faas.backend import (
+    FaaSBackend,
+    FaaSFunctionConfig,
+    FunctionStats,
+)
+from repro.faas.cost import CostLedger, CostModel
+from repro.faas.platform import (
+    FaaSPlatformModel,
+    get_faas_platform,
+    list_faas_platforms,
+)
+
+__all__ = [
+    "CostLedger",
+    "CostModel",
+    "FaaSBackend",
+    "FaaSFunctionConfig",
+    "FaaSPlatformModel",
+    "FunctionStats",
+    "get_faas_platform",
+    "list_faas_platforms",
+]

@@ -28,6 +28,15 @@ metrics scrapes byte for byte across modes, and the committed
 references (``BENCH_profile.json`` / ``BENCH_profile_quick.json``,
 gated by ``repro profile-bench --quick --check ...`` in CI) bound the
 overhead each mode may cost.
+
+``run_faas_bench`` prices the serverless execution model (the
+BENCH_faas suite): the same sparse diurnal trace through a provisioned
+replica and through :class:`~repro.faas.backend.FaaSBackend`, plus
+never-reap vs scale-to-zero keep-alive.  Verification checks both
+models served the same requests (and that reaping actually happened),
+and the committed references (``BENCH_faas.json`` /
+``BENCH_faas_quick.json``, gated by ``repro faas-bench --quick
+--check ...`` in CI) bound the serverless bookkeeping overhead.
 """
 
 from __future__ import annotations
@@ -99,6 +108,25 @@ PROFILE_MIN_SPEEDUPS: dict[str, float] = {
 QUICK_PROFILE_MIN_SPEEDUPS: dict[str, float] = {
     "profile_off_overhead": 0.8,
     "profile_on_overhead": 0.45,
+}
+
+#: Floors for the BENCH_faas suite.  Like BENCH_profile these bound
+#: *overhead*: the serverless backend pays per-instance spawn/reap
+#: bookkeeping where the provisioned server batches into a static
+#: pool, so its replay of the same trace may be slower — the floor
+#: bounds how much.  The scale-to-zero scenario compares two
+#: serverless runs (never-reap vs reaping), whose cost should be
+#: near parity.
+FAAS_MIN_SPEEDUPS: dict[str, float] = {
+    "faas_vs_provisioned": 0.3,
+    "faas_scale_to_zero": 0.5,
+}
+
+#: Quick-mode floors for BENCH_faas (the shrunken trace amortizes
+#: setup over fewer arrivals, pushing both ratios toward noise).
+QUICK_FAAS_MIN_SPEEDUPS: dict[str, float] = {
+    "faas_vs_provisioned": 0.25,
+    "faas_scale_to_zero": 0.4,
 }
 
 
@@ -190,6 +218,28 @@ def run_profile_bench(quick: bool = False,
     results: dict = {"suite": "BENCH_profile", "quick": quick,
                      "scenarios": {}}
     for scenario in build_profile_scenarios(quick=quick):
+        results["scenarios"][scenario.name] = run_scenario(
+            scenario, repeats, floors)
+    return results
+
+
+def run_faas_bench(quick: bool = False,
+                   repeats: int | None = None) -> dict:
+    """Run the BENCH_faas suite; returns the results document.
+
+    Each scenario's verify step checks the execution models agree on
+    *what* was served (equal ok-response counts; the scale-to-zero
+    scenario additionally proves reaping happened and forced extra
+    cold starts) before any timing counts.
+    """
+    from repro.perf.scenarios import build_faas_scenarios
+
+    if repeats is None:
+        repeats = 2 if quick else 4
+    floors = QUICK_FAAS_MIN_SPEEDUPS if quick else FAAS_MIN_SPEEDUPS
+    results: dict = {"suite": "BENCH_faas", "quick": quick,
+                     "scenarios": {}}
+    for scenario in build_faas_scenarios(quick=quick):
         results["scenarios"][scenario.name] = run_scenario(
             scenario, repeats, floors)
     return results

@@ -479,3 +479,104 @@ def run_fluid_frontier(quick: bool = False) -> dict:
         "p95": summary["p95"],
         "p99": summary["p99"],
     }
+
+
+# ----------------------------------------------------------------------
+# BENCH_faas: the serverless execution model priced against provisioned
+# ----------------------------------------------------------------------
+def _faas_workload(quick: bool):
+    """The shared sparse-diurnal workload both execution models replay."""
+    from repro.serving.traces import sparse_diurnal_trace
+
+    duration = 600.0 if quick else 2400.0
+    return sparse_diurnal_trace(duration=duration, peak_rate=20.0,
+                                night_rate=0.05, seed=7)
+
+
+def _provisioned_replay(trace) -> tuple:
+    """Baseline: the same trace through a provisioned replica."""
+    from repro.serving.batcher import BatcherConfig
+    from repro.serving.events import Simulator
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.server import ModelConfig, TritonLikeServer
+    from repro.serving.traces import TraceReplayer
+
+    sim = Simulator()
+    server = TritonLikeServer(
+        sim, registry=MetricsRegistry(clock=lambda: sim.now))
+    server.register(ModelConfig(
+        "infer", lambda n: 0.002 * n, instances=2,
+        batcher=BatcherConfig(max_batch_size=8,
+                              max_queue_delay=0.005)))
+    TraceReplayer(server, "infer").schedule(trace)
+    sim.run()
+    ok = sum(1 for r in server.responses if r.status == "ok")
+    return ok, 0, 0
+
+
+def _faas_replay(trace, keep_alive: float) -> tuple:
+    """The same trace through the serverless backend."""
+    from repro.faas import FaaSBackend, FaaSFunctionConfig
+    from repro.faas.platform import FaaSPlatformModel
+    from repro.serving.events import Simulator
+    from repro.serving.observability import MetricsRegistry
+    from repro.serving.traces import TraceReplayer
+
+    platform = FaaSPlatformModel(
+        name="bench", cold_start_base_seconds=0.25,
+        cold_start_jitter_seconds=0.1, artifact_bytes=100e6,
+        artifact_bandwidth_bps=1e9, memory_gb=2.0)
+    sim = Simulator()
+    backend = FaaSBackend(
+        sim, registry=MetricsRegistry(clock=lambda: sim.now), seed=7)
+    backend.register(FaaSFunctionConfig(
+        "infer", lambda n: 0.002 * n, platform=platform,
+        concurrency_limit=32, keep_alive_seconds=keep_alive))
+    TraceReplayer(backend, "infer").schedule(trace)
+    sim.run()
+    stats = backend.function_stats("infer")
+    ok = sum(1 for r in backend.responses if r.status == "ok")
+    return ok, stats.cold_starts, stats.reaps
+
+
+def build_faas_scenarios(quick: bool = False) -> list[Scenario]:
+    """The BENCH_faas suite: what the serverless model costs to run.
+
+    Like BENCH_profile, these floors bound *overhead*, not gains: the
+    serverless backend spawns, tracks, and reaps an instance per
+    concurrency slot where the provisioned server batches into a
+    static pool, so its replay is allowed to be slower — the floors
+    bound how much slower before the gate trips.
+    """
+    trace = _faas_workload(quick)
+
+    def served_equal(a, b) -> None:
+        assert a[0] == b[0], (
+            f"served counts diverged: {a[0]} vs {b[0]}")
+
+    def scale_to_zero_works(a, b) -> None:
+        assert a[0] == b[0], (
+            f"served counts diverged: {a[0]} vs {b[0]}")
+        assert b[1] > a[1], (
+            f"short keep-alive produced no extra cold starts "
+            f"({b[1]} vs {a[1]})")
+        assert b[2] > 0, "short keep-alive never reaped an instance"
+
+    return [
+        Scenario(
+            name="faas_vs_provisioned",
+            layer="faas",
+            description="sparse diurnal trace: provisioned replica "
+                        "vs on-demand serverless instances",
+            baseline=lambda: _provisioned_replay(trace),
+            optimized=lambda: _faas_replay(trace, keep_alive=60.0),
+            verify=served_equal),
+        Scenario(
+            name="faas_scale_to_zero",
+            layer="faas",
+            description="serverless replay: never-reap warm pool vs "
+                        "scale-to-zero keep-alive reaping",
+            baseline=lambda: _faas_replay(trace, keep_alive=1e9),
+            optimized=lambda: _faas_replay(trace, keep_alive=15.0),
+            verify=scale_to_zero_works),
+    ]

@@ -14,6 +14,8 @@ short-circuits a given fraction of per-request cost?
 
 from __future__ import annotations
 
+import math
+
 from repro.hardware.platform import (
     PlatformKind,
     PlatformSpec,
@@ -151,6 +153,83 @@ def preview_cache_capacity(base_qps: float, stage_fraction: float,
             "capacity_multiplier": effective / base_qps,
         })
     return rows
+
+
+def compare_serverless(trace, *, execute_seconds: float,
+                       memory_gb: float, replica_cost_per_hour: float,
+                       replica_qps_capacity: float, cost_model=None,
+                       bins: int = 24) -> dict:
+    """Serverless vs. provisioned replicas for one farm trace.
+
+    Planner-regime arithmetic (deterministic, no simulation): the
+    trace is binned into ``bins`` equal windows via
+    :meth:`~repro.serving.traces.ArrivalTrace.rate_histogram`; in each
+    bin the serverless cost rate is ``rate x invocation_cost`` while
+    the provisioned fleet — sized for the trace's *peak* bin, because
+    replicas cannot scale-to-zero between frames — costs a flat
+    ``replicas x replica_cost_per_hour``.  The crossover falls out of
+    the comparison: sparse nighttime bins favor the per-invocation
+    meter, the daylight peak favors the flat replica.
+
+    ``break_even_qps`` is the request rate at which serverless spend
+    matches *one* provisioned replica — above it, provisioned becomes
+    cheaper per replica's worth of traffic.
+
+    Returns a JSON-friendly dict: per-bin rates and cost rates, trace
+    totals in dollars, the break-even QPS, crossover hours (bins where
+    serverless is the cheaper regime), and the overall verdict.
+    """
+    from repro.faas.cost import CostModel
+
+    if execute_seconds <= 0:
+        raise ValueError("execute_seconds must be positive")
+    if memory_gb <= 0:
+        raise ValueError("memory_gb must be positive")
+    if replica_cost_per_hour < 0:
+        raise ValueError("replica cost must be >= 0")
+    if replica_qps_capacity <= 0:
+        raise ValueError("replica_qps_capacity must be positive")
+    if cost_model is None:
+        cost_model = CostModel()
+    rates = trace.rate_histogram(bins)
+    peak_rate = max(rates) if rates else 0.0
+    replicas = max(1, math.ceil(peak_rate / replica_qps_capacity))
+    provisioned_per_second = replicas * replica_cost_per_hour / 3600.0
+    per_invocation = cost_model.invocation_cost(execute_seconds,
+                                                memory_gb)
+    bin_seconds = trace.duration / bins
+    bin_rows = []
+    serverless_total = 0.0
+    crossover_bins = 0
+    for index, rate in enumerate(rates):
+        serverless_rate = cost_model.serverless_cost_per_second(
+            rate, execute_seconds, memory_gb)
+        serverless_total += serverless_rate * bin_seconds
+        cheaper = serverless_rate < provisioned_per_second
+        crossover_bins += cheaper
+        bin_rows.append({
+            "start": index * bin_seconds,
+            "rate": rate,
+            "serverless_usd_per_s": serverless_rate,
+            "provisioned_usd_per_s": provisioned_per_second,
+            "serverless_cheaper": bool(cheaper),
+        })
+    provisioned_total = provisioned_per_second * trace.duration
+    break_even_qps = (float("inf") if per_invocation == 0 else
+                      (replica_cost_per_hour / 3600.0) / per_invocation)
+    return {
+        "bins": bin_rows,
+        "replicas": replicas,
+        "peak_rate": peak_rate,
+        "per_invocation_usd": per_invocation,
+        "serverless_total_usd": serverless_total,
+        "provisioned_total_usd": provisioned_total,
+        "break_even_qps": break_even_qps,
+        "crossover_hours": crossover_bins * bin_seconds / 3600.0,
+        "cheaper": ("serverless"
+                    if serverless_total < provisioned_total
+                    else "provisioned"),
+    }
 
 
 def preview_platform(platform: PlatformSpec,

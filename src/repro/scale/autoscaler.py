@@ -373,3 +373,143 @@ class Autoscaler:
         else:
             self._release_drained(p95, queue, util)
             self._running = False
+
+
+# ----------------------------------------------------------------------
+# Serverless: provisioned-concurrency floor control
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FaaSPolicyConfig:
+    """Knobs for :class:`FaaSConcurrencyPolicy`.
+
+    The policy raises a function's provisioned-concurrency floor by
+    ``step`` on every pending SLO burn alert (cold-start storms burn
+    the latency budget, and pinned-warm instances are the serverless
+    remedy) and decays it back one ``step`` after ``hold_seconds`` of
+    calm — paying the provisioned GB-second rate only while the alerts
+    say it buys latency.
+    """
+
+    interval: float = 0.25
+    min_provisioned: int = 0
+    max_provisioned: int = 4
+    step: int = 1
+    hold_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("evaluation interval must be positive")
+        if self.min_provisioned < 0:
+            raise ValueError("min provisioned must be >= 0")
+        if self.max_provisioned < self.min_provisioned:
+            raise ValueError("max provisioned must be >= min")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+        if self.hold_seconds < 0:
+            raise ValueError("hold_seconds must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaaSPolicyEvent:
+    """One provisioned-concurrency change and why it happened."""
+
+    time: float
+    #: "provision" (floor raised) or "release" (floor decayed).
+    action: str
+    #: Provisioned floor *after* the action.
+    provisioned: int
+    reason: str
+
+
+class FaaSConcurrencyPolicy:
+    """SLO-burn-driven provisioned concurrency for one function.
+
+    The replica :class:`Autoscaler` answers breaches by adding servers;
+    on a :class:`~repro.faas.backend.FaaSBackend` the equivalent lever
+    is the provisioned-concurrency floor — pinned always-warm
+    instances that requests hit without a cold start.  Wire
+    ``monitor.on_alert(policy.notify_slo_alert)`` exactly as with the
+    replica autoscaler; the policy runs as a periodic daemon tick on
+    the backend's simulator and follows the same sampler discipline
+    (re-arms only while foreground work pends).
+    """
+
+    def __init__(self, backend, function: str,
+                 config: FaaSPolicyConfig | None = None,
+                 registry: MetricsRegistry | None = None):
+        self.backend = backend
+        self.function = function
+        self.config = config if config is not None else FaaSPolicyConfig()
+        self.events: list[FaaSPolicyEvent] = []
+        self._running = False
+        self._alert_pending = False
+        self._last_alert_time: float | None = None
+        metrics = registry if registry is not None else backend.metrics
+        self._c_events = metrics.counter(
+            "faas_policy_events_total",
+            "Provisioned-concurrency changes by action.")
+        self._g_provisioned = metrics.gauge(
+            "faas_provisioned_concurrency",
+            "Current pinned-warm floor per function.")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the control loop at the current virtual time."""
+        if self._running:
+            raise RuntimeError("policy already started")
+        self._running = True
+        floor = self.config.min_provisioned
+        if self.backend.provisioned_concurrency(self.function) < floor:
+            self.backend.set_provisioned_concurrency(self.function,
+                                                     floor)
+        self._g_provisioned.labels(function=self.function).set(
+            self.backend.provisioned_concurrency(self.function))
+        self.backend.sim.schedule(self.config.interval, self._tick,
+                                  daemon=True)
+
+    def stop(self) -> None:
+        """Stop the loop after the current tick."""
+        self._running = False
+
+    def notify_slo_alert(self, alert=None) -> None:
+        """Feed an SLO burn-rate alert in as a provision signal."""
+        self._alert_pending = True
+
+    # ------------------------------------------------------------------
+    def _record(self, action: str, provisioned: int,
+                reason: str) -> None:
+        self.events.append(FaaSPolicyEvent(
+            time=self.backend.sim.now, action=action,
+            provisioned=provisioned, reason=reason))
+        self._c_events.inc(action=action)
+        self._g_provisioned.labels(function=self.function).set(
+            provisioned)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        cfg = self.config
+        now = self.backend.sim.now
+        current = self.backend.provisioned_concurrency(self.function)
+        alerted = self._alert_pending
+        self._alert_pending = False
+        if alerted:
+            self._last_alert_time = now
+            target = min(cfg.max_provisioned, current + cfg.step)
+            if target != current:
+                self.backend.set_provisioned_concurrency(
+                    self.function, target)
+                self._record("provision", target, "slo burn-rate")
+        elif (current > cfg.min_provisioned
+                and (self._last_alert_time is None
+                     or now - self._last_alert_time
+                     >= cfg.hold_seconds)):
+            target = max(cfg.min_provisioned, current - cfg.step)
+            self.backend.set_provisioned_concurrency(self.function,
+                                                     target)
+            self._record("release", target, "sustained calm")
+        if self.backend.sim.peek_foreground_time() is not None:
+            self.backend.sim.schedule(cfg.interval, self._tick,
+                                      daemon=True)
+        else:
+            self._running = False

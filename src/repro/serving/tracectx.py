@@ -33,6 +33,10 @@ name               category    emitted by
 ``offload_decision``  continuum  :class:`~repro.continuum.offload.OffloadPolicy` (instant)
 ``cache_lookup``   cache      :class:`~repro.cache.tiers.CacheTier` (instant, tier + outcome)
 ``cache_hit``      cache      edge-cache serve path (covers the lookup-to-answer interval)
+``cold_start``     faas       :class:`~repro.faas.backend.FaaSBackend` sandbox setup
+``init``           faas       FaaS artifact fetch (follows ``cold_start``)
+``prewarm``        faas       provisioned-concurrency spawn (lifecycle instant)
+``reap``           faas       keep-alive expiry (lifecycle instant, idle seconds)
 =================  ==========  =========================================
 
 Retried executions carry an ``attempt`` arg (and the legacy ``@n`` stage

@@ -135,6 +135,49 @@ def diurnal_trace(duration: float = 86400.0, peak_rate: float = 50.0,
     return ArrivalTrace("diurnal/v2", tuple(times), duration)
 
 
+def sparse_diurnal_trace(duration: float = 86400.0,
+                         peak_rate: float = 2.0,
+                         night_rate: float = 0.01,
+                         daylight: tuple[float, float] | None = None,
+                         seed: int = 0) -> ArrivalTrace:
+    """Scale-to-zero demand: a daylight arc over a near-idle night.
+
+    :func:`diurnal_trace` keeps a base rate busy enough that a warm
+    pool never drains; this variant drops to a configurable
+    ``night_rate`` floor — requests/s overnight, possibly 0 — so
+    inter-arrival gaps at night stretch past any realistic keep-alive
+    window.  That is exactly the regime where serverless cold starts
+    and scale-to-zero economics show (see ``docs/serverless.md``).
+
+    ``daylight`` defaults to ``(0.25, 0.8)`` of the duration, so a
+    shortened trace keeps the same day shape instead of pinning dawn
+    at six o'clock of a day it no longer contains.
+    """
+    if peak_rate <= 0:
+        raise ValueError("peak rate must be positive")
+    if night_rate < 0:
+        raise ValueError("nighttime floor must be >= 0")
+    if night_rate > peak_rate:
+        raise ValueError(
+            f"nighttime floor ({night_rate}) cannot exceed the peak "
+            f"rate ({peak_rate})")
+    if daylight is None:
+        daylight = (0.25 * duration, 0.8 * duration)
+    dawn, dusk = daylight
+    if not 0 <= dawn < dusk <= duration:
+        raise ValueError("daylight window must fit inside the trace")
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        phase = np.clip((t - dawn) / (dusk - dawn), 0.0, 1.0)
+        bump = (peak_rate - night_rate) * np.sin(math.pi * phase)
+        return night_rate + np.where((t >= dawn) & (t <= dusk), bump,
+                                     0.0)
+
+    rng = np.random.default_rng(seed)
+    times = _thinning(rate, peak_rate, duration, rng)
+    return ArrivalTrace("sparse_diurnal/v2", tuple(times), duration)
+
+
 def burst_trace(duration: float = 3600.0, background_rate: float = 1.0,
                 bursts: int = 4, burst_rate: float = 200.0,
                 burst_seconds: float = 30.0,

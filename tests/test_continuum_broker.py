@@ -99,6 +99,106 @@ class TestDeterminism:
         assert self.stats(5)[-1] != self.stats(6)[-1]
 
 
+class TestFanOut:
+    def test_every_subscriber_gets_every_message(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        seen = {name: [] for name in ("a", "b", "c")}
+        for name in seen:
+            broker.subscribe(
+                "t", lambda topic, size, dup, n=name:
+                seen[n].append(size), name=name)
+        for index in range(20):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0))
+        sim.run()
+        # One message-level delivery, three subscriber copies.
+        assert broker.delivered == 20
+        for subscription in broker.subscriptions("t"):
+            assert subscription.received == 20
+            assert subscription.delivered == 20
+            assert subscription.dropped == 0
+        assert all(len(v) == 20 for v in seen.values())
+
+    def test_default_names_index_the_topic(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        broker.subscribe("t", lambda *a: None)
+        broker.subscribe("t", lambda *a: None)
+        names = [s.name for s in broker.subscriptions("t")]
+        assert names == ["t#0", "t#1"]
+
+    def test_qos1_duplicates_visible_to_every_subscriber(self):
+        sim = Simulator()
+        broker = Broker(sim, lossy_link(), seed=0, max_retries=8)
+        flags = {"a": [], "b": []}
+        for name in flags:
+            broker.subscribe(
+                "t", lambda topic, size, dup, n=name:
+                flags[n].append(dup), name=name)
+        for index in range(200):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0, qos=1))
+        sim.run()
+        assert broker.duplicates > 0
+        for subscription in broker.subscriptions("t"):
+            # At-least-once: all 200 messages plus every redelivery,
+            # with the duplicate flag raised on each extra copy —
+            # dedup is the application's job, for every subscriber.
+            assert subscription.received == 200 + broker.duplicates
+            assert subscription.duplicates == broker.duplicates
+        assert sum(flags["a"]) == broker.duplicates
+        assert flags["a"] == flags["b"]
+
+    def test_slow_subscriber_queues_without_delaying_the_fast_one(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        fast_times, slow_times = [], []
+        broker.subscribe("t", lambda *a: fast_times.append(sim.now),
+                         name="fast")
+        slow = broker.subscribe(
+            "t", lambda *a: slow_times.append(sim.now),
+            name="slow", service_seconds=1.0)
+        for index in range(5):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0))
+        sim.run()
+        assert len(fast_times) == len(slow_times) == 5
+        # The fast subscriber finished with the last transfer; the
+        # slow one serialized 5 x 1 s of processing behind it.
+        assert max(fast_times) < 1.0
+        assert max(slow_times) == pytest.approx(
+            slow_times[0] + 4.0)
+        assert slow.max_queue_depth > 0
+        assert slow.queue_depth == 0
+
+    def test_bounded_queue_drops_only_on_the_slow_subscriber(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        broker.subscribe("t", lambda *a: None, name="fast")
+        slow = broker.subscribe("t", lambda *a: None, name="slow",
+                                service_seconds=5.0, max_queue=1)
+        for index in range(10):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0))
+        sim.run()
+        fast = broker.subscriptions("t")[0]
+        assert fast.delivered == 10 and fast.dropped == 0
+        assert slow.dropped > 0
+        assert slow.delivered + slow.dropped == 10
+        # Message-level accounting is untouched by subscriber drops.
+        assert broker.delivered == 10 and broker.dropped == 0
+
+    def test_subscription_validation(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        with pytest.raises(ValueError, match="service time"):
+            broker.subscribe("t", lambda *a: None,
+                             service_seconds=-1.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            broker.subscribe("t", lambda *a: None, max_queue=-1)
+
+
 class TestComposition:
     def test_broker_traffic_contends_on_a_shared_uplink(self):
         sim = Simulator()

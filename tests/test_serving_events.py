@@ -263,6 +263,32 @@ class TestEventStream:
         assert fired == [0, 3]
         assert sim.peek_foreground_time() is None
 
+    def test_jump_past_the_end_clamps_and_stays_drained(self):
+        sim = Simulator()
+        fired = []
+        stream = sim.add_stream([1.0, 2.0, 3.0],
+                                lambda i: fired.append(i))
+        sim.schedule(1.5, lambda: stream.jump(99))
+        sim.run()
+        assert fired == [0]
+        assert stream.remaining == 0
+        assert stream.peek_time() is None
+        assert sim.peek_foreground_time() is None
+
+    def test_jump_onto_a_heap_tie_lets_the_heap_event_win(self):
+        sim = Simulator()
+        order = []
+        stream = sim.add_stream([1.0, 2.0, 3.0],
+                                lambda i: order.append(("stream", i)))
+        sim.schedule(3.0, lambda: order.append(("heap", None)))
+        sim.schedule(1.5, lambda: stream.jump(2))
+        sim.run()
+        # The jump lands the cursor exactly on the 3.0 heap entry;
+        # ties break toward the heap, then the stream fires at the
+        # same timestamp.
+        assert order == [("stream", 0), ("heap", None), ("stream", 2)]
+        assert sim.now == 3.0
+
     def test_jump_backward_rejected(self):
         sim = Simulator()
         stream = sim.add_stream([1.0, 2.0], lambda i: None)

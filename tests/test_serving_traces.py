@@ -13,6 +13,7 @@ from repro.serving.traces import (
     TraceReplayer,
     burst_trace,
     diurnal_trace,
+    sparse_diurnal_trace,
 )
 
 
@@ -62,6 +63,58 @@ class TestDiurnalTrace:
             diurnal_trace(peak_rate=1.0, base_rate=2.0)
         with pytest.raises(ValueError):
             diurnal_trace(duration=1000.0)  # daylight window outside
+
+
+class TestSparseDiurnalTrace:
+    def test_nighttime_floor_keeps_the_night_nearly_silent(self):
+        trace = sparse_diurnal_trace(duration=86400, peak_rate=2.0,
+                                     night_rate=0.01, seed=6)
+        # Daylight defaults to (0.25, 0.8) x duration.
+        times = np.asarray(trace.arrival_times)
+        night = np.sum((times < 21600) | (times >= 69120))
+        day = len(times) - night
+        assert day > 50 * max(night, 1)
+        # Night arrivals hover around the floor: 0.01 rps over the
+        # ~9.6 night hours is ~345 expected, give or take Poisson.
+        assert night < 3 * 0.01 * (86400 - 47520)
+
+    def test_zero_floor_means_a_truly_dark_night(self):
+        trace = sparse_diurnal_trace(duration=86400, peak_rate=2.0,
+                                     night_rate=0.0, seed=7)
+        times = np.asarray(trace.arrival_times)
+        assert np.all((times >= 21600) & (times < 69120))
+
+    def test_deterministic(self):
+        a = sparse_diurnal_trace(duration=7200, peak_rate=6.0,
+                                 night_rate=0.02, seed=1)
+        b = sparse_diurnal_trace(duration=7200, peak_rate=6.0,
+                                 night_rate=0.02, seed=1)
+        assert a.arrival_times == b.arrival_times
+        c = sparse_diurnal_trace(duration=7200, peak_rate=6.0,
+                                 night_rate=0.02, seed=2)
+        assert a.arrival_times != c.arrival_times
+
+    def test_peak_rides_inside_the_daylight_window(self):
+        trace = sparse_diurnal_trace(duration=86400, peak_rate=5.0,
+                                     night_rate=0.02, seed=8)
+        hist = trace.rate_histogram(bins=24)
+        assert 7 <= int(np.argmax(hist)) <= 17
+        assert max(hist) == pytest.approx(5.0, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            sparse_diurnal_trace(peak_rate=0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            sparse_diurnal_trace(peak_rate=2.0, night_rate=-0.1)
+        with pytest.raises(ValueError, match="cannot exceed"):
+            sparse_diurnal_trace(peak_rate=2.0, night_rate=3.0)
+        with pytest.raises(ValueError, match="daylight"):
+            sparse_diurnal_trace(duration=1000.0,
+                                 daylight=(500.0, 1500.0))
+
+    def test_carries_v2_name(self):
+        trace = sparse_diurnal_trace(duration=3600, seed=0)
+        assert trace.name == "sparse_diurnal/v2"
 
 
 class TestBurstTrace:

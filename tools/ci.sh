@@ -105,3 +105,21 @@ echo "profile smoke ok: deterministic across runs"
 PYTHONPATH=src python -m repro profile-bench --quick \
     --check benchmarks/results/BENCH_profile_quick.json
 echo "profile-bench smoke ok: zero-cost contract verified, within bounds"
+# FaaS smoke + determinism: the serverless replay must exit 0 and two
+# identical invocations must produce byte-identical stdout and JSON.
+FAAS_DIR="$(mktemp -d -t harvest_faas.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"; rm -rf "$CACHE_DIR" "$NET_DIR" "$PROF_DIR" "$FAAS_DIR"' EXIT
+PYTHONPATH=src python -m repro faas --duration 3600 --seed 1 \
+    --out "$FAAS_DIR/faas.json" > "$FAAS_DIR/a.txt"
+cp "$FAAS_DIR/faas.json" "$FAAS_DIR/first.json"
+PYTHONPATH=src python -m repro faas --duration 3600 --seed 1 \
+    --out "$FAAS_DIR/faas.json" > "$FAAS_DIR/b.txt"
+cmp "$FAAS_DIR/a.txt" "$FAAS_DIR/b.txt"
+cmp "$FAAS_DIR/first.json" "$FAAS_DIR/faas.json"
+echo "faas smoke ok: deterministic across runs"
+# FaaS bench gate: the quick BENCH_faas suite must verify (serverless
+# and provisioned replays serve every arrival, scale-to-zero actually
+# reaps) and hold the committed quick-mode speedup floors/bands.
+PYTHONPATH=src python -m repro faas-bench --quick \
+    --check benchmarks/results/BENCH_faas_quick.json
+echo "faas-bench smoke ok: quick suite within committed bounds"
