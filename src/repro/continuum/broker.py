@@ -59,7 +59,8 @@ class Subscription:
     ``service_seconds`` models a subscriber that processes messages
     one at a time: deliveries enter a per-subscriber FIFO and the
     callback fires when processing *completes*; ``max_queue`` (0 =
-    unbounded) bounds the backlog, overflow increments ``dropped``
+    unbounded) bounds the *waiting* backlog — the message in service
+    does not count against it — and overflow increments ``dropped``
     without ever touching other subscribers.
 
     QoS 1 duplicate visibility is per subscriber: every subscription
@@ -114,25 +115,25 @@ class Subscription:
             self.delivered += 1
             self.callback(topic, payload_bytes, duplicate)
             return
+        if not self._busy:
+            self._serve(topic, payload_bytes, duplicate)
+            return
         if self.max_queue and len(self._queue) >= self.max_queue:
             self.dropped += 1
             return
         self._queue.append((topic, payload_bytes, duplicate))
         self.max_queue_depth = max(self.max_queue_depth,
                                    len(self._queue))
-        if not self._busy:
-            self._serve_next()
 
-    def _serve_next(self) -> None:
+    def _serve(self, topic: str, payload_bytes: float,
+               duplicate: bool) -> None:
         self._busy = True
-        topic, payload_bytes, duplicate = self._queue[0]
 
         def done() -> None:
-            self._queue.pop(0)
             self.delivered += 1
             self.callback(topic, payload_bytes, duplicate)
             if self._queue:
-                self._serve_next()
+                self._serve(*self._queue.pop(0))
             else:
                 self._busy = False
 

@@ -98,7 +98,12 @@ class FunctionStats:
 
 
 class _Instance:
-    """One live sandbox: initializing, idle-warm, or executing."""
+    """One live sandbox.
+
+    ``state`` is ``"init"`` (cold-starting with a request bound),
+    ``"prewarm"`` (initializing ahead of traffic, no request),
+    ``"idle"`` (warm, waiting), or ``"busy"`` (executing).
+    """
 
     __slots__ = ("name", "state", "pinned", "idle_since", "reap_event",
                  "pinned_since")
@@ -242,11 +247,13 @@ class FaaSBackend:
 
     def busy_instances(self, model: str | None = None) -> int:
         """Instances occupied by a request (executing or cold-starting
-        with a request bound to them)."""
+        with a request bound to them).  Requestless provisioned-
+        concurrency prewarms are still initializing but serve nobody,
+        so they are excluded."""
         fns = ([self._functions[model]] if model is not None
                else self._functions.values())
         return sum(1 for fn in fns for inst in fn.instances
-                   if inst.state != "idle")
+                   if inst.state in ("init", "busy"))
 
     def total_instances(self, model: str | None = None) -> int:
         """Live instances, warm or initializing."""
@@ -257,7 +264,7 @@ class FaaSBackend:
     def warm_instances(self, model: str) -> int:
         """Initialized (idle or busy) instances of one function."""
         return sum(1 for inst in self._functions[model].instances
-                   if inst.state != "init")
+                   if inst.state in ("idle", "busy"))
 
     def instance_stats(self, model: str) -> list[FunctionStats]:
         """One aggregate record per function (see module docstring)."""
@@ -276,7 +283,10 @@ class FaaSBackend:
         for fn in self._functions.values():
             fn.provisioned_target = 0
             for inst in list(fn.instances):
-                inst.pinned = False
+                # Settle (charge + clear) the pin rather than just
+                # clearing it: the GB-seconds accrued since pinning
+                # must land on the ledger before the instance goes.
+                self._settle_pin(fn, inst)
                 if inst.state == "idle":
                     self._reap(fn, inst)
 
@@ -360,6 +370,8 @@ class FaaSBackend:
         """
         inst = _Instance(f"{fn.config.name}#{fn.next_id}")
         fn.next_id += 1
+        if request is None:
+            inst.state = "prewarm"
         inst.pinned = pinned
         if pinned:
             inst.pinned_since = self.sim.now
@@ -470,9 +482,14 @@ class FaaSBackend:
             return
         inst.state = "idle"
         inst.idle_since = self.sim.now
+        if self.draining:
+            # Draining wins over pinning: reap unconditionally (the
+            # reap settles any open pin) so is_drained can hold.
+            self._reap(fn, inst)
+            return
         if inst.pinned:
             return
-        if self.draining or fn.config.keep_alive_seconds == 0.0:
+        if fn.config.keep_alive_seconds == 0.0:
             self._reap(fn, inst)
             return
         idle_mark = inst.idle_since
@@ -524,10 +541,16 @@ class FaaSBackend:
         remainder (no request pays those cold starts); lowering it
         unpins the newest pins, which then age out through the normal
         keep-alive window.  Pinned time accrues on the cost ledger at
-        the provisioned GB-second rate.
+        the provisioned GB-second rate.  While the backend drains this
+        is a no-op: a late policy tick must not stall the drain.
         """
         if target < 0:
             raise ValueError("provisioned concurrency must be >= 0")
+        if self.draining:
+            # A still-armed policy tick must not resurrect pinned
+            # instances after begin_drain: they would never be
+            # reaped and the drain could stall forever.
+            return
         fn = self._functions[model]
         if target > fn.config.concurrency_limit:
             raise ValueError(

@@ -189,6 +189,22 @@ class TestFanOut:
         # Message-level accounting is untouched by subscriber drops.
         assert broker.delivered == 10 and broker.dropped == 0
 
+    def test_in_service_message_does_not_count_against_max_queue(self):
+        sim = Simulator()
+        broker = Broker(sim, get_link("farm_wifi"))
+        slow = broker.subscribe("t", lambda *a: None, name="slow",
+                                service_seconds=5.0, max_queue=1)
+        for index in range(3):
+            sim.schedule_at(index * 0.05,
+                            lambda: broker.publish("t", 2048.0))
+        sim.run()
+        # max_queue bounds the *waiting* backlog: the first message is
+        # in service, the second waits, only the third overflows.
+        assert slow.delivered == 2
+        assert slow.dropped == 1
+        assert slow.max_queue_depth == 1
+        assert slow.queue_depth == 0
+
     def test_subscription_validation(self):
         sim = Simulator()
         broker = Broker(sim, get_link("farm_wifi"))

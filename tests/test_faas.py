@@ -321,6 +321,46 @@ class TestDrain:
         assert len(ok) == 3
         assert backend.is_drained
 
+    def test_drain_settles_pinned_cost_on_the_ledger(self):
+        sim, backend = make_backend(seed=None)
+        backend.set_provisioned_concurrency("fn", 1)
+        sim.schedule(100.0, backend.begin_drain)
+        sim.run()
+        assert backend.is_drained
+        # 100 s pinned x 2 GB accrued *on the ledger itself*, not
+        # just in the open-pin projection of cost_summary().
+        assert backend.cost.provisioned_gb_seconds == pytest.approx(
+            100.0 * 2.0)
+        summary = backend.cost_summary()
+        assert summary["provisioned_gb_seconds"] == pytest.approx(
+            100.0 * 2.0)
+
+    def test_raising_the_floor_while_draining_is_a_noop(self):
+        sim, backend = make_backend(seed=None)
+        sim.schedule(0.0, lambda: backend.submit(Request("fn")))
+        sim.schedule(2.0, backend.begin_drain)
+        # A still-armed policy tick after begin_drain must not spawn
+        # pinned instances that would stall the drain forever.
+        sim.schedule(2.1, lambda: backend.set_provisioned_concurrency(
+            "fn", 2))
+        sim.run()
+        assert backend.function_stats("fn").prewarms == 0
+        assert backend.total_instances() == 0
+        assert backend.is_drained
+
+    def test_prewarm_in_flight_at_drain_is_reaped_once_warm(self):
+        sim, backend = make_backend(seed=None)
+        backend.set_provisioned_concurrency("fn", 1)
+        # Drain lands mid-cold-start: the pinned prewarm must still
+        # settle its pin and reap when initialization completes.
+        sim.schedule(0.2, backend.begin_drain)
+        sim.run()
+        assert backend.total_instances() == 0
+        assert backend.function_stats("fn").reaps == 1
+        assert backend.is_drained
+        assert backend.cost.provisioned_gb_seconds == pytest.approx(
+            0.2 * 2.0)
+
 
 class TestProvisionedConcurrency:
     def test_prewarmed_instances_absorb_cold_starts(self):
@@ -364,6 +404,27 @@ class TestProvisionedConcurrency:
         sim.run()
         assert backend.total_instances() == 0
         assert backend.function_stats("fn").reaps == 1
+
+    def test_initializing_prewarms_are_not_busy(self):
+        sim, backend = make_backend(seed=None)
+        backend.set_provisioned_concurrency("fn", 1)
+        probes = []
+        # t=0.1 is mid-sandbox (cold start takes 1.5 s): the prewarm
+        # is live but serves nobody, so it is neither busy nor warm.
+        sim.schedule(0.1, lambda: probes.append(
+            (backend.busy_instances(), backend.total_instances(),
+             backend.warm_instances("fn"))))
+        sim.run()
+        assert probes == [(0, 1, 0)]
+
+    def test_cold_starting_request_counts_as_busy(self):
+        sim, backend = make_backend(seed=None)
+        sim.schedule(0.0, lambda: backend.submit(Request("fn")))
+        probes = []
+        sim.schedule(0.1, lambda: probes.append(
+            backend.busy_instances()))
+        sim.run()
+        assert probes == [1]
 
     def test_floor_cannot_exceed_the_concurrency_limit(self):
         sim, backend = make_backend(seed=None, concurrency_limit=2)
