@@ -46,6 +46,16 @@ Commands
 ``faas-bench``          run the BENCH_faas harness: the serverless
                         backend vs a provisioned replica on the same
                         sparse trace, and scale-to-zero vs never-reap
+``sweep``               fan a seed-replicated sparse-diurnal sweep
+                        across worker processes; print the
+                        deterministic per-shard table, aggregate
+                        confidence intervals, and merged quantiles
+                        (byte-identical output for any --jobs)
+``sweep-bench``         run the BENCH_sweep harness: the same sweep
+                        sequential vs pooled, verifying merged
+                        scrapes stay byte-identical and gating the
+                        wall-clock speedup with a core-count-aware
+                        floor
 """
 
 from __future__ import annotations
@@ -900,7 +910,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     mode = "quick" if args.quick else "full"
     print(f"BENCH_core ({mode} workloads, best of "
           f"{args.repeats or ('2' if args.quick else '4')} repeats)")
-    results = run_bench(quick=args.quick, repeats=args.repeats)
+    results = run_bench(quick=args.quick, repeats=args.repeats,
+                        jobs=args.jobs)
     print(render_results(results))
     if args.out:
         write_results(results, args.out)
@@ -1387,6 +1398,149 @@ def _cmd_faas_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.serving.exporter import export_registry
+    from repro.sweep import (
+        SweepRunner,
+        SweepSpec,
+        merge_registries,
+        merge_summaries,
+        normal_ci,
+    )
+
+    spec = SweepSpec(
+        worker="repro.sweep.workloads:replay_sparse_diurnal",
+        base_params={
+            "duration": args.duration,
+            "peak_rate": args.peak_rate,
+            "night_rate": args.night_rate,
+            "instances": args.instances,
+        },
+        replications=args.replications,
+        base_seed=args.seed)
+    result = SweepRunner(jobs=args.jobs).run(spec)
+    errors = result.errors()
+    if errors:
+        print(f"sweep failed: {len(errors)}/{len(result.shards)} "
+              "shards errored", file=sys.stderr)
+        for error in errors:
+            print(f"  {error.summary()}", file=sys.stderr)
+        return 1
+    values = result.values()
+
+    # Everything below prints only simulation-derived quantities, so
+    # the table is byte-identical for any --jobs value; host timings
+    # (which are not) stay behind --wall.
+    print(f"sweep: {len(values)} seed replications of the sparse "
+          f"diurnal day (duration {args.duration:.0f}s, peak "
+          f"{args.peak_rate:g}/s, night {args.night_rate:g}/s, base "
+          f"seed {args.seed})")
+    header = (f"{'shard':>5} {'seed':>16} {'arrivals':>8} "
+              f"{'completed':>9} {'p50_ms':>8} {'p95_ms':>8} "
+              f"{'p99_ms':>8} {'sim_s':>8}")
+    print(header)
+    print("-" * len(header))
+    for v in values:
+        print(f"{v['shard_index']:>5} {v['seed']:016x} "
+              f"{v['arrivals']:>8} {v['completed']:>9} "
+              f"{v['p50'] * 1e3:>8.2f} {v['p95'] * 1e3:>8.2f} "
+              f"{v['p99'] * 1e3:>8.2f} {v['sim_seconds']:>8.1f}")
+    merged = merge_summaries(v["summary"] for v in values)
+    mean_completed, hw_completed = normal_ci(
+        [v["completed"] for v in values])
+    mean_p95, hw_p95 = normal_ci([v["p95"] for v in values])
+    print(f"aggregate: completed {mean_completed:.1f} ± "
+          f"{hw_completed:.1f} per shard (95% CI), per-shard p95 "
+          f"{mean_p95 * 1e3:.2f} ± {hw_p95 * 1e3:.2f} ms")
+    print(f"merged   : {merged.count} requests, p50 "
+          f"{merged.quantile(0.5) * 1e3:.2f} ms, p95 "
+          f"{merged.quantile(0.95) * 1e3:.2f} ms, p99 "
+          f"{merged.quantile(0.99) * 1e3:.2f} ms "
+          "(bucket re-accumulation over all shards)")
+    if args.wall:
+        wall = [o.wall_seconds for o in result.shards]
+        print(f"wall     : {result.wall_seconds:.2f}s total with "
+              f"{args.jobs} job(s); per-shard "
+              f"{min(wall):.2f}-{max(wall):.2f}s "
+              "(host timings; not deterministic)")
+    if args.metrics_out:
+        import pathlib
+
+        scrape = export_registry(
+            merge_registries(v["registry"] for v in values))
+        pathlib.Path(args.metrics_out).write_text(scrape)
+        print(f"wrote {args.metrics_out}")
+    if args.out:
+        import json
+        import pathlib
+
+        doc = {
+            "workload": "sparse_diurnal_replay",
+            "params": {
+                "duration": args.duration,
+                "peak_rate": args.peak_rate,
+                "night_rate": args.night_rate,
+                "instances": args.instances,
+                "replications": args.replications,
+                "base_seed": args.seed,
+            },
+            "shards": [
+                {k: v[k] for k in ("shard_index", "seed", "arrivals",
+                                   "completed", "p50", "p95", "p99",
+                                   "sim_seconds", "events")}
+                for v in values
+            ],
+            "aggregate": {
+                "completed_mean": mean_completed,
+                "completed_ci95": hw_completed,
+                "p95_mean": mean_p95,
+                "p95_ci95": hw_p95,
+                "merged": merged.as_dict(),
+            },
+        }
+        pathlib.Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_sweep_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_results,
+        render_results,
+        run_sweep_bench,
+        write_results,
+    )
+
+    if args.check and not 0.0 <= args.tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    mode = "quick" if args.quick else "full"
+    print(f"BENCH_sweep ({mode} workloads, best of "
+          f"{args.repeats or ('2' if args.quick else '3')} repeats)")
+    results = run_sweep_bench(quick=args.quick, repeats=args.repeats,
+                              jobs=args.jobs)
+    print(render_results(results))
+    print(f"pool: {results['jobs']} job(s) on "
+          f"{results['cpu_count']} core(s); floor "
+          f"{results['scenarios']['sweep_parallel_replay']['min_speedup']:.2f}x "
+          "(core-count aware)")
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        reference = load_results(args.check)
+        failures = check_regression(results, reference,
+                                    tolerance=args.tolerance)
+        if failures:
+            print(f"== regression check vs {args.check}: FAIL ==")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"== regression check vs {args.check}: ok ==")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -1611,6 +1765,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.5,
                    help="allowed relative loss vs the reference "
                         "speedup (0.5 = half)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan scenarios across this many worker "
+                        "processes (timings then share the machine; "
+                        "references should come from --jobs 1)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -1754,6 +1912,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed relative loss vs the reference "
                         "speedup (0.5 = half)")
     p.set_defaults(func=_cmd_faas_bench)
+
+    p = sub.add_parser(
+        "sweep",
+        help="fan a seed-replicated sparse-diurnal sweep across "
+             "worker processes; deterministic table, aggregate CIs, "
+             "and merged metrics")
+    p.add_argument("--replications", type=int, default=8,
+                   help="seed replications (= shards) of the workload")
+    p.add_argument("--duration", type=float, default=3600.0,
+                   help="trace duration in seconds per shard")
+    p.add_argument("--peak-rate", type=float, default=3.0,
+                   help="daytime peak arrival rate (req/s)")
+    p.add_argument("--night-rate", type=float, default=0.01,
+                   help="nighttime arrival rate (req/s)")
+    p.add_argument("--instances", type=int, default=1,
+                   help="backend instances per shard's server")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed; shard seeds derive from "
+                        "(base, shard_index)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; the printed table is "
+                        "byte-identical for any value")
+    p.add_argument("--wall", action="store_true",
+                   help="append host wall-clock timings "
+                        "(nondeterministic; breaks byte-identity)")
+    p.add_argument("--out", default=None,
+                   help="write the sweep document JSON here")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the merged metrics scrape here")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "sweep-bench",
+        help="run the BENCH_sweep harness: sequential vs pooled "
+             "sweep with byte-identical merged results and a "
+             "core-count-aware speedup gate")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke test)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per side (default 3, 2 with "
+                        "--quick)")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="pool size for the optimized side")
+    p.add_argument("--out", default=None,
+                   help="write the results JSON here")
+    p.add_argument("--check", default=None,
+                   help="reference results JSON to gate against "
+                        "(exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed relative loss vs the reference "
+                        "speedup (0.5 = half)")
+    p.set_defaults(func=_cmd_sweep_bench)
     return parser
 
 

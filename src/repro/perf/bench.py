@@ -37,15 +37,34 @@ models served the same requests (and that reaping actually happened),
 and the committed references (``BENCH_faas.json`` /
 ``BENCH_faas_quick.json``, gated by ``repro faas-bench --quick
 --check ...`` in CI) bound the serverless bookkeeping overhead.
+
+``run_sweep_bench`` prices the sweep engine itself (the BENCH_sweep
+suite): the same seed-replicated sparse-diurnal grid run sequentially
+and through :class:`~repro.sweep.SweepRunner` with a worker pool.
+Verification asserts the merged metrics scrape and folded profile are
+byte-identical to the sequential run's — the determinism contract —
+before the wall-clock ratio counts.  The speedup floor is core-count
+aware: 2.5x where at least four effective cores exist, an
+overhead-bound floor below that (``cpu_count`` rides along in the
+results so a multicore host enforces the real bar even against a
+reference recorded on fewer cores).
+
+Every suite runner takes ``jobs``: with ``jobs > 1`` the scenarios
+themselves fan out across processes via the sweep engine (each worker
+rebuilds its scenario from ``(suite, name)`` — spawn-safe).  Timings
+then share the machine, so parallel dispatch is for fast iteration;
+committed references should come from sequential runs.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
+import os
 import time
 from pathlib import Path
 
-from repro.perf.scenarios import Scenario, build_scenarios
+from repro.perf.scenarios import Scenario
 
 #: Absolute speedup floors committed with the baseline — the acceptance
 #: bars for the optimization pass.  The regression check enforces them
@@ -129,6 +148,35 @@ QUICK_FAAS_MIN_SPEEDUPS: dict[str, float] = {
     "faas_scale_to_zero": 0.4,
 }
 
+#: The BENCH_sweep acceptance bar where parallelism can physically pay:
+#: at least four effective cores (``min(jobs, cpu_count)``).
+SWEEP_MIN_SPEEDUP = 2.5
+
+#: Scenario builder per suite key — the seam both the sequential loop
+#: and the process-pool dispatch share (workers re-resolve the builder
+#: by name, so a Scenario's closures never cross a process boundary).
+_SUITE_BUILDERS: dict[str, tuple[str, str]] = {
+    "core": ("repro.perf.scenarios", "build_scenarios"),
+    "fluid": ("repro.perf.scenarios", "build_fluid_scenarios"),
+    "profile": ("repro.perf.scenarios", "build_profile_scenarios"),
+    "faas": ("repro.perf.scenarios", "build_faas_scenarios"),
+    "sweep": ("repro.perf.scenarios", "build_sweep_scenarios"),
+}
+
+#: Rough relative runtimes for longest-expected-job-first dispatch when
+#: scenarios fan out across processes.  Scheduling hints only — a wrong
+#: value changes the tail, never the results.
+_SCENARIO_COST_HINTS: dict[str, float] = {
+    "fluid_burst_day": 10.0,
+    "fluid_step_parity": 6.0,
+    "instrumented_serving": 4.0,
+    "faas_vs_provisioned": 3.0,
+    "faas_scale_to_zero": 3.0,
+    "profile_on_overhead": 2.0,
+    "profile_off_overhead": 2.0,
+    "simulator_core": 2.0,
+}
+
 
 def _best_time(fn, repeats: int) -> float:
     """Best-of-N wall time of ``fn`` in seconds."""
@@ -162,21 +210,77 @@ def run_scenario(scenario: Scenario, repeats: int,
     }
 
 
-def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
+def _build_suite(suite: str, quick: bool, **kwargs) -> list[Scenario]:
+    """Instantiate one suite's scenarios from its registered builder."""
+    module_name, attr = _SUITE_BUILDERS[suite]
+    builder = getattr(importlib.import_module(module_name), attr)
+    return builder(quick=quick, **kwargs)
+
+
+def _scenario_worker(params: dict) -> dict:
+    """Sweep worker: rebuild one scenario by name and benchmark it.
+
+    Runs inside a pool worker process, so the scenario — whose
+    baseline/optimized closures cannot be pickled — is reconstructed
+    from ``(suite, name)`` and the result is the plain
+    :func:`run_scenario` dict.
+    """
+    suite, name = params["suite"], params["name"]
+    for scenario in _build_suite(suite, params["quick"]):
+        if scenario.name == name:
+            return run_scenario(scenario, params["repeats"],
+                                {name: params["floor"]})
+    raise ValueError(f"suite {suite!r} has no scenario {name!r}")
+
+
+def _run_scenario_set(suite: str, bench_name: str, quick: bool,
+                      repeats: int, floors: dict[str, float],
+                      jobs: int = 1,
+                      builder_kwargs: dict | None = None) -> dict:
+    """Shared driver behind every ``run_*_bench``: build, verify, time.
+
+    ``jobs > 1`` dispatches the scenarios through the sweep engine
+    (one shard per scenario, costliest first); ``jobs = 1`` runs them
+    in order in-process.  Either way the results document is keyed by
+    scenario name with the same entry shape.
+    """
+    results: dict = {"suite": bench_name, "quick": quick,
+                     "scenarios": {}}
+    scenarios = _build_suite(suite, quick, **(builder_kwargs or {}))
+    if jobs <= 1 or len(scenarios) <= 1:
+        for scenario in scenarios:
+            results["scenarios"][scenario.name] = run_scenario(
+                scenario, repeats, floors)
+        return results
+
+    from repro.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        worker="repro.perf.bench:_scenario_worker",
+        grid=[{"suite": suite, "name": s.name, "quick": quick,
+               "repeats": repeats, "floor": floors.get(s.name, 1.0)}
+              for s in scenarios],
+        expected_cost=lambda p: _SCENARIO_COST_HINTS.get(p["name"], 1.0))
+    sweep = SweepRunner(jobs=jobs).run(spec)
+    sweep.raise_on_error()
+    for shard, entry in zip(spec.shards(), sweep.values()):
+        results["scenarios"][shard.params["name"]] = entry
+    results["jobs"] = jobs
+    return results
+
+
+def run_bench(quick: bool = False, repeats: int | None = None,
+              jobs: int = 1) -> dict:
     """Run the full BENCH_core suite; returns the results document."""
     if repeats is None:
         repeats = 2 if quick else 4
     floors = QUICK_MIN_SPEEDUPS if quick else MIN_SPEEDUPS
-    results: dict = {"suite": "BENCH_core", "quick": quick,
-                     "scenarios": {}}
-    for scenario in build_scenarios(quick=quick):
-        results["scenarios"][scenario.name] = run_scenario(
-            scenario, repeats, floors)
-    return results
+    return _run_scenario_set("core", "BENCH_core", quick, repeats,
+                             floors, jobs=jobs)
 
 
-def run_fluid_bench(quick: bool = False,
-                    repeats: int | None = None) -> dict:
+def run_fluid_bench(quick: bool = False, repeats: int | None = None,
+                    jobs: int = 1) -> dict:
     """Run the BENCH_fluid suite; returns the results document.
 
     Every scenario's ``verify`` *is* the DES-vs-fluid parity contract
@@ -186,23 +290,19 @@ def run_fluid_bench(quick: bool = False,
     through the exact engine, which is precisely the cost this suite
     exists to measure.
     """
-    from repro.perf.scenarios import (build_fluid_scenarios,
-                                      run_fluid_frontier)
+    from repro.perf.scenarios import run_fluid_frontier
 
     if repeats is None:
         repeats = 2 if quick else 1
     floors = QUICK_FLUID_MIN_SPEEDUPS if quick else FLUID_MIN_SPEEDUPS
-    results: dict = {"suite": "BENCH_fluid", "quick": quick,
-                     "scenarios": {}}
-    for scenario in build_fluid_scenarios(quick=quick):
-        results["scenarios"][scenario.name] = run_scenario(
-            scenario, repeats, floors)
+    results = _run_scenario_set("fluid", "BENCH_fluid", quick, repeats,
+                                floors, jobs=jobs)
     results["frontier"] = run_fluid_frontier(quick=quick)
     return results
 
 
-def run_profile_bench(quick: bool = False,
-                      repeats: int | None = None) -> dict:
+def run_profile_bench(quick: bool = False, repeats: int | None = None,
+                      jobs: int = 1) -> dict:
     """Run the BENCH_profile suite; returns the results document.
 
     Each scenario's verify step compares the metrics scrape of the
@@ -210,21 +310,15 @@ def run_profile_bench(quick: bool = False,
     certifies the zero-instrumentation-cost contract before any
     timing counts.
     """
-    from repro.perf.scenarios import build_profile_scenarios
-
     if repeats is None:
         repeats = 2 if quick else 4
     floors = QUICK_PROFILE_MIN_SPEEDUPS if quick else PROFILE_MIN_SPEEDUPS
-    results: dict = {"suite": "BENCH_profile", "quick": quick,
-                     "scenarios": {}}
-    for scenario in build_profile_scenarios(quick=quick):
-        results["scenarios"][scenario.name] = run_scenario(
-            scenario, repeats, floors)
-    return results
+    return _run_scenario_set("profile", "BENCH_profile", quick, repeats,
+                             floors, jobs=jobs)
 
 
-def run_faas_bench(quick: bool = False,
-                   repeats: int | None = None) -> dict:
+def run_faas_bench(quick: bool = False, repeats: int | None = None,
+                   jobs: int = 1) -> dict:
     """Run the BENCH_faas suite; returns the results document.
 
     Each scenario's verify step checks the execution models agree on
@@ -232,16 +326,60 @@ def run_faas_bench(quick: bool = False,
     scenario additionally proves reaping happened and forced extra
     cold starts) before any timing counts.
     """
-    from repro.perf.scenarios import build_faas_scenarios
-
     if repeats is None:
         repeats = 2 if quick else 4
     floors = QUICK_FAAS_MIN_SPEEDUPS if quick else FAAS_MIN_SPEEDUPS
-    results: dict = {"suite": "BENCH_faas", "quick": quick,
-                     "scenarios": {}}
-    for scenario in build_faas_scenarios(quick=quick):
-        results["scenarios"][scenario.name] = run_scenario(
-            scenario, repeats, floors)
+    return _run_scenario_set("faas", "BENCH_faas", quick, repeats,
+                             floors, jobs=jobs)
+
+
+def sweep_min_speedup(jobs: int, cpu_count: int | None = None,
+                      quick: bool = False) -> float:
+    """The BENCH_sweep floor this host can honestly be held to.
+
+    With at least four effective cores (``min(jobs, cpu_count)``) the
+    acceptance bar is :data:`SWEEP_MIN_SPEEDUP`; with two or three the
+    pool can still win but less; on one core a worker pool is pure
+    overhead, so the floor only bounds how much (the determinism
+    verify still runs in full).  Quick mode shaves each bar — its
+    shards are too small to amortize worker spawn cost.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    effective = min(max(1, jobs), max(1, cpu_count))
+    if effective >= 4:
+        return 1.5 if quick else SWEEP_MIN_SPEEDUP
+    if effective >= 2:
+        return 1.05 if quick else 1.2
+    return 0.4 if quick else 0.5
+
+
+def run_sweep_bench(quick: bool = False, repeats: int | None = None,
+                    jobs: int = 4) -> dict:
+    """Run the BENCH_sweep suite; returns the results document.
+
+    Baseline is the sequential (1-worker) sweep, optimized the same
+    spec through a ``jobs``-worker pool.  The verify step asserts the
+    merged scrape, folded profile, and summary statistics are
+    byte-identical across the two — the engine's determinism contract
+    — so the timing only ever measures *how fast*, never *whether it
+    still agrees*.  ``cpu_count`` and the applied floor ride along in
+    the document; see :func:`sweep_min_speedup` for how
+    :func:`check_regression` holds multicore hosts to the real bar.
+    """
+    if repeats is None:
+        repeats = 2 if quick else 3
+    cpu_count = os.cpu_count() or 1
+    floor = sweep_min_speedup(jobs, cpu_count, quick)
+    results = _run_scenario_set(
+        "sweep", "BENCH_sweep", quick, repeats,
+        floors={"sweep_parallel_replay": floor},
+        builder_kwargs={"jobs": jobs})
+    results["jobs"] = jobs
+    results["cpu_count"] = cpu_count
+    for entry in results["scenarios"].values():
+        entry["jobs"] = jobs
+        entry["cpu_count"] = cpu_count
     return results
 
 
@@ -273,6 +411,14 @@ def check_regression(current: dict, reference: dict,
     ``min_speedup`` floor, or below ``reference_speedup * (1 -
     tolerance)``.  Quick and full runs are not comparable (workload
     sizes differ), so a mode mismatch fails outright.
+
+    Core-count-aware scenarios (BENCH_sweep) record ``cpu_count`` and
+    their host-applied ``min_speedup`` per entry.  The floor enforced
+    is the *larger* of the reference's and the current run's — so a
+    reference committed from a 1-core CI box cannot weaken the 2.5x
+    bar on a 4-core host — while the relative band is skipped when the
+    two runs saw different core counts (their speedups measure
+    different machines, not different code).
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must lie in [0, 1)")
@@ -288,7 +434,12 @@ def check_regression(current: dict, reference: dict,
             failures.append(f"{name}: missing from current run")
             continue
         floor = ref.get("min_speedup", MIN_SPEEDUPS.get(name, 1.0))
-        band = ref["speedup"] * (1.0 - tolerance)
+        floor = max(floor, cur.get("min_speedup", 0.0))
+        cores_differ = (
+            "cpu_count" in ref and "cpu_count" in cur
+            and ref["cpu_count"] != cur["cpu_count"])
+        band = (0.0 if cores_differ
+                else ref["speedup"] * (1.0 - tolerance))
         required = max(floor, band)
         if cur["speedup"] < required:
             failures.append(

@@ -580,3 +580,73 @@ def build_faas_scenarios(quick: bool = False) -> list[Scenario]:
             optimized=lambda: _faas_replay(trace, keep_alive=15.0),
             verify=scale_to_zero_works),
     ]
+
+
+def build_sweep_scenarios(quick: bool = False,
+                          jobs: int = 4) -> list[Scenario]:
+    """The BENCH_sweep suite: the sweep engine against itself.
+
+    One scenario: a seed-replicated sparse-diurnal grid run
+    sequentially (baseline) and through a ``jobs``-worker process pool
+    (optimized).  The verify step *is* the engine's determinism
+    contract — the merged metrics scrape, folded sim-time profile, and
+    bucket-re-accumulated summary must be byte-identical across the
+    two runs before the wall-clock ratio means anything.  Floors live
+    in :func:`repro.perf.bench.sweep_min_speedup` because the honest
+    bar depends on the host's core count.
+    """
+    from repro.serving.exporter import export_registry
+    from repro.sweep import (SweepRunner, SweepSpec, merge_profiles,
+                             merge_registries, merge_summaries)
+
+    spec = SweepSpec(
+        worker="repro.sweep.workloads:replay_sparse_diurnal",
+        base_params={
+            "duration": 600.0 if quick else 3600.0,
+            "peak_rate": 3.0 if quick else 8.0,
+            "instances": 2,
+        },
+        replications=4 if quick else 8,
+        base_seed=1234)
+
+    def run_with(n_jobs: int):
+        def run() -> dict:
+            result = SweepRunner(jobs=n_jobs).run(spec)
+            result.raise_on_error()
+            values = result.values()
+            registry = merge_registries(v["registry"] for v in values)
+            profiler = merge_profiles(v["profiler"] for v in values)
+            summary = merge_summaries(v["summary"] for v in values)
+            return {
+                "scrape": export_registry(registry),
+                "folded": profiler.render_folded(),
+                "summary": summary.as_dict(),
+                "completed": sum(v["completed"] for v in values),
+            }
+        return run
+
+    def merged_identical(base: dict, opt: dict) -> None:
+        assert base["completed"] == opt["completed"], (
+            f"completion counts diverged: sequential "
+            f"{base['completed']} vs pooled {opt['completed']}")
+        assert base["scrape"] == opt["scrape"], (
+            "merged metrics scrape diverged between sequential and "
+            "pooled runs — the merge is order- or process-dependent")
+        assert base["folded"] == opt["folded"], (
+            "merged folded profile diverged between sequential and "
+            "pooled runs")
+        assert base["summary"] == opt["summary"], (
+            f"merged summary diverged: {base['summary']} vs "
+            f"{opt['summary']}")
+
+    return [
+        Scenario(
+            name="sweep_parallel_replay",
+            layer="sweep",
+            description=(f"{len(spec.shards())}-shard seeded "
+                         f"sparse-diurnal grid, sequential vs "
+                         f"{jobs}-worker pool"),
+            baseline=run_with(1),
+            optimized=run_with(jobs),
+            verify=merged_identical),
+    ]

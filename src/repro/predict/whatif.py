@@ -252,3 +252,50 @@ def preview_platform(platform: PlatformSpec,
             report["peak_throughput"] / ref["peak_throughput"])
         rows.append(report)
     return rows
+
+
+def _preview_worker(params: dict) -> dict:
+    """Sweep worker: one candidate platform's full preview report.
+
+    Runs inside a pool worker process, so the candidate arrives as the
+    plain :func:`define_platform` keyword dict (a ``PlatformSpec``
+    holds enum members and would pin pickling to this module's import
+    state) and the rows return as plain dicts.
+    """
+    candidate = dict(params["candidate"])
+    platform = define_platform(**candidate)
+    return {
+        "platform": platform.name,
+        "practical_tflops": platform.practical_tflops,
+        "rows": preview_platform(platform, donor=params.get("donor")),
+    }
+
+
+def preview_platform_grid(candidates: "list[dict]", jobs: int = 1,
+                          donor: str | None = None) -> list[dict]:
+    """Preview a grid of candidate platforms, optionally in parallel.
+
+    ``candidates`` is a list of :func:`define_platform` keyword dicts
+    (the procurement short-list).  Each candidate runs the full
+    model-zoo preview — independent work, so with ``jobs > 1`` the
+    grid fans out across processes via :mod:`repro.sweep`.  Reports
+    come back in candidate order regardless of worker count; a bad
+    datasheet fails its own candidate with the offending parameters
+    attached instead of sinking the whole grid.
+    """
+    if not candidates:
+        raise ValueError("preview_platform_grid needs candidates")
+    for candidate in candidates:
+        define_platform(**dict(candidate))  # fail fast, pre-dispatch
+
+    from repro.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        worker="repro.predict.whatif:_preview_worker",
+        grid=[{"candidate": dict(c), "donor": donor}
+              for c in candidates],
+        expected_cost=lambda p: float(
+            p["candidate"].get("peak_tflops", 1.0)))
+    result = SweepRunner(jobs=jobs).run(spec)
+    result.raise_on_error()
+    return result.values()

@@ -9,6 +9,14 @@ gather, and scheduler fan-out.  The standard efficiency law used here,
 with a small per-replica coordination coefficient ``c``, reproduces the
 near-linear scaling observed for classification serving (c ≈ 0.01-0.03)
 while preventing the model from claiming free linear speedup forever.
+
+Not to be confused with :mod:`repro.sweep`, which is *host-process*
+parallelism: this module models how a simulated deployment scales when
+you add accelerator replicas (the parallelism lives inside the
+simulation), while ``repro.sweep`` fans whole deterministic simulations
+across the machine's CPU cores to make running many of them faster
+(the parallelism is invisible to each simulation).  Nothing here
+changes results; nothing there changes the model.
 """
 
 from __future__ import annotations

@@ -45,6 +45,18 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _frozen_clock() -> float:
+    """Clock restored on unpickled metrics (no simulator to read).
+
+    A metric that crossed a process boundary (a sweep shard returning
+    its registry to the parent) has no live simulator behind it; its
+    recorded ``last_updated`` stamps are preserved, and any *further*
+    update in the parent is stamped 0.0 — merge folds recorded state,
+    it never re-observes.
+    """
+    return 0.0
+
+
 class Metric:
     """Base class for one named metric family (all label sets)."""
 
@@ -87,6 +99,41 @@ class Metric:
     def label_sets(self) -> list[LabelKey]:
         """Every label set this metric has been updated with."""
         return sorted(self.last_updated)
+
+    def _merge_freshness(self, other: "Metric") -> None:
+        """Fold ``other``'s freshness stamps (per-key max) into ours."""
+        mine = self.last_updated
+        for key, stamp in other.last_updated.items():
+            if stamp > mine.get(key, float("-inf")):
+                mine[key] = stamp
+        if not self.help and other.help:
+            self.help = other.help
+
+    def _check_mergeable(self, other: "Metric") -> None:
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge {getattr(other, 'kind', type(other))} "
+                f"metric into {self.kind} metric {self.name!r}")
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge metric {other.name!r} into {self.name!r}")
+
+    # Registries (and the metrics inside them) cross process boundaries
+    # when a sweep shard returns its results to the parent.  Bound
+    # handles and the clock both hold references into the shard's live
+    # simulator, so neither survives the trip: handles are re-resolved
+    # lazily on the other side, and the clock freezes (see
+    # :func:`_frozen_clock`).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        state["_children"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = _frozen_clock
 
 
 class BoundCounter:
@@ -233,6 +280,20 @@ class Counter(Metric):
     def _make_child(self, key: LabelKey) -> BoundCounter:
         return BoundCounter(self, key)
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another shard's counter into this one (sum per series).
+
+        Addition is commutative and associative, so any merge order
+        over a set of shards produces the same totals — the property
+        the sweep engine's byte-identical-scrape contract rests on.
+        """
+        self._check_mergeable(other)
+        values = self._values
+        for key, value in other._values.items():
+            values[key] = values.get(key, 0.0) + value
+        self._merge_freshness(other)
+        return self
+
     def value(self, **labels: str) -> float:
         """Current value of the labelled series (0 if never set)."""
         return self._values.get(_label_key(labels), 0.0)
@@ -270,6 +331,27 @@ class Gauge(Metric):
 
     def _make_child(self, key: LabelKey) -> BoundGauge:
         return BoundGauge(self, key)
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Fold another shard's gauge into this one (freshest wins).
+
+        A gauge is a point-in-time reading, so the series with the
+        later ``last_updated`` sim-time stamp survives.  An exact tie
+        (two shards sampling the same label set at the same virtual
+        time) keeps the larger value — an arbitrary but commutative
+        rule, so the merged scrape is independent of merge order.
+        """
+        self._check_mergeable(other)
+        values = self._values
+        stamps = self.last_updated
+        for key, value in other._values.items():
+            theirs = other.last_updated.get(key, float("-inf"))
+            ours = stamps.get(key, float("-inf"))
+            if key not in values or theirs > ours or (
+                    theirs == ours and value > values[key]):
+                values[key] = value
+        self._merge_freshness(other)
+        return self
 
     def value(self, **labels: str) -> float:
         """Current value of the labelled series (0 if never set)."""
@@ -382,6 +464,48 @@ class Histogram(Metric):
     def _make_child(self, key: LabelKey) -> BoundHistogram:
         return BoundHistogram(self, key)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another shard's histogram into this one.
+
+        Bucket counts, sums, and observation counts add per series —
+        exactly what sequentially observing both shards' samples into
+        one histogram would have produced, so quantiles derived from
+        the merged buckets are *re-accumulated*, never averaged.  A
+        bucket-layout mismatch raises ``ValueError``: adding counts
+        across different bounds would silently corrupt every quantile.
+
+        Exemplars keep the witness with the latest sim-time stamp per
+        bucket (ties broken by value, then trace id — commutative, so
+        merge order cannot change the scrape).
+        """
+        self._check_mergeable(other)
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r} bucket layouts conflict: "
+                f"{self.buckets} vs {other.buckets}")
+        for key, theirs in other._series.items():
+            series = self._ensure_series(key)
+            counts = series.bucket_counts
+            for index, count in enumerate(theirs.bucket_counts):
+                counts[index] += count
+            series.sum += theirs.sum
+            series.count += theirs.count
+            if theirs.exemplars:
+                exemplars = series.exemplars
+                if exemplars is None:
+                    exemplars = series.exemplars = {}
+                for index, candidate in theirs.exemplars.items():
+                    value, trace_id, stamp = candidate
+                    incumbent = exemplars.get(index)
+                    if incumbent is None or (
+                            (stamp, value, trace_id) >
+                            (incumbent[2], incumbent[0], incumbent[1])):
+                        exemplars[index] = candidate
+        self._exemplars_enabled = (self._exemplars_enabled
+                                   or other._exemplars_enabled)
+        self._merge_freshness(other)
+        return self
+
     def count(self, **labels: str) -> int:
         """Observations recorded for the labelled series."""
         series = self._series.get(_label_key(labels))
@@ -483,6 +607,51 @@ class MetricsRegistry:
     def collect(self) -> list[Metric]:
         """Every registered metric, in name order (scrape order)."""
         return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry (a sweep shard's) into this one.
+
+        Per metric family: counters and histogram series add, gauges
+        keep the freshest reading, histogram exemplars keep the latest
+        witness — every rule commutative and associative, so folding N
+        shard registries produces a byte-identical
+        :func:`~repro.serving.exporter.export_registry` scrape
+        regardless of merge order or worker count.  A kind mismatch or
+        a histogram bucket-layout conflict raises ``ValueError`` (the
+        shards were not measuring the same thing).
+
+        Merging mutates and returns ``self``; ``other`` is not
+        modified.  Fold shard registries into a fresh
+        ``MetricsRegistry()`` to keep the originals intact (see
+        :func:`repro.sweep.merge.merge_registries`).
+        """
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = self.histogram(name, theirs.help,
+                                          buckets=theirs.buckets)
+                elif isinstance(theirs, Counter):
+                    mine = self.counter(name, theirs.help)
+                elif isinstance(theirs, Gauge):
+                    mine = self.gauge(name, theirs.help)
+                else:
+                    raise ValueError(
+                        f"cannot merge unknown metric kind "
+                        f"{theirs.kind!r} for {name!r}")
+            mine.merge(theirs)
+        return self
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = _frozen_clock
 
 
 # ----------------------------------------------------------------------

@@ -111,6 +111,11 @@ class _NullScope:
 _NULL_SCOPE = _NullScope()
 
 
+def _zero_clock() -> float:
+    """Clock restored on unpickled profilers (no simulator to read)."""
+    return 0.0
+
+
 class SimProfiler:
     """Hierarchical sim-time + wall-clock cost attribution.
 
@@ -173,6 +178,45 @@ class SimProfiler:
     def reset(self) -> None:
         """Drop all accumulated nodes (open scopes stay valid)."""
         self._nodes.clear()
+
+    def merge(self, other: "SimProfiler") -> "SimProfiler":
+        """Fold another profiler's accumulated nodes into this one.
+
+        Self-costs and counts add per path — the folded profile of N
+        merged shards equals the profile one process would have
+        accumulated running them back to back, so
+        :meth:`render_folded` over a merged profiler is deterministic
+        on the sim axis regardless of merge order or worker count.
+        (Wall costs add too, but wall time never reproduces exactly.)
+        ``other`` must not have open scopes.
+        """
+        if other._stack:
+            raise ValueError(
+                "cannot merge a profiler with open scopes")
+        for path, theirs in other._nodes.items():
+            node = self._node(path)
+            node.sim += theirs.sim
+            node.wall += theirs.wall
+            node.count += theirs.count
+        return self
+
+    # A profiler rides along when a sweep shard returns its results to
+    # the parent process; the clock holds a reference into the shard's
+    # simulator and freezes at 0 on the other side (recorded costs are
+    # preserved — merge folds state, it never re-records).
+    def __getstate__(self) -> dict:
+        if self._stack:
+            raise ValueError(
+                "cannot pickle a profiler with open scopes")
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        state["_stack"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = _zero_clock
 
     # -- reading -----------------------------------------------------
     def nodes(self) -> dict[tuple[str, ...], tuple[float, float, int]]:

@@ -388,3 +388,78 @@ class TestProfileBench:
         assert "BENCH_profile" in out
         assert "profile_off_overhead" in out
         assert "profile_on_overhead" in out
+
+
+class TestSweep:
+    ARGS = ["sweep", "--replications", "3", "--duration", "300",
+            "--seed", "7"]
+
+    def test_prints_deterministic_table(self, capsys):
+        assert main(self.ARGS + ["--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3 seed replications" in out
+        assert "aggregate:" in out and "merged" in out
+        assert "job" not in out  # worker count must not leak into stdout
+
+    def test_stdout_byte_identical_across_jobs(self, capsys):
+        assert main(self.ARGS + ["--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_out_and_metrics_out_match_across_jobs(self, capsys,
+                                                   tmp_path):
+        import json
+
+        files = {}
+        for jobs in ("1", "2"):
+            out = tmp_path / f"sweep{jobs}.json"
+            prom = tmp_path / f"sweep{jobs}.prom"
+            assert main(self.ARGS + ["--jobs", jobs, "--out", str(out),
+                                     "--metrics-out", str(prom)]) == 0
+            capsys.readouterr()
+            files[jobs] = (out.read_text(), prom.read_text())
+        assert files["1"] == files["2"]
+        doc = json.loads(files["1"][0])
+        assert len(doc["shards"]) == 3
+        assert doc["aggregate"]["merged"]["count"] == sum(
+            s["completed"] for s in doc["shards"])
+        assert files["1"][1].startswith("# HELP")
+
+    def test_wall_flag_appends_host_timings(self, capsys):
+        assert main(self.ARGS + ["--jobs", "2", "--wall"]) == 0
+        assert "wall" in capsys.readouterr().out
+
+    def test_failed_shard_exits_nonzero_with_summary(self, capsys,
+                                                     monkeypatch):
+        import repro.sweep.workloads as workloads
+
+        monkeypatch.setattr(
+            workloads, "replay_sparse_diurnal",
+            workloads._always_fails)
+        assert main(self.ARGS + ["--jobs", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "sweep failed" in err and "failed as designed" in err
+
+    def test_bad_replications_is_an_error_exit(self, capsys):
+        assert main(["sweep", "--replications", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepBench:
+    def test_quick_run_verifies_and_reports(self, capsys):
+        assert main(["sweep-bench", "--quick", "--repeats", "1",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sweep" in out
+        assert "sweep_parallel_replay" in out
+        assert "core-count aware" in out
+
+    def test_check_gates_against_reference(self, capsys, tmp_path):
+        ref = tmp_path / "ref.json"
+        assert main(["sweep-bench", "--quick", "--repeats", "1",
+                     "--jobs", "2", "--out", str(ref)]) == 0
+        capsys.readouterr()
+        assert main(["sweep-bench", "--quick", "--repeats", "1",
+                     "--jobs", "2", "--check", str(ref)]) == 0
+        assert "regression check" in capsys.readouterr().out

@@ -1,0 +1,232 @@
+"""Tests for the process-parallel sweep engine (spec + runner)."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.sweep import (
+    ShardError,
+    SweepError,
+    SweepRunner,
+    SweepSpec,
+    derive_seed,
+    resolve_worker,
+)
+
+PROBE = "repro.sweep.workloads:_probe"
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_index_dependent(self):
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+        assert derive_seed(7, 0) != derive_seed(7, 1)
+        assert derive_seed(7, 0) != derive_seed(8, 0)
+
+    def test_non_negative_63_bit(self):
+        for index in range(64):
+            seed = derive_seed(123, index)
+            assert 0 <= seed < 2 ** 63
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, -1)
+
+    def test_stable_across_processes(self):
+        # The anchor value: hash() would vary per interpreter under
+        # PYTHONHASHSEED randomization; SHA-256 derivation must not.
+        assert derive_seed(42, 0) == 0x2A39A2E570E779B9
+
+
+class TestResolveWorker:
+    def test_colon_and_dot_paths(self):
+        assert callable(resolve_worker(PROBE))
+        assert callable(resolve_worker("repro.sweep.workloads._probe"))
+
+    def test_bad_paths_raise_value_error(self):
+        for path in ("noseparator", "no.such.module:fn",
+                     "repro.sweep.workloads:nope",
+                     "repro.sweep.workloads:LATENCY_BOUNDS"):
+            with pytest.raises(ValueError):
+                resolve_worker(path)
+
+
+class TestSweepSpec:
+    def test_axes_cartesian_product_last_axis_fastest(self):
+        spec = SweepSpec(worker=PROBE,
+                         axes={"a": [1, 2], "b": [10, 20]})
+        points = spec.points()
+        assert [(p["a"], p["b"]) for p in points] == [
+            (1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_grid_crossed_with_axes_and_base_params(self):
+        spec = SweepSpec(worker=PROBE,
+                         grid=[{"m": "x"}, {"m": "y"}],
+                         axes={"a": [1, 2]},
+                         base_params={"c": 9, "a": -1})
+        points = spec.points()
+        assert len(points) == 4
+        assert all(p["c"] == 9 for p in points)
+        # axes override base_params; grid entries ride along
+        assert [(p["m"], p["a"]) for p in points] == [
+            ("x", 1), ("x", 2), ("y", 1), ("y", 2)]
+
+    def test_shards_inject_seed_index_replication(self):
+        spec = SweepSpec(worker=PROBE, axes={"a": [1, 2]},
+                         replications=3, base_seed=5)
+        shards = spec.shards()
+        assert len(shards) == 6
+        assert [s.index for s in shards] == list(range(6))
+        for shard in shards:
+            assert shard.params["seed"] == derive_seed(5, shard.index)
+            assert shard.params["shard_index"] == shard.index
+        assert [s.params["replication"] for s in shards] == [0, 1, 2] * 2
+
+    def test_pure_replication_set_without_grid(self):
+        spec = SweepSpec(worker=PROBE, replications=4)
+        assert len(spec.shards()) == 4
+
+    def test_declaration_time_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(worker=PROBE, replications=0)
+        with pytest.raises(ValueError):
+            SweepSpec(worker=PROBE, grid=[])
+        with pytest.raises(ValueError):
+            SweepSpec(worker="no.such.module:fn")
+
+    def test_expected_cost_feeds_cost_of(self):
+        spec = SweepSpec(worker=PROBE, axes={"a": [1, 2, 3]},
+                         expected_cost=lambda p: p["a"] * 2.0)
+        costs = [spec.cost_of(s) for s in spec.shards()]
+        assert costs == [2.0, 4.0, 6.0]
+        assert SweepSpec(worker=PROBE).cost_of(
+            SweepSpec(worker=PROBE).shards()[0]) == 0.0
+
+
+class TestRunnerInline:
+    def test_results_in_index_order_with_derived_seeds(self):
+        spec = SweepSpec(worker=PROBE, replications=5, base_seed=11)
+        result = SweepRunner(jobs=1).run(spec)
+        assert result.jobs == 1
+        assert [o.index for o in result.shards] == list(range(5))
+        for outcome in result.shards:
+            assert outcome.ok and outcome.attempts == 1
+            assert outcome.value["seed"] == derive_seed(11, outcome.index)
+
+    def test_lejf_ordering_does_not_change_output(self):
+        base = SweepSpec(worker=PROBE, axes={"scale": [3, 1, 2]},
+                         base_seed=2)
+        costed = SweepSpec(worker=PROBE, axes={"scale": [3, 1, 2]},
+                           base_seed=2,
+                           expected_cost=lambda p: p["scale"])
+        values = SweepRunner(jobs=1).run(base).values()
+        costed_values = SweepRunner(jobs=1).run(costed).values()
+        assert ([v["value"] for v in values]
+                == [v["value"] for v in costed_values])
+
+    def test_single_shard_runs_inline_even_with_jobs(self):
+        spec = SweepSpec(worker=PROBE, replications=1)
+        result = SweepRunner(jobs=4).run(spec)
+        assert len(result.shards) == 1
+        assert spec.shards()[0].seed == result.shards[0].seed
+
+    def test_runner_argument_validation(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+        with pytest.raises(ValueError):
+            SweepRunner(timeout_seconds=0.0)
+
+
+class TestRunnerPool:
+    def test_pool_matches_inline_exactly(self):
+        spec = SweepSpec(worker=PROBE, replications=6, base_seed=3)
+        inline = SweepRunner(jobs=1).run(spec)
+        pooled = SweepRunner(jobs=3).run(spec)
+        strip = lambda vs: [  # noqa: E731 - pids legitimately differ
+            {k: v for k, v in value.items() if k != "pid"}
+            for value in vs]
+        assert strip(inline.values()) == strip(pooled.values())
+
+    def test_spawn_context_is_supported(self):
+        spec = SweepSpec(worker=PROBE, replications=3, base_seed=1)
+        result = SweepRunner(
+            jobs=2,
+            mp_context=multiprocessing.get_context("spawn")).run(spec)
+        result.raise_on_error()
+        assert [v["seed"] for v in result.values()] == [
+            derive_seed(1, i) for i in range(3)]
+
+
+class TestFailurePaths:
+    def test_structured_error_with_params_and_traceback(self):
+        spec = SweepSpec(worker="repro.sweep.workloads:_always_fails",
+                         replications=2, base_seed=7)
+        result = SweepRunner(jobs=2).run(spec)
+        errors = result.errors()
+        assert len(errors) == 2
+        for error in errors:
+            assert isinstance(error, ShardError)
+            assert error.error_type == "RuntimeError"
+            assert "failed as designed" in error.message
+            assert "Traceback" in error.traceback
+            assert error.attempts == 2  # first try + one retry
+            assert error.params["seed"] == derive_seed(7,
+                                                       error.shard_index)
+        assert result.values() == []
+
+    def test_raise_on_error_carries_every_failure(self):
+        spec = SweepSpec(worker="repro.sweep.workloads:_always_fails",
+                         replications=3)
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(jobs=1).run(spec).raise_on_error()
+        assert len(excinfo.value.errors) == 3
+        assert "shard 0" in str(excinfo.value)
+
+    def test_failures_do_not_corrupt_successful_shards(self):
+        # Shard params carry a marker that makes exactly one point
+        # fail; the others must come back intact and in order.
+        spec = SweepSpec(worker="repro.sweep.workloads:_probe_or_fail",
+                         axes={"fail_on": [0, 1, 0]}, base_seed=4)
+        result = SweepRunner(jobs=2).run(spec)
+        assert [o.ok for o in result.shards] == [True, False, True]
+        assert [v["shard_index"] for v in result.values()] == [0, 2]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retry_reruns_with_same_derived_seed(self, jobs, tmp_path):
+        spec = SweepSpec(worker="repro.sweep.workloads:_flaky_once",
+                         base_params={"marker_dir": str(tmp_path)},
+                         replications=3, base_seed=13)
+        result = SweepRunner(jobs=jobs).run(spec)
+        result.raise_on_error()
+        for outcome in result.shards:
+            assert outcome.attempts == 2
+            assert outcome.value["seeds_match"] is True
+
+    def test_zero_retries_fail_immediately(self, tmp_path):
+        spec = SweepSpec(worker="repro.sweep.workloads:_flaky_once",
+                         base_params={"marker_dir": str(tmp_path)},
+                         replications=1)
+        result = SweepRunner(jobs=1, retries=0).run(spec)
+        assert result.errors()[0].attempts == 1
+
+    def test_unpicklable_worker_exception_is_contained(self):
+        spec = SweepSpec(
+            worker="repro.sweep.workloads:_unpicklable_failure",
+            replications=2)
+        result = SweepRunner(jobs=2).run(spec)
+        errors = result.errors()
+        assert len(errors) == 2
+        assert "unpicklable by design" in errors[0].message
+
+    def test_timeout_terminates_pool_promptly(self):
+        spec = SweepSpec(worker="repro.sweep.workloads:_sleep_forever",
+                         base_params={"sleep_seconds": 60.0},
+                         replications=2)
+        start = time.monotonic()
+        result = SweepRunner(jobs=2, timeout_seconds=1.0).run(spec)
+        assert time.monotonic() - start < 15.0  # never the full sleep
+        errors = result.errors()
+        assert len(errors) == 2
+        assert "budget" in errors[0].message

@@ -123,3 +123,28 @@ echo "faas smoke ok: deterministic across runs"
 PYTHONPATH=src python -m repro faas-bench --quick \
     --check benchmarks/results/BENCH_faas_quick.json
 echo "faas-bench smoke ok: quick suite within committed bounds"
+# Sweep smoke + cross-worker determinism: the same sweep run with one
+# worker and with a two-process pool must produce byte-identical
+# stdout, JSON, and merged metrics scrape — the engine's determinism
+# contract, checked end to end through the CLI.
+SWEEP_DIR="$(mktemp -d -t harvest_sweep.XXXXXX)"
+trap 'rm -f "$TRACE_OUT"; rm -rf "$CACHE_DIR" "$NET_DIR" "$PROF_DIR" "$FAAS_DIR" "$SWEEP_DIR"' EXIT
+PYTHONPATH=src python -m repro sweep --replications 4 --duration 600 \
+    --seed 7 --jobs 1 --out "$SWEEP_DIR/sweep.json" \
+    --metrics-out "$SWEEP_DIR/sweep.prom" > "$SWEEP_DIR/a.txt"
+cp "$SWEEP_DIR/sweep.json" "$SWEEP_DIR/first.json"
+cp "$SWEEP_DIR/sweep.prom" "$SWEEP_DIR/first.prom"
+PYTHONPATH=src python -m repro sweep --replications 4 --duration 600 \
+    --seed 7 --jobs 2 --out "$SWEEP_DIR/sweep.json" \
+    --metrics-out "$SWEEP_DIR/sweep.prom" > "$SWEEP_DIR/b.txt"
+cmp "$SWEEP_DIR/a.txt" "$SWEEP_DIR/b.txt"
+cmp "$SWEEP_DIR/first.json" "$SWEEP_DIR/sweep.json"
+cmp "$SWEEP_DIR/first.prom" "$SWEEP_DIR/sweep.prom"
+echo "sweep smoke ok: byte-identical across 1-worker and 2-worker runs"
+# Sweep bench gate: the quick BENCH_sweep suite must verify the merged
+# scrape/profile/summary equal the sequential run's and hold the
+# committed floors (core-count aware: 2.5x only where >=4 effective
+# cores exist, an overhead bound below that).
+PYTHONPATH=src python -m repro sweep-bench --quick \
+    --check benchmarks/results/BENCH_sweep_quick.json
+echo "sweep-bench smoke ok: merge determinism verified, within bounds"
